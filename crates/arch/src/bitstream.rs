@@ -1,0 +1,168 @@
+//! The configuration bitstream: a mutable bit vector addressed by the
+//! [`crate::ConfigLayout`].
+
+use std::fmt;
+
+/// A device configuration: one bit per programmable resource.
+///
+/// The fault model of the paper is "flip one configuration bit and observe the
+/// behaviour of the configured circuit"; [`Bitstream::flip`] is that operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitstream {
+    /// Creates an all-zero bitstream with `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bitstream has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= len()`.
+    pub fn get(&self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} out of range ({})", self.len);
+        (self.words[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    /// Writes bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= len()`.
+    pub fn set(&mut self, bit: usize, value: bool) {
+        assert!(bit < self.len, "bit {bit} out of range ({})", self.len);
+        let mask = 1u64 << (bit % 64);
+        if value {
+            self.words[bit / 64] |= mask;
+        } else {
+            self.words[bit / 64] &= !mask;
+        }
+    }
+
+    /// Inverts bit `bit` and returns its new value — a Single Event Upset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= len()`.
+    pub fn flip(&mut self, bit: usize) -> bool {
+        let new = !self.get(bit);
+        self.set(bit, new);
+        new
+    }
+
+    /// Number of bits set to 1 (the *programmed* bits — the paper's Fault List
+    /// Manager injects faults only into bits actually used by the design, plus
+    /// the zero bits whose resources belong to the design; see `tmr-faultsim`).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of all bits set to 1.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let len = self.len;
+            (0..64).filter_map(move |b| {
+                let bit = wi * 64 + b;
+                (bit < len && (word >> b) & 1 == 1).then_some(bit)
+            })
+        })
+    }
+
+    /// Returns the indices where `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitstreams have different lengths.
+    pub fn diff(&self, other: &Bitstream) -> Vec<usize> {
+        assert_eq!(self.len, other.len, "bitstream length mismatch");
+        let mut out = Vec::new();
+        for (wi, (a, b)) in self.words.iter().zip(other.words.iter()).enumerate() {
+            let mut delta = a ^ b;
+            while delta != 0 {
+                let b = delta.trailing_zeros() as usize;
+                let bit = wi * 64 + b;
+                if bit < self.len {
+                    out.push(bit);
+                }
+                delta &= delta - 1;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bitstream: {} bits, {} programmed", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut bs = Bitstream::zeros(130);
+        assert_eq!(bs.len(), 130);
+        assert!(!bs.get(129));
+        bs.set(129, true);
+        assert!(bs.get(129));
+        assert!(!bs.flip(129));
+        assert!(bs.flip(0));
+        assert_eq!(bs.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let bs = Bitstream::zeros(10);
+        bs.get(10);
+    }
+
+    #[test]
+    fn iter_ones_lists_set_bits() {
+        let mut bs = Bitstream::zeros(200);
+        for bit in [0, 63, 64, 130, 199] {
+            bs.set(bit, true);
+        }
+        let ones: Vec<usize> = bs.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 64, 130, 199]);
+    }
+
+    #[test]
+    fn diff_finds_single_flip() {
+        let mut a = Bitstream::zeros(100);
+        a.set(7, true);
+        a.set(70, true);
+        let mut b = a.clone();
+        b.flip(42);
+        assert_eq!(a.diff(&b), vec![42]);
+        assert_eq!(a.diff(&a), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_bitstream() {
+        let bs = Bitstream::zeros(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.iter_ones().count(), 0);
+    }
+}

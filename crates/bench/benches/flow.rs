@@ -1,0 +1,111 @@
+//! Criterion benchmarks of the individual flow stages on reduced designs:
+//! TMR transformation, synthesis, placement, routing, bitstream generation and
+//! fault-injection throughput. One group per paper table/figure family.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tmr_arch::Device;
+use tmr_core::{apply_tmr, estimate_resources, partition_report, TmrConfig};
+use tmr_designs::FirFilter;
+use tmr_faultsim::{classify_bit, run_campaign, CampaignOptions, FaultList};
+use tmr_pnr::{place, place_and_route, route, PlacerOptions, RouterOptions};
+use tmr_sim::{random_vectors, FaultOverlay, Simulator};
+use tmr_synth::{lower, optimize, techmap};
+
+/// The reduced FIR used by all benches (5 taps, 6-bit) keeps `cargo bench`
+/// runtimes in seconds while exercising every code path of the full flow.
+fn small_tmr_netlist(config: &TmrConfig) -> tmr_netlist::Netlist {
+    let design = FirFilter::small_filter().to_design();
+    let tmr = apply_tmr(&design, config).expect("unprotected input design");
+    techmap(&optimize(&lower(&tmr).expect("lowering"))).expect("mapping")
+}
+
+/// Figure 4 family: the TMR transformation and partition analysis.
+fn bench_transform(c: &mut Criterion) {
+    let design = FirFilter::paper_filter().to_design();
+    let mut group = c.benchmark_group("figure4_transform");
+    for config in TmrConfig::paper_presets() {
+        group.bench_function(format!("apply_tmr_{}", config.label), |b| {
+            b.iter(|| apply_tmr(&design, &config).expect("transform"))
+        });
+    }
+    let tmr = apply_tmr(&design, &TmrConfig::paper_p2()).expect("transform");
+    group.bench_function("partition_report_p2", |b| b.iter(|| partition_report(&tmr)));
+    group.finish();
+}
+
+/// Table 2 family: synthesis, placement, routing and area estimation.
+fn bench_implementation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_implementation");
+    group.sample_size(10);
+    let design = FirFilter::small_filter().to_design();
+    let tmr = apply_tmr(&design, &TmrConfig::paper_p2()).expect("transform");
+    group.bench_function("synthesize_small_tmr_p2", |b| {
+        b.iter(|| techmap(&optimize(&lower(&tmr).expect("lowering"))).expect("mapping"))
+    });
+
+    let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
+    let device = Device::small(16, 16);
+    group.bench_function("place_small_tmr_p2", |b| {
+        b.iter(|| place(&device, &netlist, &PlacerOptions::default()).expect("placement"))
+    });
+    let placement = place(&device, &netlist, &PlacerOptions::default()).expect("placement");
+    group.bench_function("route_small_tmr_p2", |b| {
+        b.iter(|| route(&device, &netlist, &placement, &RouterOptions::default()).expect("routing"))
+    });
+    group.bench_function("estimate_resources", |b| b.iter(|| estimate_resources(&netlist)));
+    group.finish();
+}
+
+/// Table 3 / Table 4 family: fault-list construction, classification,
+/// simulation and campaign throughput.
+fn bench_fault_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_fault_injection");
+    group.sample_size(10);
+    let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
+    let device = Device::small(16, 16);
+    let routed = place_and_route(&device, &netlist, 1).expect("place and route");
+
+    group.bench_function("fault_list_build", |b| {
+        b.iter(|| FaultList::build(&device, &routed))
+    });
+
+    let list = FaultList::build(&device, &routed);
+    let sample = list.sample(256, 1);
+    group.bench_function("classify_256_bits", |b| {
+        b.iter(|| {
+            sample
+                .iter()
+                .map(|&bit| classify_bit(&device, &routed, bit))
+                .count()
+        })
+    });
+
+    let simulator = Simulator::new(routed.netlist()).expect("acyclic");
+    let vectors = random_vectors(routed.netlist(), 24, 7);
+    group.bench_function("simulate_24_cycles", |b| {
+        b.iter(|| simulator.run(&vectors, &FaultOverlay::none()))
+    });
+
+    group.bench_function("campaign_100_faults", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                run_campaign(
+                    &device,
+                    &routed,
+                    &CampaignOptions {
+                        faults: 100,
+                        cycles: 12,
+                        ..CampaignOptions::default()
+                    },
+                )
+                .expect("campaign")
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_implementation, bench_fault_injection);
+criterion_main!(benches);

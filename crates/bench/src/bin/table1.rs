@@ -1,0 +1,57 @@
+//! Regenerates Table 1 of the paper: the qualitative taxonomy of upset
+//! locations, their effects and their correction, as implemented by the
+//! `tmr-faultsim` classifier.
+//!
+//! ```text
+//! cargo run --release -p tmr-bench --bin table1
+//! ```
+
+use tmr_bench::markdown_table;
+use tmr_faultsim::FaultClass;
+
+fn main() {
+    println!("# Table 1 — Upset analysis in the Triple Modular Redundancy approach\n");
+    let rows = vec![
+        vec![
+            "LUT".to_string(),
+            "Modification of the combinational logic (truth-table bit flip)".to_string(),
+            "Error confined to one redundant part; no TMR output error".to_string(),
+            "By scrubbing".to_string(),
+        ],
+        vec![
+            "Routing".to_string(),
+            "Connection (bridge/antenna/conflict) or disconnection (open) between signals".to_string(),
+            "Error in one redundant part, or in more than one part with a TMR output error".to_string(),
+            "By scrubbing".to_string(),
+        ],
+        vec![
+            "CLB customization (MUX)".to_string(),
+            "Connection or disconnection between signals inside the same CLB".to_string(),
+            "Error in one redundant part, or in more than one part with a TMR output error".to_string(),
+            "By scrubbing".to_string(),
+        ],
+        vec![
+            "Flip-flops".to_string(),
+            "Modification of the sequential logic (initialisation bits)".to_string(),
+            "Error in one redundant part; no TMR output error".to_string(),
+            "By design modification (voted registers with refresh)".to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        markdown_table(
+            &["Upset location", "Upset effect", "Consequences", "Upset correction"],
+            &rows
+        )
+    );
+
+    println!("Fault classes implemented by the classifier (Table 4 row order):");
+    for class in FaultClass::ALL {
+        let scope = if class.is_general_routing() {
+            "general routing"
+        } else {
+            "CLB logic and routing"
+        };
+        println!("  - {:<15} ({scope})", class.label());
+    }
+}

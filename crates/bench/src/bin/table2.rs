@@ -1,0 +1,72 @@
+//! Regenerates Table 2 of the paper: area, design-related configuration bits
+//! and estimated performance of the five FIR filter variants.
+//!
+//! ```text
+//! cargo run --release -p tmr-bench --bin table2
+//! ```
+
+use tmr_bench::{implement_fir_variants, markdown_table};
+
+fn main() {
+    let start = std::time::Instant::now();
+    let (device, implementations) = implement_fir_variants(1);
+    println!(
+        "# Table 2 — TMR partitioned FIR designs on a {}x{} {}-track island FPGA",
+        device.cols(),
+        device.rows(),
+        device.params().tracks
+    );
+    println!(
+        "(device: {} LUT sites, {} configuration bits; implementation time {:.1} s)\n",
+        device.lut_sites().len(),
+        device.config_layout().bit_count(),
+        start.elapsed().as_secs_f64()
+    );
+
+    let rows: Vec<Vec<String>> = implementations
+        .iter()
+        .map(|imp| {
+            vec![
+                imp.name.clone(),
+                imp.resources.slices.to_string(),
+                imp.bits.routing_bits.to_string(),
+                imp.bits.clb_mux_bits.to_string(),
+                imp.bits.lut_bits.to_string(),
+                imp.bits.ff_bits.to_string(),
+                format!("{:.0} MHz", imp.resources.fmax_mhz),
+                format!("{:.1} %", 100.0 * imp.bits.routing_fraction()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Design",
+                "Area (#slices)",
+                "#routing bits",
+                "#CLB mux bits",
+                "#LUT bits",
+                "#FF bits",
+                "Est. performance",
+                "routing fraction",
+            ],
+            &rows
+        )
+    );
+
+    println!("Paper (XC2S200E, Xilinx ISE) for comparison:");
+    println!(
+        "{}",
+        markdown_table(
+            &["Design", "Area (#slices)", "#routing bits", "#LUT bits", "#FF bits", "Est. performance"],
+            &[
+                vec!["standard".into(), "150".into(), "42,953".into(), "9,600".into(), "722".into(), "154 MHz".into()],
+                vec!["tmr_p1".into(), "560".into(), "138,453".into(), "35,840".into(), "3,498".into(), "123 MHz".into()],
+                vec!["tmr_p2".into(), "504".into(), "161,568".into(), "32,256".into(), "3,492".into(), "137 MHz".into()],
+                vec!["tmr_p3".into(), "498".into(), "151,994".into(), "31,872".into(), "3,447".into(), "153 MHz".into()],
+                vec!["tmr_p3_nv".into(), "476".into(), "150,521".into(), "30,464".into(), "2,141".into(), "154 MHz".into()],
+            ]
+        )
+    );
+}

@@ -1,0 +1,76 @@
+//! Regenerates Table 3 of the paper: the fault-injection campaign results
+//! (injected faults, wrong answers, wrong-answer percentage) for the five FIR
+//! variants.
+//!
+//! The number of injected faults per design is controlled by the `TMR_FAULTS`
+//! environment variable (default 4000) and the stimulus length by
+//! `TMR_CYCLES` (default 24).
+//!
+//! ```text
+//! TMR_FAULTS=4000 cargo run --release -p tmr-bench --bin table3
+//! ```
+
+use tmr_bench::{campaign, cycles_from_env, faults_from_env, implement_fir_variants, markdown_table};
+
+fn main() {
+    let faults = faults_from_env();
+    let cycles = cycles_from_env();
+    let start = std::time::Instant::now();
+    let (device, implementations) = implement_fir_variants(1);
+
+    println!("# Table 3 — Fault injection campaign results");
+    println!(
+        "({} faults per design, {} stimulus cycles per fault, device {}x{})\n",
+        faults,
+        cycles,
+        device.cols(),
+        device.rows()
+    );
+
+    let mut rows = Vec::new();
+    for implementation in &implementations {
+        let result = campaign(&device, implementation, faults, cycles);
+        rows.push(vec![
+            implementation.name.clone(),
+            result.fault_list_size.to_string(),
+            result.injected().to_string(),
+            result.wrong_answers().to_string(),
+            format!("{:.2}", result.wrong_answer_percent()),
+            format!("{:.0} %", 100.0 * result.cross_domain_error_fraction()),
+        ]);
+        eprintln!(
+            "  {} done ({:.1} s elapsed)",
+            implementation.name,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Design",
+                "Fault list size",
+                "Injected faults [#]",
+                "Wrong answer [#]",
+                "Wrong answer [%]",
+                "cross-domain among errors",
+            ],
+            &rows
+        )
+    );
+
+    println!("Paper (hardware fault injection on the XC2S200E) for comparison:");
+    println!(
+        "{}",
+        markdown_table(
+            &["Design", "Injected faults [#]", "Wrong answer [#]", "Wrong answer [%]"],
+            &[
+                vec!["standard".into(), "5,100".into(), "4,952".into(), "97.10".into()],
+                vec!["tmr_p1".into(), "17,515".into(), "706".into(), "4.03".into()],
+                vec!["tmr_p2".into(), "19,401".into(), "190".into(), "0.98".into()],
+                vec!["tmr_p3".into(), "18,501".into(), "289".into(), "1.56".into()],
+                vec!["tmr_p3_nv".into(), "18,000".into(), "2,268".into(), "12.60".into()],
+            ]
+        )
+    );
+}

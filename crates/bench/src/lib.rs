@@ -1,0 +1,202 @@
+//! # tmr-bench
+//!
+//! The benchmark harness reproducing the tables and figures of the DATE 2005
+//! paper. The `src/bin` targets regenerate the paper's tables
+//! (`table1`–`table4`, `figures`); the Criterion benches under `benches/`
+//! measure the performance of the individual flow stages on reduced designs.
+//!
+//! Shared helpers live here: building the five FIR variants, choosing a
+//! device large enough to hold them, implementing them, running campaigns and
+//! formatting markdown tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use tmr_arch::{Device, DeviceParams};
+use tmr_core::{estimate_resources, paper_variants, ResourceEstimate};
+use tmr_designs::FirFilter;
+use tmr_faultsim::{run_campaign, CampaignOptions, CampaignResult};
+use tmr_netlist::Netlist;
+use tmr_pnr::{place_and_route, BitReport, RoutedDesign};
+use tmr_synth::{lower, optimize, techmap, Design};
+
+/// The five FIR filter designs evaluated in the paper, in Table 3 order:
+/// `standard`, `tmr_p1`, `tmr_p2`, `tmr_p3`, `tmr_p3_nv`.
+pub fn fir_variants() -> Vec<(String, Design)> {
+    let base = FirFilter::paper_filter().to_design();
+    paper_variants(&base).expect("the FIR filter is an unprotected design")
+}
+
+/// Synthesises a word-level design to a mapped netlist (panicking on error —
+/// the harness only feeds it designs produced by this workspace).
+pub fn synthesize(design: &Design) -> Netlist {
+    techmap(&optimize(&lower(design).expect("lowering"))).expect("mapping")
+}
+
+/// Chooses the evaluation device: the XC2S200E-like fabric if every netlist
+/// fits at reasonable utilisation, otherwise the same architecture scaled up
+/// to the smallest square grid that keeps LUT and FF utilisation below 50 %
+/// (our mapping has no carry chains, so designs are larger than Xilinx ISE's).
+pub fn paper_device(netlists: &[&Netlist]) -> Device {
+    let mut params = DeviceParams::xc2s200e_like();
+    let max_luts = netlists
+        .iter()
+        .map(|n| {
+            let s = n.stats();
+            s.luts + s.constants
+        })
+        .max()
+        .unwrap_or(0);
+    let max_ffs = netlists.iter().map(|n| n.stats().flip_flops).max().unwrap_or(0);
+    let max_iobs = netlists.iter().map(|n| n.stats().io_buffers).max().unwrap_or(0);
+
+    let fits = |params: &DeviceParams| {
+        let tiles = usize::from(params.cols) * usize::from(params.rows);
+        let luts = tiles * params.luts_per_tile();
+        let ffs = tiles * params.ffs_per_tile();
+        let perimeter = 2 * (usize::from(params.cols) + usize::from(params.rows)) - 4;
+        let iobs = perimeter * usize::from(params.iobs_per_perimeter_tile);
+        (max_luts as f64) < luts as f64 * 0.50
+            && (max_ffs as f64) < ffs as f64 * 0.50
+            && max_iobs <= iobs
+    };
+
+    while !fits(&params) {
+        params.cols += 4;
+        params.rows += 4;
+    }
+    Device::new(params)
+}
+
+/// One fully implemented design plus its reports.
+pub struct ImplementedDesign {
+    /// Variant name (`standard`, `tmr_p1`, …).
+    pub name: String,
+    /// The word-level design.
+    pub design: Design,
+    /// The routed implementation.
+    pub routed: RoutedDesign,
+    /// Area / timing estimate (Table 2 left columns).
+    pub resources: ResourceEstimate,
+    /// Design-related configuration bit counts (Table 2 right columns).
+    pub bits: BitReport,
+}
+
+/// Implements every FIR variant on a common device and returns the device and
+/// the implementations. This is the expensive shared step behind Tables 2–4.
+pub fn implement_fir_variants(seed: u64) -> (Device, Vec<ImplementedDesign>) {
+    let variants = fir_variants();
+    let netlists: Vec<(String, Design, Netlist)> = variants
+        .into_iter()
+        .map(|(name, design)| {
+            let netlist = synthesize(&design);
+            (name, design, netlist)
+        })
+        .collect();
+    let device = paper_device(&netlists.iter().map(|(_, _, n)| n).collect::<Vec<_>>());
+
+    let implementations = netlists
+        .into_iter()
+        .map(|(name, design, netlist)| {
+            let routed = place_and_route(&device, &netlist, seed)
+                .unwrap_or_else(|e| panic!("place-and-route of `{name}` failed: {e}"));
+            let resources = estimate_resources(routed.netlist());
+            let bits = routed.bit_report(&device);
+            ImplementedDesign {
+                name,
+                design,
+                routed,
+                resources,
+                bits,
+            }
+        })
+        .collect();
+    (device, implementations)
+}
+
+/// Runs the fault-injection campaign of one implemented design.
+pub fn campaign(
+    device: &Device,
+    implemented: &ImplementedDesign,
+    faults: usize,
+    cycles: usize,
+) -> CampaignResult {
+    run_campaign(
+        device,
+        &implemented.routed,
+        &CampaignOptions {
+            faults,
+            cycles,
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("flow netlists are always simulable")
+}
+
+/// Number of faults per campaign, configurable through the `TMR_FAULTS`
+/// environment variable (default 4000 — roughly the same sampling ratio as
+/// the paper's "10 % of the configuration memory bits related to the DUT").
+pub fn faults_from_env() -> usize {
+    std::env::var("TMR_FAULTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000)
+}
+
+/// Number of stimulus cycles per fault, configurable through `TMR_CYCLES`
+/// (default 24: enough for a sample to traverse the 11-tap filter and reach
+/// the output).
+pub fn cycles_from_env() -> usize {
+    std::env::var("TMR_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+/// Formats a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_variants_are_the_five_paper_designs() {
+        let names: Vec<String> = fir_variants().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["standard", "tmr_p1", "tmr_p2", "tmr_p3", "tmr_p3_nv"]);
+    }
+
+    #[test]
+    fn markdown_table_has_header_separator_and_rows() {
+        let table = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(table.contains("| a | b |"));
+        assert!(table.contains("|---|---|"));
+        assert!(table.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn device_scales_until_designs_fit() {
+        // A netlist bigger than the XC2S200E forces the grid to grow.
+        let variants = fir_variants();
+        let tmr_p1 = synthesize(&variants[1].1);
+        let device = paper_device(&[&tmr_p1]);
+        let capacity = device.lut_sites().len();
+        let stats = tmr_p1.stats();
+        assert!((stats.luts + stats.constants) as f64 / capacity as f64 <= 0.50);
+    }
+}

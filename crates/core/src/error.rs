@@ -1,0 +1,59 @@
+//! Error type of the TMR transformation.
+
+use std::error::Error;
+use std::fmt;
+use tmr_synth::DesignError;
+
+/// Errors produced while applying the TMR transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmrError {
+    /// Rebuilding the triplicated design failed (width or arity inconsistency
+    /// in the input design).
+    Design(DesignError),
+    /// The input design already contains voters, which would be triplicated
+    /// blindly; apply TMR to the unprotected design instead.
+    AlreadyProtected {
+        /// Name of the offending voter node.
+        node: String,
+    },
+}
+
+impl fmt::Display for TmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmrError::Design(err) => write!(f, "design reconstruction failed: {err}"),
+            TmrError::AlreadyProtected { node } => write!(
+                f,
+                "design already contains voter `{node}`; TMR must be applied to the unprotected design"
+            ),
+        }
+    }
+}
+
+impl Error for TmrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TmrError::Design(err) => Some(err),
+            TmrError::AlreadyProtected { .. } => None,
+        }
+    }
+}
+
+impl From<DesignError> for TmrError {
+    fn from(err: DesignError) -> Self {
+        TmrError::Design(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let err = TmrError::AlreadyProtected { node: "v1".into() };
+        assert!(err.to_string().contains("v1"));
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TmrError>();
+    }
+}

@@ -1,0 +1,215 @@
+//! The direct-form FIR filter generator — the paper's case-study circuit.
+
+use tmr_synth::{Design, SignalId};
+
+/// A direct-form FIR filter description.
+///
+/// The paper's case study is an 11-tap, 9-bit low-pass filter whose Matlab
+/// coefficients were scaled by 512 and rounded to
+/// `[1, -1, -9, 6, 73, 120, 73, 6, -9, -1, 1]`; see
+/// [`FirFilter::paper_filter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirFilter {
+    name: String,
+    taps: Vec<i64>,
+    input_width: u8,
+    accumulator_width: u8,
+}
+
+impl FirFilter {
+    /// Creates a filter with the given coefficients and bus widths.
+    ///
+    /// `input_width` is the sample width (the paper uses 9 bits) and
+    /// `accumulator_width` the width of the products and of the adder chain
+    /// (the paper uses 18-bit adders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        taps: Vec<i64>,
+        input_width: u8,
+        accumulator_width: u8,
+    ) -> Self {
+        assert!(!taps.is_empty(), "a FIR filter needs at least one tap");
+        Self {
+            name: name.into(),
+            taps,
+            input_width,
+            accumulator_width,
+        }
+    }
+
+    /// The 11-tap, 9-bit low-pass filter of the paper (coefficients ×512:
+    /// 1, -1, -9, 6, 73, 120 and symmetric), with 18-bit adders.
+    pub fn paper_filter() -> Self {
+        Self::new(
+            "fir11",
+            vec![1, -1, -9, 6, 73, 120, 73, 6, -9, -1, 1],
+            9,
+            18,
+        )
+    }
+
+    /// A reduced 5-tap variant used by fast tests and Criterion benches.
+    pub fn small_filter() -> Self {
+        Self::new("fir5", vec![1, -2, 5, -2, 1], 6, 12)
+    }
+
+    /// The filter coefficients.
+    pub fn taps(&self) -> &[i64] {
+        &self.taps
+    }
+
+    /// The sample (input) width in bits.
+    pub fn input_width(&self) -> u8 {
+        self.input_width
+    }
+
+    /// The product/adder width in bits.
+    pub fn accumulator_width(&self) -> u8 {
+        self.accumulator_width
+    }
+
+    /// Builds the word-level design: an input delay line of `taps-1`
+    /// registers, one dedicated constant multiplier per tap and a chain of
+    /// two-input adders, exactly the structure in Fig. 4 of the paper.
+    pub fn to_design(&self) -> Design {
+        let mut design = Design::new(self.name.clone());
+        let x = design.add_input("x", self.input_width);
+
+        // Input delay line.
+        let mut delayed: Vec<SignalId> = Vec::with_capacity(self.taps.len());
+        delayed.push(x);
+        for i in 1..self.taps.len() {
+            let prev = delayed[i - 1];
+            delayed.push(design.add_register(format!("dl{i}"), prev));
+        }
+
+        // One dedicated multiplier per tap.
+        let products: Vec<SignalId> = self
+            .taps
+            .iter()
+            .enumerate()
+            .map(|(i, &coeff)| {
+                design.add_mul_const(format!("p{i}"), delayed[i], coeff, self.accumulator_width)
+            })
+            .collect();
+
+        // Adder chain.
+        let mut sum = products[0];
+        for (i, &product) in products.iter().enumerate().skip(1) {
+            sum = design.add_add(format!("s{i}"), sum, product, self.accumulator_width);
+        }
+
+        design.add_output("y", sum);
+        design
+    }
+
+    /// The bit-true reference response of the filter to `samples`, one output
+    /// per input cycle (matching [`tmr_synth::Design::evaluate`] semantics:
+    /// the delay line updates on the clock edge *after* each sample).
+    pub fn reference_response(&self, samples: &[i64]) -> Vec<i64> {
+        let width = self.accumulator_width;
+        let mask = |v: i64| {
+            let shift = 64 - u32::from(width);
+            (v << shift) >> shift
+        };
+        let in_mask = |v: i64| {
+            let shift = 64 - u32::from(self.input_width);
+            (v << shift) >> shift
+        };
+        let mut delay = vec![0i64; self.taps.len()];
+        let mut out = Vec::with_capacity(samples.len());
+        for &sample in samples {
+            delay[0] = in_mask(sample);
+            let mut acc = 0i64;
+            for (i, &coeff) in self.taps.iter().enumerate() {
+                acc = mask(acc + mask(delay[i] * coeff));
+            }
+            out.push(acc);
+            // Shift the delay line.
+            for i in (1..delay.len()).rev() {
+                delay[i] = delay[i - 1];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn paper_filter_matches_paper_structure() {
+        let fir = FirFilter::paper_filter();
+        assert_eq!(fir.taps().len(), 11);
+        assert_eq!(fir.input_width(), 9);
+        assert_eq!(fir.accumulator_width(), 18);
+        let stats = fir.to_design().stats();
+        assert_eq!(stats.multipliers, 11, "eleven dedicated multipliers");
+        assert_eq!(stats.adders, 10, "ten adders");
+        assert_eq!(stats.registers, 10, "ten registers in the delay line");
+        assert_eq!(stats.inputs, 1);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.voters, 0, "the unprotected filter has no voters");
+    }
+
+    #[test]
+    fn coefficients_are_symmetric_low_pass() {
+        let fir = FirFilter::paper_filter();
+        let taps = fir.taps();
+        for i in 0..taps.len() {
+            assert_eq!(taps[i], taps[taps.len() - 1 - i], "symmetric coefficients");
+        }
+        // DC gain is the coefficient sum: 2*(1-1-9+6+73)+120 = 260.
+        assert_eq!(taps.iter().sum::<i64>(), 260);
+    }
+
+    #[test]
+    fn design_evaluation_matches_reference_response() {
+        let fir = FirFilter::paper_filter();
+        let design = fir.to_design();
+        let samples: Vec<i64> = vec![0, 10, -20, 255, -256, 100, 0, 0, 37, -1, 5, 9, -200, 13, 0, 0, 0];
+        let stimuli: Vec<HashMap<String, i64>> = samples
+            .iter()
+            .map(|&s| {
+                let mut m = HashMap::new();
+                m.insert("x".to_string(), s);
+                m
+            })
+            .collect();
+        let outputs = design.evaluate(&stimuli);
+        let reference = fir.reference_response(&samples);
+        for (cycle, (out, expected)) in outputs.iter().zip(reference.iter()).enumerate() {
+            assert_eq!(out["y"], *expected, "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn impulse_response_reproduces_coefficients() {
+        let fir = FirFilter::paper_filter();
+        let mut samples = vec![1i64];
+        samples.extend(std::iter::repeat(0).take(12));
+        let response = fir.reference_response(&samples);
+        for (i, &coeff) in fir.taps().iter().enumerate() {
+            assert_eq!(response[i], coeff, "impulse response tap {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_are_rejected() {
+        let _ = FirFilter::new("bad", vec![], 8, 16);
+    }
+
+    #[test]
+    fn small_filter_is_smaller() {
+        let small = FirFilter::small_filter().to_design();
+        let full = FirFilter::paper_filter().to_design();
+        assert!(small.node_count() < full.node_count());
+    }
+}

@@ -1,0 +1,34 @@
+//! # tmr-designs
+//!
+//! Workload generators for the `tmr-fpga` workspace: the 11-tap, 9-bit FIR
+//! low-pass filter that is the case-study circuit of the DATE 2005 paper, plus
+//! a few smaller designs (accumulator, counter, moving-sum) used by examples,
+//! tests and ablation benchmarks.
+//!
+//! All generators produce word-level [`tmr_synth::Design`] graphs; apply the
+//! TMR transformation from `tmr-core` and the synthesis flow from `tmr-synth`
+//! to obtain mapped netlists.
+//!
+//! ## Example
+//!
+//! ```
+//! use tmr_designs::FirFilter;
+//!
+//! let fir = FirFilter::paper_filter();
+//! assert_eq!(fir.taps().len(), 11);
+//! let design = fir.to_design();
+//! // Eleven dedicated multipliers, ten adders, ten registers — as in the paper.
+//! let stats = design.stats();
+//! assert_eq!(stats.multipliers, 11);
+//! assert_eq!(stats.adders, 10);
+//! assert_eq!(stats.registers, 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fir;
+mod simple;
+
+pub use fir::FirFilter;
+pub use simple::{accumulator, counter, moving_sum};

@@ -1,0 +1,123 @@
+//! Small auxiliary workloads: accumulator, counter and moving-sum designs.
+//!
+//! These exercise the "state-machine logic" structure of the paper's taxonomy
+//! (registered feedback loops), complementing the FIR filter which is pure
+//! throughput logic.
+
+use tmr_netlist::Domain;
+use tmr_synth::{Design, WordOp};
+
+/// An accumulator `acc <= acc + x` with the given data width — a registered
+/// feedback loop ("state-machine logic" in the paper's classification, which
+/// requires voted registers so the state can recover from an upset).
+pub fn accumulator(width: u8) -> Design {
+    let mut design = Design::new(format!("accumulator{width}"));
+    let x = design.add_input("x", width);
+    // Close the feedback loop in three steps: create the register with a
+    // placeholder input, build the adder that reads the register output, then
+    // patch the register input to the adder output.
+    let (reg_node, acc) = design
+        .add_node_in_domain("acc", WordOp::Register { init: 0 }, vec![x], None, Domain::None)
+        .expect("register construction");
+    let acc = acc.expect("registers produce a signal");
+    let sum = design.add_add("sum", acc, x, width);
+    design
+        .replace_input(reg_node, 0, sum)
+        .expect("feedback widths match");
+    design.add_output("y", acc);
+    design
+}
+
+/// A registered incrementer `count <= step + 1` of the given width: a tiny
+/// throughput-logic design with one adder, one constant and one register, used
+/// as the smallest placeable workload in tests and examples.
+pub fn counter(width: u8) -> Design {
+    let mut design = Design::new(format!("counter{width}"));
+    let one = design.add_const("one", 1, width);
+    let step = design.add_input("step", width);
+    let sum = design.add_add("sum", step, one, width);
+    let q = design.add_register("count", sum);
+    design.add_output("y", q);
+    design
+}
+
+/// A moving sum of the last `taps` samples (a boxcar filter): pure throughput
+/// logic like the FIR filter but without multipliers, useful for isolating
+/// the contribution of adders in ablation experiments.
+pub fn moving_sum(taps: usize, input_width: u8, sum_width: u8) -> Design {
+    assert!(taps >= 2, "a moving sum needs at least two taps");
+    let mut design = Design::new(format!("movsum{taps}"));
+    let x = design.add_input("x", input_width);
+    let mut delayed = vec![x];
+    for i in 1..taps {
+        let prev = delayed[i - 1];
+        delayed.push(design.add_register(format!("dl{i}"), prev));
+    }
+    let mut sum = delayed[0];
+    for (i, &d) in delayed.iter().enumerate().skip(1) {
+        sum = design.add_add(format!("s{i}"), sum, d, sum_width);
+    }
+    design.add_output("y", sum);
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn stim(name: &str, values: &[i64]) -> Vec<HashMap<String, i64>> {
+        values
+            .iter()
+            .map(|&v| {
+                let mut m = HashMap::new();
+                m.insert(name.to_string(), v);
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counter_increments_registered_value() {
+        let design = counter(8);
+        let out = design.evaluate(&stim("step", &[0, 5, 10, 20]));
+        // Register holds (step + 1) from the previous cycle.
+        assert_eq!(out[0]["y"], 0);
+        assert_eq!(out[1]["y"], 1);
+        assert_eq!(out[2]["y"], 6);
+        assert_eq!(out[3]["y"], 11);
+    }
+
+    #[test]
+    fn moving_sum_sums_last_samples() {
+        let design = moving_sum(3, 6, 9);
+        let out = design.evaluate(&stim("x", &[1, 2, 3, 4, 5]));
+        // Window contents: [x, x[-1], x[-2]].
+        assert_eq!(out[0]["y"], 1);
+        assert_eq!(out[1]["y"], 3);
+        assert_eq!(out[2]["y"], 6);
+        assert_eq!(out[3]["y"], 9);
+        assert_eq!(out[4]["y"], 12);
+    }
+
+    #[test]
+    fn accumulator_accumulates() {
+        let design = accumulator(8);
+        let stats = design.stats();
+        assert_eq!(stats.registers, 1);
+        assert_eq!(stats.adders, 1);
+        assert_eq!(stats.outputs, 1);
+        let out = design.evaluate(&stim("x", &[1, 2, 3, 4]));
+        // acc is registered: outputs are the running sum delayed by one cycle.
+        assert_eq!(out[0]["y"], 0);
+        assert_eq!(out[1]["y"], 1);
+        assert_eq!(out[2]["y"], 3);
+        assert_eq!(out[3]["y"], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two taps")]
+    fn moving_sum_rejects_single_tap() {
+        let _ = moving_sum(1, 4, 8);
+    }
+}

@@ -1,0 +1,286 @@
+//! The Fault Injection Manager: campaign execution and result tables.
+
+use crate::{classify_bit, FaultClass, FaultList};
+use std::collections::BTreeMap;
+use std::fmt;
+use tmr_arch::Device;
+use tmr_pnr::RoutedDesign;
+use tmr_sim::{random_vectors, FaultOverlay, OutputGroups, SimError, Simulator};
+
+/// Options of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Number of faults to inject (drawn randomly from the fault list; the
+    /// paper injected roughly 10 % of the configuration memory).
+    pub faults: usize,
+    /// Number of clock cycles of stimulus applied per fault.
+    pub cycles: usize,
+    /// Seed of the pseudo-random input stimulus.
+    pub stimulus_seed: u64,
+    /// Seed of the fault-sampling shuffle.
+    pub sampling_seed: u64,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            faults: 2000,
+            cycles: 24,
+            stimulus_seed: 20050307, // DATE 2005 conference date
+            sampling_seed: 1,
+        }
+    }
+}
+
+/// The outcome of one injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The flipped configuration bit.
+    pub bit: usize,
+    /// Its classification (Table 4 taxonomy).
+    pub class: FaultClass,
+    /// Whether the DUT output diverged from the golden device.
+    pub wrong_answer: bool,
+    /// First cycle at which the outputs diverged, if they did.
+    pub first_error_cycle: Option<usize>,
+    /// Whether the fault coupled two distinct TMR domains.
+    pub crosses_domains: bool,
+}
+
+/// The aggregated result of a fault-injection campaign (one row of Table 3
+/// plus one column of Table 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// Name of the design under test.
+    pub design: String,
+    /// Size of the full fault list (all design-related bits).
+    pub fault_list_size: usize,
+    /// Per-fault outcomes, in injection order.
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+impl CampaignResult {
+    /// Number of injected faults.
+    pub fn injected(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of faults that produced a wrong answer.
+    pub fn wrong_answers(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.wrong_answer).count()
+    }
+
+    /// Percentage of injected faults that produced a wrong answer — the
+    /// "Wrong Answer [%]" column of Table 3.
+    pub fn wrong_answer_percent(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.wrong_answers() as f64 / self.injected() as f64
+    }
+
+    /// Classification of the faults that produced a wrong answer, in the row
+    /// order of Table 4.
+    pub fn error_classification(&self) -> BTreeMap<FaultClass, usize> {
+        let mut counts = BTreeMap::new();
+        for outcome in self.outcomes.iter().filter(|o| o.wrong_answer) {
+            *counts.entry(outcome.class).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Classification of every injected fault (whether or not it caused an
+    /// error).
+    pub fn injection_classification(&self) -> BTreeMap<FaultClass, usize> {
+        let mut counts = BTreeMap::new();
+        for outcome in &self.outcomes {
+            *counts.entry(outcome.class).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Among the error-causing faults, the fraction that coupled two distinct
+    /// TMR domains — the mechanism the paper identifies as the residual
+    /// weakness of TMR on SRAM-based FPGAs.
+    pub fn cross_domain_error_fraction(&self) -> f64 {
+        let errors: Vec<&FaultOutcome> = self.outcomes.iter().filter(|o| o.wrong_answer).collect();
+        if errors.is_empty() {
+            return 0.0;
+        }
+        errors.iter().filter(|o| o.crosses_domains).count() as f64 / errors.len() as f64
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} injected, {} wrong answers ({:.2} %)",
+            self.design,
+            self.injected(),
+            self.wrong_answers(),
+            self.wrong_answer_percent()
+        )
+    }
+}
+
+/// Runs a fault-injection campaign on a routed design.
+///
+/// For every sampled configuration bit the campaign flips the bit, derives its
+/// structural effect, simulates the faulty device with the same stimulus as
+/// the golden run and records whether any output ever diverged — one
+/// experiment per bit, on a freshly configured device, exactly like the
+/// paper's flow (download faulty bitstream, run, compare, reconfigure).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the netlist cannot be simulated (combinational
+/// loop), which cannot happen for designs produced by the `tmr-synth` flow.
+pub fn run_campaign(
+    device: &Device,
+    routed: &RoutedDesign,
+    options: &CampaignOptions,
+) -> Result<CampaignResult, SimError> {
+    let netlist = routed.netlist();
+    let simulator = Simulator::new(netlist)?;
+    let vectors = random_vectors(netlist, options.cycles, options.stimulus_seed);
+    let golden = simulator.run(&vectors, &FaultOverlay::none());
+    // Triplicated outputs are voted in the output logic block (at the pads),
+    // outside the reach of configuration upsets, before comparison.
+    let output_groups = OutputGroups::new(netlist);
+
+    let fault_list = FaultList::build(device, routed);
+    let sample = fault_list.sample(options.faults, options.sampling_seed);
+
+    let mut outcomes = Vec::with_capacity(sample.len());
+    for bit in sample {
+        let effect = classify_bit(device, routed, bit);
+        let (wrong_answer, first_error_cycle) = if effect.overlay.is_empty() {
+            (false, None)
+        } else {
+            let trace = simulator.run(&vectors, &effect.overlay);
+            match output_groups.first_voted_mismatch(&golden, &trace) {
+                Some(cycle) => (true, Some(cycle)),
+                None => (false, None),
+            }
+        };
+        outcomes.push(FaultOutcome {
+            bit,
+            class: effect.class,
+            wrong_answer,
+            first_error_cycle,
+            crosses_domains: effect.crosses_domains,
+        });
+    }
+
+    Ok(CampaignResult {
+        design: netlist.name().to_string(),
+        fault_list_size: fault_list.len(),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_core::{apply_tmr, TmrConfig};
+    use tmr_designs::counter;
+    use tmr_pnr::place_and_route;
+    use tmr_synth::{lower, optimize, techmap, Design};
+
+    fn implement(design: &Design, device: &Device, seed: u64) -> RoutedDesign {
+        let netlist = techmap(&optimize(&lower(design).unwrap())).unwrap();
+        place_and_route(device, &netlist, seed).unwrap()
+    }
+
+    #[test]
+    fn unprotected_design_is_vulnerable() {
+        let device = Device::small(5, 5);
+        let routed = implement(&counter(4), &device, 5);
+        let result = run_campaign(
+            &device,
+            &routed,
+            &CampaignOptions {
+                faults: 400,
+                cycles: 12,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.injected(), 400.min(result.fault_list_size));
+        assert!(
+            result.wrong_answer_percent() > 10.0,
+            "an unprotected design must show a substantial error rate, got {:.2}%",
+            result.wrong_answer_percent()
+        );
+        // Classifications of error-causing faults must be dominated by routing.
+        let errors = result.error_classification();
+        let routing_errors: usize = errors
+            .iter()
+            .filter(|(class, _)| class.is_general_routing())
+            .map(|(_, n)| n)
+            .sum();
+        assert!(routing_errors > 0);
+        assert!(result.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn tmr_reduces_the_error_rate() {
+        let device = Device::small(8, 8);
+        let base = counter(4);
+        let plain = implement(&base, &device, 5);
+        let tmr_design = apply_tmr(&base, &TmrConfig::paper_p2()).unwrap();
+        let tmr = implement(&tmr_design, &device, 5);
+
+        let options = CampaignOptions {
+            faults: 500,
+            cycles: 12,
+            ..CampaignOptions::default()
+        };
+        let plain_result = run_campaign(&device, &plain, &options).unwrap();
+        let tmr_result = run_campaign(&device, &tmr, &options).unwrap();
+        assert!(
+            tmr_result.wrong_answer_percent() < plain_result.wrong_answer_percent() / 2.0,
+            "TMR ({:.2}%) must be substantially more robust than the plain design ({:.2}%)",
+            tmr_result.wrong_answer_percent(),
+            plain_result.wrong_answer_percent()
+        );
+    }
+
+    #[test]
+    fn lut_upsets_never_defeat_tmr() {
+        let device = Device::small(8, 8);
+        let tmr_design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
+        let tmr = implement(&tmr_design, &device, 5);
+        let result = run_campaign(
+            &device,
+            &tmr,
+            &CampaignOptions {
+                faults: 800,
+                cycles: 12,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        let errors = result.error_classification();
+        assert_eq!(
+            errors.get(&FaultClass::Lut).copied().unwrap_or(0),
+            0,
+            "a single-domain LUT upset must always be voted out: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let device = Device::small(5, 5);
+        let routed = implement(&counter(4), &device, 5);
+        let options = CampaignOptions {
+            faults: 100,
+            cycles: 8,
+            ..CampaignOptions::default()
+        };
+        let a = run_campaign(&device, &routed, &options).unwrap();
+        let b = run_campaign(&device, &routed, &options).unwrap();
+        assert_eq!(a, b);
+    }
+}

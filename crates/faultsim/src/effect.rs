@@ -1,0 +1,379 @@
+//! Translation of a flipped configuration bit into its fault class and its
+//! structural effect on the routed design.
+
+use std::collections::HashSet;
+use std::fmt;
+use tmr_arch::{ConfigResource, Device, NodeId, PipCategory, PipId, RouteNode};
+use tmr_netlist::{CellKind, Domain, NetId};
+use tmr_pnr::RoutedDesign;
+use tmr_sim::{FaultOverlay, SinkRef};
+
+/// The effect taxonomy of Tables 1 and 4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultClass {
+    /// Upset in a LUT truth-table bit (modification of the combinational logic).
+    Lut,
+    /// Upset in the CLB customization multiplexers (intra-CLB routing).
+    Mux,
+    /// Upset in the CLB flip-flop initialisation/configuration bits.
+    Initialization,
+    /// A used programmable interconnect point opened (general routing).
+    Open,
+    /// A new PIP bridging two used routing nodes (general routing).
+    Bridge,
+    /// A new PIP driving a used node from an unused, floating source.
+    InputAntenna,
+    /// A new PIP creating a second driver on a used site input pin.
+    Conflict,
+    /// Any other configuration change (unused resources, same-net PIPs, …).
+    Others,
+}
+
+impl FaultClass {
+    /// All classes in the row order of Table 4.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::Lut,
+        FaultClass::Mux,
+        FaultClass::Initialization,
+        FaultClass::Open,
+        FaultClass::Bridge,
+        FaultClass::InputAntenna,
+        FaultClass::Conflict,
+        FaultClass::Others,
+    ];
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Lut => "LUT",
+            FaultClass::Mux => "MUX",
+            FaultClass::Initialization => "Initialization",
+            FaultClass::Open => "Open",
+            FaultClass::Bridge => "Bridge",
+            FaultClass::InputAntenna => "Input-Antenna",
+            FaultClass::Conflict => "Conflict",
+            FaultClass::Others => "Others",
+        }
+    }
+
+    /// Returns `true` for the general-routing effects (the lower half of
+    /// Table 4).
+    pub fn is_general_routing(self) -> bool {
+        matches!(
+            self,
+            FaultClass::Open | FaultClass::Bridge | FaultClass::InputAntenna | FaultClass::Conflict
+        )
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The analysed effect of flipping one configuration bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitEffect {
+    /// The flipped bit.
+    pub bit: usize,
+    /// Its classification.
+    pub class: FaultClass,
+    /// The netlist-level overlay to simulate (empty when the flip cannot
+    /// change the configured circuit's behaviour).
+    pub overlay: FaultOverlay,
+    /// Whether the fault couples two *distinct* redundant TMR domains — the
+    /// mechanism the paper identifies as able to defeat TMR.
+    pub crosses_domains: bool,
+}
+
+/// Classifies a configuration bit flip and derives its structural effect.
+///
+/// # Panics
+///
+/// Panics if `bit` is outside the device's configuration space.
+pub fn classify_bit(device: &Device, routed: &RoutedDesign, bit: usize) -> BitEffect {
+    let layout = device.config_layout();
+    let resource = layout
+        .resource_at(bit)
+        .expect("bit must be inside the configuration space");
+    let currently_set = routed.bitstream().get(bit);
+
+    match resource {
+        ConfigResource::LutBit { site, bit: lut_bit } => {
+            let mut effect = BitEffect {
+                bit,
+                class: FaultClass::Lut,
+                overlay: FaultOverlay::none(),
+                crosses_domains: false,
+            };
+            if let Some(cell_id) = routed.placement().cell_at(site) {
+                if let CellKind::Lut { k, init } = routed.netlist().cell(cell_id).kind {
+                    // Unused LUT pins are tied low, so only entries whose
+                    // unused-pin bits are zero are ever exercised.
+                    let used_mask = (1u8 << k) - 1;
+                    if lut_bit & !used_mask == 0 {
+                        let new_init = init ^ (1 << lut_bit);
+                        effect.overlay.lut_overrides.push((cell_id, new_init));
+                    }
+                }
+                // Constant generators (GND/VCC placed on LUT sites) are left
+                // unmodelled: their truth-table flips are rare and, in TMR
+                // designs, confined to a single domain, so they are treated as
+                // functionally silent LUT upsets.
+            }
+            effect
+        }
+        ConfigResource::FfInit { site } => {
+            let mut effect = BitEffect {
+                bit,
+                class: FaultClass::Initialization,
+                overlay: FaultOverlay::none(),
+                crosses_domains: false,
+            };
+            if let Some(cell_id) = routed.placement().cell_at(site) {
+                if let CellKind::Dff { init } = routed.netlist().cell(cell_id).kind {
+                    effect.overlay.ff_init_overrides.push((cell_id, !init));
+                }
+            }
+            effect
+        }
+        ConfigResource::Pip(pip_id) => classify_pip_flip(device, routed, bit, pip_id, currently_set),
+    }
+}
+
+fn classify_pip_flip(
+    device: &Device,
+    routed: &RoutedDesign,
+    bit: usize,
+    pip_id: PipId,
+    currently_set: bool,
+) -> BitEffect {
+    let pip = device.pip(pip_id);
+    let is_clb_mux = !pip.category.is_general_routing();
+    let class_for = |routing_class: FaultClass| {
+        if is_clb_mux {
+            FaultClass::Mux
+        } else {
+            routing_class
+        }
+    };
+
+    if currently_set {
+        // A used PIP opens: the sinks downstream of it lose their driver.
+        let net = routed
+            .net_of_pip(pip_id)
+            .expect("a set PIP bit belongs to a routed net");
+        let overlay = open_overlay(device, routed, net, pip_id);
+        return BitEffect {
+            bit,
+            class: class_for(FaultClass::Open),
+            overlay,
+            crosses_domains: false,
+        };
+    }
+
+    // A new PIP is enabled: a connection from `src` onto `dst` appears.
+    let src_net = routed.net_of_node(pip.src);
+    let dst_net = routed.net_of_node(pip.dst);
+    let dst_is_pin = matches!(device.node(pip.dst), RouteNode::InPin { .. });
+
+    match (src_net, dst_net) {
+        (Some(a), Some(b)) if a == b => BitEffect {
+            bit,
+            class: class_for(FaultClass::Others),
+            overlay: FaultOverlay::none(),
+            crosses_domains: false,
+        },
+        (Some(a), Some(b)) => {
+            let class = if dst_is_pin {
+                FaultClass::Conflict
+            } else {
+                FaultClass::Bridge
+            };
+            let crosses = net_domain(routed, a).crosses(net_domain(routed, b));
+            BitEffect {
+                bit,
+                class: class_for(class),
+                overlay: FaultOverlay {
+                    shorted_nets: vec![(a, b)],
+                    ..FaultOverlay::none()
+                },
+                crosses_domains: crosses,
+            }
+        }
+        (None, Some(victim)) => BitEffect {
+            bit,
+            class: class_for(FaultClass::InputAntenna),
+            overlay: FaultOverlay {
+                corrupted_nets: vec![victim],
+                ..FaultOverlay::none()
+            },
+            crosses_domains: false,
+        },
+        (Some(_), None) | (None, None) => BitEffect {
+            bit,
+            class: class_for(if src_net.is_some() {
+                FaultClass::Bridge
+            } else {
+                FaultClass::Others
+            }),
+            overlay: FaultOverlay::none(),
+            crosses_domains: false,
+        },
+    }
+}
+
+fn net_domain(routed: &RoutedDesign, net: NetId) -> Domain {
+    routed.netlist().net(net).domain
+}
+
+/// Builds the overlay of an *Open*: every sink of `net` that is no longer
+/// reachable from the source once `removed_pip` is disabled reads `X`.
+fn open_overlay(
+    device: &Device,
+    routed: &RoutedDesign,
+    net: NetId,
+    removed_pip: PipId,
+) -> FaultOverlay {
+    let tree = routed.route_of(net).expect("routed net has a tree");
+    // Re-walk the tree without the removed PIP.
+    let mut reachable: HashSet<NodeId> = HashSet::new();
+    reachable.insert(tree.source);
+    let mut remaining: Vec<PipId> = tree.pips.iter().copied().filter(|&p| p != removed_pip).collect();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        remaining.retain(|&pip_id| {
+            let pip = device.pip(pip_id);
+            if reachable.contains(&pip.src) {
+                reachable.insert(pip.dst);
+                progress = true;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    let opened_sinks = tree
+        .sinks
+        .iter()
+        .filter(|(node, _, _)| !reachable.contains(node))
+        .map(|&(_, cell, pin)| SinkRef::CellPin { cell, pin })
+        .collect();
+    FaultOverlay {
+        opened_sinks,
+        ..FaultOverlay::none()
+    }
+}
+
+/// Convenience: returns `true` for the PIP categories counted as CLB
+/// customization by the classifier (exposed for tests and reports).
+#[cfg(test)]
+pub(crate) fn is_clb_mux_category(category: PipCategory) -> bool {
+    !category.is_general_routing()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_arch::Device;
+    use tmr_designs::counter;
+    use tmr_pnr::place_and_route;
+    use tmr_synth::{lower, optimize, techmap};
+
+    fn routed_counter() -> (Device, RoutedDesign) {
+        let device = Device::small(5, 5);
+        let netlist = techmap(&optimize(&lower(&counter(4)).unwrap())).unwrap();
+        let routed = place_and_route(&device, &netlist, 5).unwrap();
+        (device, routed)
+    }
+
+    #[test]
+    fn set_routing_bits_classify_as_open_and_disconnect_sinks() {
+        let (device, routed) = routed_counter();
+        let layout = device.config_layout();
+        let mut found_open = false;
+        for bit in routed.bitstream().iter_ones() {
+            if let Some(ConfigResource::Pip(pip)) = layout.resource_at(bit) {
+                let effect = classify_bit(&device, &routed, bit);
+                if device.pip(pip).category.is_general_routing() {
+                    assert_eq!(effect.class, FaultClass::Open);
+                } else {
+                    assert_eq!(effect.class, FaultClass::Mux);
+                }
+                found_open = true;
+            }
+        }
+        assert!(found_open, "the routed design must use at least one PIP");
+    }
+
+    #[test]
+    fn every_class_has_a_stable_label() {
+        for class in FaultClass::ALL {
+            assert!(!class.label().is_empty());
+        }
+        assert!(FaultClass::Open.is_general_routing());
+        assert!(!FaultClass::Lut.is_general_routing());
+    }
+
+    #[test]
+    fn lut_bit_flip_produces_an_override_only_for_exercised_entries() {
+        let (device, routed) = routed_counter();
+        let layout = device.config_layout();
+        let mut exercised = 0;
+        let mut ignored = 0;
+        for bit in 0..layout.bit_count() {
+            if let Some(ConfigResource::LutBit { site, bit: lut_bit }) = layout.resource_at(bit) {
+                if let Some(cell) = routed.placement().cell_at(site) {
+                    if let CellKind::Lut { k, .. } = routed.netlist().cell(cell).kind {
+                        let effect = classify_bit(&device, &routed, bit);
+                        assert_eq!(effect.class, FaultClass::Lut);
+                        if lut_bit & !((1u8 << k) - 1) == 0 {
+                            assert!(!effect.overlay.is_empty());
+                            exercised += 1;
+                        } else {
+                            assert!(effect.overlay.is_empty());
+                            ignored += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(exercised > 0);
+        assert!(ignored > 0, "some LUTs have fewer than 4 used inputs");
+    }
+
+    #[test]
+    fn new_pip_classification_covers_bridge_antenna_conflict() {
+        let (device, routed) = routed_counter();
+        let layout = device.config_layout();
+        let mut classes_seen: std::collections::BTreeMap<FaultClass, usize> =
+            std::collections::BTreeMap::new();
+        for bit in 0..layout.bit_count() {
+            if let Some(ConfigResource::Pip(pip)) = layout.resource_at(bit) {
+                if routed.bitstream().get(bit) {
+                    continue;
+                }
+                if !device.pip(pip).category.is_general_routing() {
+                    continue;
+                }
+                let effect = classify_bit(&device, &routed, bit);
+                *classes_seen.entry(effect.class).or_insert(0) += 1;
+            }
+        }
+        // Even a small design must expose bridge and antenna candidates; a
+        // conflict needs an unset PIP onto a used pin, which the architecture
+        // provides through the extra input-pin candidates.
+        assert!(classes_seen.contains_key(&FaultClass::Bridge), "{classes_seen:?}");
+        assert!(classes_seen.contains_key(&FaultClass::InputAntenna), "{classes_seen:?}");
+        assert!(classes_seen.contains_key(&FaultClass::Others), "{classes_seen:?}");
+    }
+
+    #[test]
+    fn clb_mux_pips_classify_as_mux() {
+        assert!(is_clb_mux_category(PipCategory::InputMux));
+        assert!(!is_clb_mux_category(PipCategory::Switchbox));
+        assert!(!is_clb_mux_category(PipCategory::LongInput));
+    }
+}

@@ -1,0 +1,130 @@
+//! The Fault List Manager: enumerating and sampling design-related bits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tmr_arch::{BitCategory, Device};
+use tmr_pnr::RoutedDesign;
+
+/// The list of configuration bits eligible for fault injection.
+///
+/// Following the paper, "the Fault List Manager … is able to identify the
+/// configuration memory bits that are actually programmed to implement the
+/// DUT and generate the bit-flips only for them": a bit is eligible when its
+/// resource is related to the routed design — a PIP touching a routing node
+/// used by some net, a truth-table bit of a used LUT, or the configuration
+/// bit of a used flip-flop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultList {
+    bits: Vec<usize>,
+}
+
+impl FaultList {
+    /// Builds the fault list of a routed design.
+    pub fn build(device: &Device, routed: &RoutedDesign) -> Self {
+        let layout = device.config_layout();
+        let bits = (0..layout.bit_count())
+            .filter(|&bit| {
+                let resource = layout.resource_at(bit).expect("bit in range");
+                routed.resource_is_design_related(device, &resource)
+            })
+            .collect();
+        Self { bits }
+    }
+
+    /// All eligible bit indices, in configuration-memory order.
+    pub fn bits(&self) -> &[usize] {
+        &self.bits
+    }
+
+    /// Number of eligible bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` if no bit is eligible (empty design).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of eligible bits per configuration category.
+    pub fn counts_by_category(&self, device: &Device) -> std::collections::BTreeMap<BitCategory, usize> {
+        let layout = device.config_layout();
+        let mut counts = std::collections::BTreeMap::new();
+        for &bit in &self.bits {
+            *counts.entry(layout.category_at(bit)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Draws `count` distinct bits uniformly at random (or every bit if
+    /// `count` exceeds the list size), reproducibly for a given seed. The
+    /// paper injected roughly 10 % of the configuration memory, selected
+    /// randomly from the fault list.
+    pub fn sample(&self, count: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bits = self.bits.clone();
+        bits.shuffle(&mut rng);
+        bits.truncate(count.min(self.bits.len()));
+        bits.sort_unstable();
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_designs::counter;
+    use tmr_pnr::place_and_route;
+    use tmr_synth::{lower, optimize, techmap};
+
+    fn routed_counter() -> (Device, RoutedDesign) {
+        let device = Device::small(5, 5);
+        let netlist = techmap(&optimize(&lower(&counter(4)).unwrap())).unwrap();
+        let routed = place_and_route(&device, &netlist, 5).unwrap();
+        (device, routed)
+    }
+
+    #[test]
+    fn fault_list_contains_all_programmed_bits() {
+        let (device, routed) = routed_counter();
+        let list = FaultList::build(&device, &routed);
+        assert!(!list.is_empty());
+        // Every bit that is set in the bitstream belongs to a design resource,
+        // so it must be in the fault list.
+        for bit in routed.bitstream().iter_ones() {
+            assert!(list.bits().contains(&bit), "programmed bit {bit} missing");
+        }
+        // The list is larger than the programmed bits: it also contains the
+        // zero bits of resources adjacent to the design (candidate bridges).
+        assert!(list.len() > routed.bitstream().count_ones());
+        // But much smaller than the whole device.
+        assert!(list.len() < device.config_layout().bit_count());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let (device, routed) = routed_counter();
+        let list = FaultList::build(&device, &routed);
+        let a = list.sample(100, 3);
+        let b = list.sample(100, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100.min(list.len()));
+        let all = list.sample(usize::MAX, 3);
+        assert_eq!(all.len(), list.len());
+        // Distinct bits.
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len());
+    }
+
+    #[test]
+    fn category_counts_cover_the_list() {
+        let (device, routed) = routed_counter();
+        let list = FaultList::build(&device, &routed);
+        let counts = list.counts_by_category(&device);
+        assert_eq!(counts.values().sum::<usize>(), list.len());
+        assert!(counts[&BitCategory::GeneralRouting] > 0);
+        assert!(counts[&BitCategory::LutContents] > 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Logic cells: technology-independent gates, LUTs, flip-flops and I/O buffers.
+
+use crate::{Domain, NetId};
+use std::fmt;
+
+/// The functional kind of a [`Cell`].
+///
+/// All kinds are single-output. Pin ordering conventions:
+///
+/// * [`CellKind::Mux2`]: inputs are `[a, b, sel]`; output is `a` when `sel = 0`
+///   and `b` when `sel = 1`.
+/// * [`CellKind::Maj3`]: inputs are `[a, b, c]`; output is the majority value —
+///   the TMR voter function.
+/// * [`CellKind::Lut`]: inputs are `[i0, i1, .. i{k-1}]`; bit `n` of `init` is
+///   the output for the input assignment where `i0` is bit 0 of `n`, `i1` is
+///   bit 1 of `n`, and so on.
+/// * [`CellKind::Dff`]: the single input is `d`; the output is `q`. A single
+///   implicit global clock drives all flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer, inputs `[a, b, sel]`.
+    Mux2,
+    /// 3-input majority gate (TMR voter), inputs `[a, b, c]`.
+    Maj3,
+    /// Constant logic 0 driver.
+    Gnd,
+    /// Constant logic 1 driver.
+    Vcc,
+    /// A `k`-input lookup table with truth table `init` (one bit per input
+    /// assignment, LSB = all-zero assignment). `k` is between 1 and 6.
+    Lut {
+        /// Number of inputs (1..=6).
+        k: u8,
+        /// Truth table; only the low `2^k` bits are meaningful.
+        init: u64,
+    },
+    /// D flip-flop on the implicit global clock, with power-up value `init`.
+    Dff {
+        /// Power-up / reset value.
+        init: bool,
+    },
+    /// Input buffer connecting a top-level input port to the fabric.
+    Ibuf,
+    /// Output buffer connecting the fabric to a top-level output port.
+    Obuf,
+}
+
+impl CellKind {
+    /// Number of input pins this kind expects.
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Buf | CellKind::Not | CellKind::Ibuf | CellKind::Obuf => 1,
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xnor2 => 2,
+            CellKind::Mux2 | CellKind::Maj3 => 3,
+            CellKind::Gnd | CellKind::Vcc => 0,
+            CellKind::Lut { k, .. } => k as usize,
+            CellKind::Dff { .. } => 1,
+        }
+    }
+
+    /// Returns `true` for sequential elements (flip-flops).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff { .. })
+    }
+
+    /// Returns `true` for constant drivers (`Gnd`, `Vcc`).
+    pub fn is_constant(self) -> bool {
+        matches!(self, CellKind::Gnd | CellKind::Vcc)
+    }
+
+    /// Returns `true` for LUT cells.
+    pub fn is_lut(self) -> bool {
+        matches!(self, CellKind::Lut { .. })
+    }
+
+    /// Returns `true` for I/O buffer cells.
+    pub fn is_io(self) -> bool {
+        matches!(self, CellKind::Ibuf | CellKind::Obuf)
+    }
+
+    /// Returns `true` for technology-independent gate kinds (everything that
+    /// is neither a LUT, a flip-flop, a constant nor an I/O buffer).
+    pub fn is_generic_gate(self) -> bool {
+        !(self.is_lut() || self.is_sequential() || self.is_constant() || self.is_io())
+    }
+
+    /// Evaluates the combinational function of this kind on boolean inputs.
+    ///
+    /// Sequential kinds evaluate as a transparent buffer of their `d` input
+    /// (useful for building expected next-state values); callers that need
+    /// clocked semantics must handle [`CellKind::Dff`] themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match [`CellKind::input_count`].
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "wrong input arity for {self:?}"
+        );
+        match self {
+            CellKind::Buf | CellKind::Ibuf | CellKind::Obuf | CellKind::Dff { .. } => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2])
+            }
+            CellKind::Gnd => false,
+            CellKind::Vcc => true,
+            CellKind::Lut { k, init } => {
+                let mut index = 0usize;
+                for (bit, value) in inputs.iter().enumerate().take(k as usize) {
+                    if *value {
+                        index |= 1 << bit;
+                    }
+                }
+                (init >> index) & 1 == 1
+            }
+        }
+    }
+
+    /// Returns the truth table of this kind as a LUT `init` word, if the kind
+    /// is a combinational function of at most 6 inputs.
+    ///
+    /// This is the bridge used by technology mapping: any generic gate can be
+    /// re-expressed as `CellKind::Lut { k: input_count, init }`.
+    pub fn truth_table(self) -> Option<u64> {
+        if self.is_sequential() || self.is_io() {
+            return None;
+        }
+        let k = self.input_count();
+        if k > 6 {
+            return None;
+        }
+        let mut init = 0u64;
+        for assignment in 0..(1usize << k) {
+            let inputs: Vec<bool> = (0..k).map(|bit| (assignment >> bit) & 1 == 1).collect();
+            if self.eval(&inputs) {
+                init |= 1 << assignment;
+            }
+        }
+        Some(init)
+    }
+
+    /// Short mnemonic used in reports and DOT labels.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Buf => "BUF",
+            CellKind::Not => "NOT",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Maj3 => "MAJ3",
+            CellKind::Gnd => "GND",
+            CellKind::Vcc => "VCC",
+            CellKind::Lut { .. } => "LUT",
+            CellKind::Dff { .. } => "DFF",
+            CellKind::Ibuf => "IBUF",
+            CellKind::Obuf => "OBUF",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::Lut { k, init } => write!(f, "LUT{k}(0x{init:x})"),
+            CellKind::Dff { init } => write!(f, "DFF(init={})", u8::from(*init)),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// A single-output logic cell instance inside a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Instance name (unique within the netlist by construction helpers, but
+    /// uniqueness is not enforced structurally).
+    pub name: String,
+    /// Functional kind.
+    pub kind: CellKind,
+    /// TMR redundant domain this cell belongs to.
+    pub domain: Domain,
+    /// Input nets, one per input pin, in the pin order defined by `kind`.
+    pub inputs: Vec<NetId>,
+    /// The net driven by this cell's output pin.
+    pub output: NetId,
+}
+
+impl Cell {
+    /// Returns the net connected to input pin `pin`, if any.
+    pub fn input(&self, pin: usize) -> Option<NetId> {
+        self.inputs.get(pin).copied()
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.kind, self.name, self.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(CellKind::And2.input_count(), 2);
+        assert_eq!(CellKind::Maj3.input_count(), 3);
+        assert_eq!(CellKind::Gnd.input_count(), 0);
+        assert_eq!(CellKind::Lut { k: 4, init: 0 }.input_count(), 4);
+        assert_eq!(CellKind::Dff { init: false }.input_count(), 1);
+    }
+
+    #[test]
+    fn eval_basic_gates() {
+        assert!(CellKind::And2.eval(&[true, true]));
+        assert!(!CellKind::And2.eval(&[true, false]));
+        assert!(CellKind::Nor2.eval(&[false, false]));
+        assert!(CellKind::Xor2.eval(&[true, false]));
+        assert!(!CellKind::Xnor2.eval(&[true, false]));
+        assert!(CellKind::Not.eval(&[false]));
+        assert!(!CellKind::Gnd.eval(&[]));
+        assert!(CellKind::Vcc.eval(&[]));
+    }
+
+    #[test]
+    fn eval_mux_and_majority() {
+        assert!(!CellKind::Mux2.eval(&[false, true, false]));
+        assert!(CellKind::Mux2.eval(&[false, true, true]));
+        assert!(CellKind::Maj3.eval(&[true, true, false]));
+        assert!(!CellKind::Maj3.eval(&[true, false, false]));
+        assert!(CellKind::Maj3.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn eval_lut_matches_init_bits() {
+        // LUT2 implementing XOR: init = 0b0110.
+        let lut = CellKind::Lut { k: 2, init: 0b0110 };
+        assert!(!lut.eval(&[false, false]));
+        assert!(lut.eval(&[true, false]));
+        assert!(lut.eval(&[false, true]));
+        assert!(!lut.eval(&[true, true]));
+    }
+
+    #[test]
+    fn truth_table_round_trips_through_lut() {
+        for kind in [
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Maj3,
+            CellKind::Not,
+            CellKind::Buf,
+        ] {
+            let k = kind.input_count() as u8;
+            let init = kind.truth_table().expect("combinational");
+            let lut = CellKind::Lut { k, init };
+            for assignment in 0..(1usize << k) {
+                let inputs: Vec<bool> =
+                    (0..k as usize).map(|bit| (assignment >> bit) & 1 == 1).collect();
+                assert_eq!(lut.eval(&inputs), kind.eval(&inputs), "{kind:?} {assignment}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_table_is_none_for_sequential_and_io() {
+        assert!(CellKind::Dff { init: false }.truth_table().is_none());
+        // I/O buffers are excluded even though they are logically buffers,
+        // because they must stay at the device boundary during mapping.
+        assert!(CellKind::Ibuf.truth_table().is_none());
+        assert!(CellKind::Obuf.truth_table().is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CellKind::And2.to_string(), "AND2");
+        assert_eq!(CellKind::Lut { k: 4, init: 0x8000 }.to_string(), "LUT4(0x8000)");
+        assert_eq!(CellKind::Dff { init: true }.to_string(), "DFF(init=1)");
+    }
+}

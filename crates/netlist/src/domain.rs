@@ -1,0 +1,123 @@
+//! TMR redundant-domain tags.
+
+use std::fmt;
+
+/// The TMR redundant domain a netlist object belongs to.
+///
+/// The DATE 2005 paper calls the three copies of the protected logic `tr0`,
+/// `tr1` and `tr2`. Majority voters and the logic that merges the domains back
+/// together are tagged [`Domain::Voter`]; logic that is not part of any TMR
+/// structure (e.g. the unprotected baseline design, or test infrastructure) is
+/// tagged [`Domain::None`].
+///
+/// A configuration upset in the routing that bridges nets from two *different*
+/// redundant domains inside the same voter partition is exactly the failure
+/// mode the paper studies, so this tag is carried by every cell and net from
+/// word-level synthesis all the way down to routed wire segments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Domain {
+    /// Logic outside any TMR structure.
+    #[default]
+    None,
+    /// Redundant copy 0.
+    Tr0,
+    /// Redundant copy 1.
+    Tr1,
+    /// Redundant copy 2.
+    Tr2,
+    /// Majority-voter logic (receives inputs from all three domains).
+    Voter,
+}
+
+impl Domain {
+    /// The three redundant domains, in order.
+    pub const REDUNDANT: [Domain; 3] = [Domain::Tr0, Domain::Tr1, Domain::Tr2];
+
+    /// Returns the redundant domain with the given index (0, 1 or 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn redundant(index: usize) -> Self {
+        Self::REDUNDANT[index]
+    }
+
+    /// Returns `Some(i)` if this is redundant domain `i`.
+    pub fn redundant_index(self) -> Option<usize> {
+        match self {
+            Domain::Tr0 => Some(0),
+            Domain::Tr1 => Some(1),
+            Domain::Tr2 => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is one of the three redundant copies.
+    pub fn is_redundant(self) -> bool {
+        self.redundant_index().is_some()
+    }
+
+    /// Returns `true` if a short between a net in domain `self` and a net in
+    /// domain `other` crosses two *distinct* redundant domains — the situation
+    /// that can defeat a TMR voter (upset "b" in Fig. 1 of the paper).
+    pub fn crosses(self, other: Domain) -> bool {
+        match (self.redundant_index(), other.redundant_index()) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+
+    /// Short lowercase label used in reports and DOT output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::None => "none",
+            Domain::Tr0 => "tr0",
+            Domain::Tr1 => "tr1",
+            Domain::Tr2 => "tr2",
+            Domain::Voter => "voter",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundant_round_trip() {
+        for i in 0..3 {
+            assert_eq!(Domain::redundant(i).redundant_index(), Some(i));
+            assert!(Domain::redundant(i).is_redundant());
+        }
+        assert_eq!(Domain::None.redundant_index(), None);
+        assert_eq!(Domain::Voter.redundant_index(), None);
+    }
+
+    #[test]
+    fn crossing_requires_two_distinct_redundant_domains() {
+        assert!(Domain::Tr0.crosses(Domain::Tr1));
+        assert!(Domain::Tr2.crosses(Domain::Tr0));
+        assert!(!Domain::Tr1.crosses(Domain::Tr1));
+        assert!(!Domain::Tr0.crosses(Domain::Voter));
+        assert!(!Domain::None.crosses(Domain::Tr2));
+        assert!(!Domain::None.crosses(Domain::None));
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(Domain::default(), Domain::None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Domain::Tr0.to_string(), "tr0");
+        assert_eq!(Domain::Voter.to_string(), "voter");
+        assert_eq!(Domain::None.to_string(), "none");
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz DOT export for visual inspection of (small) netlists.
+
+use crate::{Domain, NetSink, Netlist};
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz `digraph`, colouring cells by their
+    /// TMR domain (tr0 = red, tr1 = green, tr2 = blue, voters = gold).
+    ///
+    /// Intended for small netlists (the word-level view or single TMR
+    /// partitions); a fully mapped FIR filter produces a very large graph.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+
+        for (id, port) in self.ports() {
+            let shape = match port.dir {
+                crate::PortDir::Input => "invhouse",
+                crate::PortDir::Output => "house",
+            };
+            let _ = writeln!(
+                out,
+                "  \"port_{}\" [label=\"{}\", shape={}, style=filled, fillcolor=\"{}\"];",
+                id.index(),
+                port.name,
+                shape,
+                domain_color(port.domain)
+            );
+        }
+
+        for (id, cell) in self.cells() {
+            let _ = writeln!(
+                out,
+                "  \"cell_{}\" [label=\"{}\\n{}\", style=filled, fillcolor=\"{}\"];",
+                id.index(),
+                cell.name,
+                cell.kind,
+                domain_color(cell.domain)
+            );
+        }
+
+        for (_, net) in self.nets() {
+            let source = match net.driver {
+                Some(crate::NetDriver::Cell(c)) => format!("cell_{}", c.index()),
+                Some(crate::NetDriver::Input(p)) => format!("port_{}", p.index()),
+                None => continue,
+            };
+            for sink in &net.sinks {
+                let target = match sink {
+                    NetSink::CellPin { cell, .. } => format!("cell_{}", cell.index()),
+                    NetSink::Output(p) => format!("port_{}", p.index()),
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"{source}\" -> \"{target}\" [label=\"{}\", fontsize=8];",
+                    net.name
+                );
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn domain_color(domain: Domain) -> &'static str {
+    match domain {
+        Domain::None => "white",
+        Domain::Tr0 => "lightcoral",
+        Domain::Tr1 => "lightgreen",
+        Domain::Tr2 => "lightblue",
+        Domain::Voter => "gold",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CellKind, Domain, Netlist};
+
+    #[test]
+    fn dot_contains_all_objects() {
+        let mut nl = Netlist::new("dot_test");
+        let a = nl.add_input_in_domain("a", Domain::Tr0);
+        let y = nl.add_net("y");
+        nl.add_cell_in_domain("u_buf", CellKind::Buf, vec![a], y, Domain::Tr0)
+            .unwrap();
+        nl.add_output("y", y);
+        let dot = nl.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("u_buf"));
+        assert!(dot.contains("invhouse"));
+        assert!(dot.contains("lightcoral"));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,86 @@
+//! Typed index newtypes identifying netlist objects.
+//!
+//! Cells, nets and ports are stored in dense vectors inside a [`crate::Netlist`];
+//! these newtypes ([`CellId`], [`NetId`], [`PortId`]) keep the indices from
+//! being confused with one another (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw dense index.
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize, "index overflow");
+                Self(index as u32)
+            }
+
+            /// Returns the raw dense index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::Cell`] inside a [`crate::Netlist`].
+    CellId,
+    "c"
+);
+define_id!(
+    /// Identifier of a [`crate::Net`] inside a [`crate::Netlist`].
+    NetId,
+    "n"
+);
+define_id!(
+    /// Identifier of a top-level [`crate::Port`] of a [`crate::Netlist`].
+    PortId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trips_index() {
+        let id = CellId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(CellId::from_index(3).to_string(), "c3");
+        assert_eq!(NetId::from_index(7).to_string(), "n7");
+        assert_eq!(PortId::from_index(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NetId::from_index(1));
+        set.insert(NetId::from_index(1));
+        set.insert(NetId::from_index(2));
+        assert_eq!(set.len(), 2);
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+    }
+}

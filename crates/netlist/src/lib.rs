@@ -1,0 +1,60 @@
+//! # tmr-netlist
+//!
+//! A flat, gate/LUT-level netlist intermediate representation used by the
+//! `tmr-fpga` workspace, the reproduction of *"On the Optimal Design of Triple
+//! Modular Redundancy Logic for SRAM-based FPGAs"* (DATE 2005).
+//!
+//! The IR is intentionally simple: a [`Netlist`] owns a set of [`Cell`]s
+//! (single-output logic primitives such as gates, LUTs and flip-flops), a set
+//! of [`Net`]s connecting them, and a set of top-level [`Port`]s. Every cell
+//! and net carries a [`Domain`] tag recording which TMR redundant domain it
+//! belongs to; the tag is threaded through synthesis, technology mapping,
+//! place-and-route and fault classification so that a configuration upset can
+//! be attributed to the redundant domains it touches.
+//!
+//! ## Example
+//!
+//! ```
+//! use tmr_netlist::{Netlist, CellKind, PortDir};
+//!
+//! // Build y = a AND b.
+//! let mut nl = Netlist::new("and_gate");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y_net = nl.add_net("y_int");
+//! nl.add_cell("u_and", CellKind::And2, vec![a, b], y_net).unwrap();
+//! nl.add_output("y", y_net);
+//!
+//! assert_eq!(nl.cell_count(), 1);
+//! assert_eq!(nl.port_count(PortDir::Input), 2);
+//! nl.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cell;
+mod domain;
+mod dot;
+mod error;
+mod id;
+mod net;
+mod netlist;
+mod port;
+mod stats;
+mod traverse;
+mod validate;
+
+pub use cell::{Cell, CellKind};
+pub use domain::Domain;
+pub use error::NetlistError;
+pub use id::{CellId, NetId, PortId};
+pub use net::{Net, NetDriver, NetSink};
+pub use netlist::Netlist;
+pub use port::{Port, PortDir};
+pub use stats::NetlistStats;
+pub use traverse::{CombLoop, Levelization};
+pub use validate::ValidationReport;
+
+/// Convenient `Result` alias for netlist operations.
+pub type Result<T> = std::result::Result<T, NetlistError>;

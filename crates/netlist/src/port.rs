@@ -1,0 +1,58 @@
+//! Top-level ports of a netlist.
+
+use crate::{Domain, NetId};
+use std::fmt;
+
+/// Direction of a top-level [`Port`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Signal flows from the outside world into the netlist.
+    Input,
+    /// Signal flows from the netlist to the outside world.
+    Output,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDir::Input => f.write_str("input"),
+            PortDir::Output => f.write_str("output"),
+        }
+    }
+}
+
+/// A top-level port: a named, directed connection point bound to one net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name (unique within its direction by construction helpers).
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// The net attached to this port.
+    pub net: NetId,
+    /// TMR redundant domain (triplicated inputs/outputs carry the domain of
+    /// the redundant copy they feed; voted outputs are [`Domain::Voter`]).
+    pub domain: Domain,
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.dir, self.name, self.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_direction_and_domain() {
+        let port = Port {
+            name: "din".to_string(),
+            dir: PortDir::Input,
+            net: NetId::from_index(0),
+            domain: Domain::Tr1,
+        };
+        assert_eq!(port.to_string(), "input din [tr1]");
+    }
+}

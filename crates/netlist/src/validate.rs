@@ -1,0 +1,200 @@
+//! Structural validation of netlists.
+
+use crate::{NetDriver, NetSink, Netlist, NetlistError, PortDir, Result};
+
+/// A structural-validation report.
+///
+/// `violations` lists human-readable descriptions of every problem found;
+/// `warnings` lists non-fatal oddities (dangling nets, unused inputs).
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Fatal structural problems (undriven nets with sinks, bad references,
+    /// combinational loops, arity mismatches).
+    pub violations: Vec<String>,
+    /// Non-fatal observations.
+    pub warnings: Vec<String>,
+}
+
+impl ValidationReport {
+    /// Returns `true` if no fatal violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Netlist {
+    /// Runs all structural checks, returning the full report.
+    pub fn check(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+
+        // Pin arity and reference consistency.
+        for (id, cell) in self.cells() {
+            if cell.inputs.len() != cell.kind.input_count() {
+                report.violations.push(format!(
+                    "cell {id} `{}` has {} input nets, kind {} expects {}",
+                    cell.name,
+                    cell.inputs.len(),
+                    cell.kind,
+                    cell.kind.input_count()
+                ));
+            }
+            for (pin, &net) in cell.inputs.iter().enumerate() {
+                if net.index() >= self.net_count() {
+                    report.violations.push(format!(
+                        "cell {id} `{}` pin {pin} references unknown net {net}",
+                        cell.name
+                    ));
+                    continue;
+                }
+                let has_sink = self.net(net).sinks.iter().any(
+                    |s| matches!(s, NetSink::CellPin { cell, pin: p } if *cell == id && *p == pin),
+                );
+                if !has_sink {
+                    report.violations.push(format!(
+                        "net {net} `{}` is missing the back-reference to cell {id} pin {pin}",
+                        self.net(net).name
+                    ));
+                }
+            }
+            match self.net(cell.output).driver {
+                Some(NetDriver::Cell(c)) if c == id => {}
+                other => report.violations.push(format!(
+                    "cell {id} `{}` drives net {} but the net records driver {other:?}",
+                    cell.name, cell.output
+                )),
+            }
+        }
+
+        // Net-side consistency.
+        for (id, net) in self.nets() {
+            match net.driver {
+                None => {
+                    if !net.sinks.is_empty() {
+                        report.violations.push(format!(
+                            "net {id} `{}` has {} sink(s) but no driver",
+                            net.name,
+                            net.sinks.len()
+                        ));
+                    } else {
+                        report
+                            .warnings
+                            .push(format!("net {id} `{}` is completely unconnected", net.name));
+                    }
+                }
+                Some(NetDriver::Cell(c)) => {
+                    if c.index() >= self.cell_count() || self.cell(c).output != id {
+                        report.violations.push(format!(
+                            "net {id} `{}` claims driver cell {c} which does not drive it",
+                            net.name
+                        ));
+                    }
+                }
+                Some(NetDriver::Input(p)) => {
+                    if p.index() >= self.ports().count()
+                        || self.port(p).dir != PortDir::Input
+                        || self.port(p).net != id
+                    {
+                        report.violations.push(format!(
+                            "net {id} `{}` claims driver port {p} which does not drive it",
+                            net.name
+                        ));
+                    }
+                }
+            }
+            if net.driver.is_some() && net.sinks.is_empty() {
+                report
+                    .warnings
+                    .push(format!("net {id} `{}` is dangling (driven, never read)", net.name));
+            }
+        }
+
+        // Combinational loops.
+        if let Err(loop_) = self.levelize() {
+            report.violations.push(format!(
+                "combinational loop through {} cell(s): {}",
+                loop_.cells.len(),
+                loop_
+                    .cells
+                    .iter()
+                    .take(8)
+                    .map(|c| self.cell(*c).name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+
+        report
+    }
+
+    /// Validates the netlist, returning an error listing every violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Invalid`] when [`Netlist::check`] finds at least
+    /// one fatal violation.
+    pub fn validate(&self) -> Result<()> {
+        let report = self.check();
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(NetlistError::Invalid(report.violations))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{CellKind, Netlist};
+
+    #[test]
+    fn clean_netlist_validates() {
+        let mut nl = Netlist::new("ok");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellKind::Not, vec![a], y).unwrap();
+        nl.add_output("y", y);
+        assert!(nl.validate().is_ok());
+        assert!(nl.check().warnings.is_empty());
+    }
+
+    #[test]
+    fn undriven_net_with_sink_is_a_violation() {
+        let mut nl = Netlist::new("bad");
+        let floating = nl.add_net("floating");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellKind::Buf, vec![floating], y).unwrap();
+        nl.add_output("y", y);
+        let report = nl.check();
+        assert!(!report.is_clean());
+        assert!(report.violations[0].contains("no driver"));
+        assert!(nl.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_net_is_only_a_warning() {
+        let mut nl = Netlist::new("warn");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellKind::Buf, vec![a], y).unwrap();
+        // y never read
+        let report = nl.check();
+        assert!(report.is_clean());
+        assert!(report.warnings.iter().any(|w| w.contains("dangling")));
+    }
+
+    #[test]
+    fn combinational_loop_is_a_violation() {
+        let mut nl = Netlist::new("loop");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_cell("u1", CellKind::Not, vec![y], x).unwrap();
+        nl.add_cell("u2", CellKind::Not, vec![x], y).unwrap();
+        nl.add_output("y", y);
+        let report = nl.check();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("combinational loop")));
+    }
+}

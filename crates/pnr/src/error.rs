@@ -1,0 +1,88 @@
+//! Error type for place-and-route.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by placement or routing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PnrError {
+    /// The device does not provide enough sites of a given kind.
+    NotEnoughSites {
+        /// Site kind label ("LUT", "FF", "IOB").
+        kind: String,
+        /// Cells that need a site of this kind.
+        needed: usize,
+        /// Sites available on the device.
+        available: usize,
+    },
+    /// A cell kind cannot be placed (not a mapped primitive).
+    UnplaceableCell {
+        /// Offending cell name.
+        cell: String,
+        /// Its kind, for diagnostics.
+        kind: String,
+    },
+    /// The router could not resolve congestion within its iteration budget.
+    Unroutable {
+        /// Number of routing nodes still overused after the final iteration.
+        overused_nodes: usize,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A net's sink could not be reached from its source at all (disconnected
+    /// routing graph — indicates an architecture modelling problem).
+    NoPath {
+        /// The net being routed.
+        net: String,
+        /// The unreachable sink description.
+        sink: String,
+    },
+}
+
+impl fmt::Display for PnrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnrError::NotEnoughSites {
+                kind,
+                needed,
+                available,
+            } => write!(
+                f,
+                "design needs {needed} {kind} sites but the device provides only {available}"
+            ),
+            PnrError::UnplaceableCell { cell, kind } => {
+                write!(f, "cell `{cell}` of kind {kind} cannot be placed on this device")
+            }
+            PnrError::Unroutable {
+                overused_nodes,
+                iterations,
+            } => write!(
+                f,
+                "routing did not converge: {overused_nodes} node(s) still overused after {iterations} iteration(s)"
+            ),
+            PnrError::NoPath { net, sink } => {
+                write!(f, "no path exists from the source of net `{net}` to sink {sink}")
+            }
+        }
+    }
+}
+
+impl Error for PnrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let err = PnrError::NotEnoughSites {
+            kind: "LUT".into(),
+            needed: 100,
+            available: 64,
+        };
+        assert!(err.to_string().contains("100"));
+        assert!(err.to_string().contains("64"));
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<PnrError>();
+    }
+}

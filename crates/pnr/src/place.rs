@@ -1,0 +1,311 @@
+//! Wirelength-driven simulated-annealing placement.
+
+use crate::PnrError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tmr_arch::{Device, SiteId, SiteKind};
+use tmr_netlist::{CellId, CellKind, NetDriver, NetId, NetSink, Netlist};
+
+/// Placement options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacerOptions {
+    /// RNG seed; placements are deterministic for a given seed.
+    pub seed: u64,
+    /// Annealing moves attempted per movable cell.
+    pub moves_per_cell: usize,
+}
+
+impl Default for PlacerOptions {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            moves_per_cell: 24,
+        }
+    }
+}
+
+/// A complete placement: every cell of the netlist is assigned to exactly one
+/// compatible device site.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    site_of_cell: Vec<SiteId>,
+    cell_at_site: HashMap<SiteId, CellId>,
+    wirelength: u64,
+}
+
+impl Placement {
+    /// The site a cell is placed on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell id is out of range for the placed netlist.
+    pub fn site(&self, cell: CellId) -> SiteId {
+        self.site_of_cell[cell.index()]
+    }
+
+    /// The cell placed on a site, if any.
+    pub fn cell_at(&self, site: SiteId) -> Option<CellId> {
+        self.cell_at_site.get(&site).copied()
+    }
+
+    /// Iterates over (cell, site) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, SiteId)> + '_ {
+        self.site_of_cell
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (CellId::from_index(i), s))
+    }
+
+    /// Total estimated wirelength (sum of half-perimeter bounding boxes).
+    pub fn wirelength(&self) -> u64 {
+        self.wirelength
+    }
+}
+
+/// Returns the site kind a cell requires, or `None` if the cell is not a
+/// mapped primitive.
+pub(crate) fn required_site_kind(kind: CellKind) -> Option<SiteKind> {
+    match kind {
+        CellKind::Lut { .. } | CellKind::Gnd | CellKind::Vcc => Some(SiteKind::Lut),
+        CellKind::Dff { .. } => Some(SiteKind::Ff),
+        CellKind::Ibuf | CellKind::Obuf => Some(SiteKind::Iob),
+        _ => None,
+    }
+}
+
+/// Places a technology-mapped netlist onto a device.
+///
+/// # Errors
+///
+/// Returns [`PnrError::UnplaceableCell`] if the netlist contains unmapped
+/// gates and [`PnrError::NotEnoughSites`] if the device is too small.
+pub fn place(
+    device: &Device,
+    netlist: &Netlist,
+    options: &PlacerOptions,
+) -> Result<Placement, PnrError> {
+    // Partition cells by required site kind.
+    let mut cells_by_kind: HashMap<SiteKind, Vec<CellId>> = HashMap::new();
+    for (id, cell) in netlist.cells() {
+        let kind = required_site_kind(cell.kind).ok_or_else(|| PnrError::UnplaceableCell {
+            cell: cell.name.clone(),
+            kind: cell.kind.to_string(),
+        })?;
+        cells_by_kind.entry(kind).or_default().push(id);
+    }
+
+    for (&kind, cells) in &cells_by_kind {
+        let available = device.sites_of_kind(kind).len();
+        if cells.len() > available {
+            return Err(PnrError::NotEnoughSites {
+                kind: kind.to_string(),
+                needed: cells.len(),
+                available,
+            });
+        }
+    }
+
+    // Initial placement: netlist order onto sites in device order. Cells
+    // created together by the lowering pass (e.g. the bits of one adder) are
+    // adjacent in the netlist, so this is already a reasonable start.
+    let mut site_of_cell = vec![SiteId::from_index(0); netlist.cell_count()];
+    let mut cell_at_site: HashMap<SiteId, CellId> = HashMap::new();
+    for (kind, cells) in &cells_by_kind {
+        let pool = device.sites_of_kind(*kind);
+        for (cell, &site) in cells.iter().zip(pool.iter()) {
+            site_of_cell[cell.index()] = site;
+            cell_at_site.insert(site, *cell);
+        }
+    }
+
+    // Nets considered for wirelength: driven by a cell, read by at least one
+    // cell (I/O pad nets contribute nothing the placer can optimise).
+    let routable_nets: Vec<NetId> = netlist
+        .nets()
+        .filter(|(_, net)| {
+            matches!(net.driver, Some(NetDriver::Cell(_)))
+                && net
+                    .sinks
+                    .iter()
+                    .any(|s| matches!(s, NetSink::CellPin { .. }))
+        })
+        .map(|(id, _)| id)
+        .collect();
+
+    // Per-cell list of incident routable nets.
+    let mut nets_of_cell: Vec<Vec<NetId>> = vec![Vec::new(); netlist.cell_count()];
+    for &net_id in &routable_nets {
+        let net = netlist.net(net_id);
+        if let Some(NetDriver::Cell(c)) = net.driver {
+            nets_of_cell[c.index()].push(net_id);
+        }
+        for sink in &net.sinks {
+            if let NetSink::CellPin { cell, .. } = sink {
+                if nets_of_cell[cell.index()].last() != Some(&net_id) {
+                    nets_of_cell[cell.index()].push(net_id);
+                }
+            }
+        }
+    }
+
+    let hpwl = |net_id: NetId, site_of_cell: &[SiteId]| -> u64 {
+        let net = netlist.net(net_id);
+        let mut min_x = u16::MAX;
+        let mut max_x = 0u16;
+        let mut min_y = u16::MAX;
+        let mut max_y = 0u16;
+        let mut update = |cell: CellId| {
+            let tile = device.site(site_of_cell[cell.index()]).tile;
+            min_x = min_x.min(tile.x);
+            max_x = max_x.max(tile.x);
+            min_y = min_y.min(tile.y);
+            max_y = max_y.max(tile.y);
+        };
+        if let Some(NetDriver::Cell(c)) = net.driver {
+            update(c);
+        }
+        for sink in &net.sinks {
+            if let NetSink::CellPin { cell, .. } = sink {
+                update(*cell);
+            }
+        }
+        if min_x == u16::MAX {
+            return 0;
+        }
+        u64::from(max_x - min_x) + u64::from(max_y - min_y)
+    };
+
+    let mut total_cost: u64 = routable_nets.iter().map(|&n| hpwl(n, &site_of_cell)).sum();
+
+    // Simulated annealing.
+    let movable: Vec<CellId> = netlist.cells().map(|(id, _)| id).collect();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let total_moves = options.moves_per_cell * movable.len().max(1);
+    let mut temperature = (total_cost as f64 / routable_nets.len().max(1) as f64).max(1.0);
+    let temperature_steps = 64usize;
+    let moves_per_step = (total_moves / temperature_steps).max(1);
+    let alpha = 0.92f64;
+
+    for _step in 0..temperature_steps {
+        for _ in 0..moves_per_step {
+            let cell = movable[rng.gen_range(0..movable.len())];
+            let kind = required_site_kind(netlist.cell(cell).kind).expect("checked above");
+            let pool = device.sites_of_kind(kind);
+            let target = pool[rng.gen_range(0..pool.len())];
+            let current = site_of_cell[cell.index()];
+            if target == current {
+                continue;
+            }
+            let occupant = cell_at_site.get(&target).copied();
+
+            // Affected nets: union of both cells' incident nets.
+            let mut affected: Vec<NetId> = nets_of_cell[cell.index()].clone();
+            if let Some(other) = occupant {
+                affected.extend(nets_of_cell[other.index()].iter().copied());
+            }
+            affected.sort_unstable();
+            affected.dedup();
+
+            let before: u64 = affected.iter().map(|&n| hpwl(n, &site_of_cell)).sum();
+
+            // Apply tentatively.
+            site_of_cell[cell.index()] = target;
+            if let Some(other) = occupant {
+                site_of_cell[other.index()] = current;
+            }
+            let after: u64 = affected.iter().map(|&n| hpwl(n, &site_of_cell)).sum();
+            let delta = after as i64 - before as i64;
+
+            let accept = delta <= 0 || {
+                let p = (-(delta as f64) / temperature).exp();
+                rng.gen::<f64>() < p
+            };
+            if accept {
+                cell_at_site.insert(target, cell);
+                if let Some(other) = occupant {
+                    cell_at_site.insert(current, other);
+                } else {
+                    cell_at_site.remove(&current);
+                }
+                total_cost = (total_cost as i64 + delta) as u64;
+            } else {
+                // Revert.
+                site_of_cell[cell.index()] = current;
+                if let Some(other) = occupant {
+                    site_of_cell[other.index()] = target;
+                }
+            }
+        }
+        temperature *= alpha;
+    }
+
+    Ok(Placement {
+        site_of_cell,
+        cell_at_site,
+        wirelength: total_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tmr_designs::counter;
+    use tmr_synth::{lower, optimize, techmap};
+
+    fn mapped_counter() -> Netlist {
+        techmap(&optimize(&lower(&counter(4)).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn places_every_cell_on_a_unique_compatible_site() {
+        let device = Device::small(5, 5);
+        let netlist = mapped_counter();
+        let placement = place(&device, &netlist, &PlacerOptions::default()).unwrap();
+        let mut used: HashSet<SiteId> = HashSet::new();
+        for (cell_id, cell) in netlist.cells() {
+            let site = placement.site(cell_id);
+            assert!(used.insert(site), "site {site} used twice");
+            assert_eq!(
+                device.site(site).kind,
+                required_site_kind(cell.kind).unwrap(),
+                "cell {} placed on wrong site kind",
+                cell.name
+            );
+            assert_eq!(placement.cell_at(site), Some(cell_id));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_a_seed() {
+        let device = Device::small(5, 5);
+        let netlist = mapped_counter();
+        let a = place(&device, &netlist, &PlacerOptions::default()).unwrap();
+        let b = place(&device, &netlist, &PlacerOptions::default()).unwrap();
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+        assert_eq!(a.wirelength(), b.wirelength());
+    }
+
+    #[test]
+    fn rejects_unmapped_netlists() {
+        let device = Device::small(3, 3);
+        let mut nl = Netlist::new("raw");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        nl.add_cell("u", tmr_netlist::CellKind::And2, vec![a, b], y).unwrap();
+        nl.add_output("y", y);
+        let err = place(&device, &nl, &PlacerOptions::default()).unwrap_err();
+        assert!(matches!(err, PnrError::UnplaceableCell { .. }));
+    }
+
+    #[test]
+    fn rejects_designs_larger_than_the_device() {
+        let device = Device::small(2, 2);
+        let fir = tmr_designs::FirFilter::paper_filter().to_design();
+        let netlist = techmap(&optimize(&lower(&fir).unwrap())).unwrap();
+        let err = place(&device, &netlist, &PlacerOptions::default()).unwrap_err();
+        assert!(matches!(err, PnrError::NotEnoughSites { .. }));
+    }
+}

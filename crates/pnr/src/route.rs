@@ -1,0 +1,415 @@
+//! Negotiated-congestion A* maze routing (PathFinder style).
+
+use crate::routed::RouteTree;
+use crate::{Placement, PnrError};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use tmr_arch::{Device, NodeId, PipId, RouteNode};
+use tmr_netlist::{NetDriver, NetId, NetSink, Netlist};
+
+/// Router options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterOptions {
+    /// Maximum negotiation iterations before giving up.
+    pub max_iterations: usize,
+    /// Initial present-congestion penalty factor.
+    pub present_factor: f64,
+    /// Multiplier applied to the present-congestion factor each iteration.
+    pub present_factor_growth: f64,
+    /// Historical congestion cost added to every overused node per iteration.
+    pub history_increment: f64,
+    /// A* heuristic weight (1.0 = admissible, larger = faster but greedier).
+    pub astar_weight: f64,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 80,
+            present_factor: 0.6,
+            present_factor_growth: 1.8,
+            history_increment: 1.0,
+            astar_weight: 1.25,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    estimate: f32,
+    cost: f32,
+    node: NodeId,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.estimate == other.estimate
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest estimate.
+        other
+            .estimate
+            .total_cmp(&self.estimate)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+/// The terminals of one routable net.
+struct NetTerminals {
+    net: NetId,
+    source: NodeId,
+    sinks: Vec<(NodeId, tmr_netlist::CellId, usize)>,
+}
+
+/// Routes every cell-to-cell net of a placed netlist.
+///
+/// # Errors
+///
+/// Returns [`PnrError::NoPath`] if a sink is unreachable from its source and
+/// [`PnrError::Unroutable`] if congestion cannot be resolved within the
+/// iteration budget.
+pub fn route(
+    device: &Device,
+    netlist: &Netlist,
+    placement: &Placement,
+    options: &RouterOptions,
+) -> Result<HashMap<NetId, RouteTree>, PnrError> {
+    let nets = collect_terminals(device, netlist, placement);
+
+    let node_count = device.node_count();
+    let mut occupancy = vec![0u16; node_count];
+    let mut history = vec![0f32; node_count];
+    // A* bookkeeping with generation stamps so the arrays are reused.
+    let mut best_cost = vec![f32::INFINITY; node_count];
+    let mut generation = vec![0u32; node_count];
+    let mut prev_pip: Vec<u32> = vec![u32::MAX; node_count];
+    let mut current_generation = 0u32;
+
+    let mut trees: HashMap<NetId, RouteTree> = HashMap::new();
+    let mut present_factor = options.present_factor;
+
+    for iteration in 1..=options.max_iterations {
+        for terminals in &nets {
+            let needs_reroute = match trees.get(&terminals.net) {
+                None => true,
+                Some(tree) => tree.nodes.iter().any(|n| occupancy[n.index()] > 1),
+            };
+            if !needs_reroute {
+                continue;
+            }
+            // Rip up.
+            if let Some(old) = trees.remove(&terminals.net) {
+                for node in &old.nodes {
+                    occupancy[node.index()] -= 1;
+                }
+            }
+
+            let tree = route_net(
+                device,
+                netlist,
+                terminals,
+                &occupancy,
+                &history,
+                present_factor,
+                options.astar_weight,
+                &mut best_cost,
+                &mut generation,
+                &mut prev_pip,
+                &mut current_generation,
+            )?;
+            for node in &tree.nodes {
+                occupancy[node.index()] += 1;
+            }
+            trees.insert(terminals.net, tree);
+        }
+
+        let overused: usize = occupancy.iter().filter(|&&o| o > 1).count();
+        if overused == 0 {
+            return Ok(trees);
+        }
+        if iteration == options.max_iterations {
+            return Err(PnrError::Unroutable {
+                overused_nodes: overused,
+                iterations: iteration,
+            });
+        }
+        for (node, &occ) in occupancy.iter().enumerate() {
+            if occ > 1 {
+                history[node] += (options.history_increment * f64::from(occ - 1)) as f32;
+            }
+        }
+        present_factor *= options.present_factor_growth;
+    }
+    unreachable!("the loop either returns success or exhausts its iterations");
+}
+
+/// Gathers source and sink routing nodes for every net that must be routed:
+/// nets driven by a placed cell and read by at least one placed cell.
+fn collect_terminals(
+    device: &Device,
+    netlist: &Netlist,
+    placement: &Placement,
+) -> Vec<NetTerminals> {
+    let mut nets = Vec::new();
+    for (net_id, net) in netlist.nets() {
+        let driver = match net.driver {
+            Some(NetDriver::Cell(c)) => c,
+            _ => continue,
+        };
+        let sinks: Vec<(NodeId, tmr_netlist::CellId, usize)> = net
+            .sinks
+            .iter()
+            .filter_map(|sink| match sink {
+                NetSink::CellPin { cell, pin } => {
+                    let site = placement.site(*cell);
+                    Some((device.in_pins(site)[*pin], *cell, *pin))
+                }
+                NetSink::Output(_) => None,
+            })
+            .collect();
+        if sinks.is_empty() {
+            continue;
+        }
+        let source = device.out_pin(placement.site(driver));
+        nets.push(NetTerminals {
+            net: net_id,
+            source,
+            sinks,
+        });
+    }
+    // Route high-fanout nets first: they are the hardest to place well.
+    nets.sort_by_key(|t| std::cmp::Reverse(t.sinks.len()));
+    nets
+}
+
+/// Cost of occupying `node` given the current congestion state, assuming the
+/// current net would add one more occupant.
+fn node_cost(
+    device: &Device,
+    node: NodeId,
+    occupancy: &[u16],
+    history: &[f32],
+    present_factor: f64,
+) -> f32 {
+    let base = match device.node(node) {
+        RouteNode::Wire { .. } => 1.0f32,
+        RouteNode::InPin { .. } | RouteNode::OutPin { .. } => 0.95,
+    };
+    let over = f64::from(occupancy[node.index()]); // capacity is 1: any existing occupant is overuse
+    let present = 1.0 + present_factor * over;
+    (base + history[node.index()]) * present as f32
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_net(
+    device: &Device,
+    netlist: &Netlist,
+    terminals: &NetTerminals,
+    occupancy: &[u16],
+    history: &[f32],
+    present_factor: f64,
+    astar_weight: f64,
+    best_cost: &mut [f32],
+    generation: &mut [u32],
+    prev_pip: &mut [u32],
+    current_generation: &mut u32,
+) -> Result<RouteTree, PnrError> {
+    let mut tree = RouteTree {
+        source: terminals.source,
+        nodes: vec![terminals.source],
+        pips: Vec::new(),
+        sinks: Vec::new(),
+    };
+
+    // Route the closest sinks first so later sinks can reuse the growing tree.
+    let mut sinks = terminals.sinks.clone();
+    let source_tile = device.node_tile(terminals.source);
+    sinks.sort_by_key(|(node, _, _)| device.node_tile(*node).manhattan(source_tile));
+
+    for (sink_node, sink_cell, sink_pin) in sinks {
+        if tree.nodes.contains(&sink_node) {
+            tree.sinks.push((sink_node, sink_cell, sink_pin));
+            continue;
+        }
+        *current_generation += 1;
+        let generation_id = *current_generation;
+        let target_tile = device.node_tile(sink_node);
+        let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+
+        for &node in &tree.nodes {
+            best_cost[node.index()] = 0.0;
+            generation[node.index()] = generation_id;
+            prev_pip[node.index()] = u32::MAX;
+            let h = device.node_tile(node).manhattan(target_tile) as f32;
+            queue.push(QueueEntry {
+                estimate: h * astar_weight as f32,
+                cost: 0.0,
+                node,
+            });
+        }
+
+        let mut reached = false;
+        while let Some(entry) = queue.pop() {
+            let node = entry.node;
+            if generation[node.index()] == generation_id
+                && entry.cost > best_cost[node.index()] + f32::EPSILON
+            {
+                continue;
+            }
+            if node == sink_node {
+                reached = true;
+                break;
+            }
+            for &pip_id in device.pips_from(node) {
+                let pip = device.pip(pip_id);
+                let next = pip.dst;
+                // Never route through another cell's input pin; only the
+                // target sink pin is enterable.
+                if device.node(next).is_in_pin() && next != sink_node {
+                    continue;
+                }
+                let step = node_cost(device, next, occupancy, history, present_factor);
+                let next_cost = entry.cost + step;
+                let index = next.index();
+                if generation[index] != generation_id || next_cost + f32::EPSILON < best_cost[index]
+                {
+                    generation[index] = generation_id;
+                    best_cost[index] = next_cost;
+                    prev_pip[index] = pip_id.index() as u32;
+                    let h = device.node_tile(next).manhattan(target_tile) as f32;
+                    queue.push(QueueEntry {
+                        estimate: next_cost + h * astar_weight as f32,
+                        cost: next_cost,
+                        node: next,
+                    });
+                }
+            }
+        }
+
+        if !reached {
+            return Err(PnrError::NoPath {
+                net: netlist.net(terminals.net).name.clone(),
+                sink: format!(
+                    "pin {sink_pin} of cell `{}`",
+                    netlist.cell(sink_cell).name
+                ),
+            });
+        }
+
+        // Backtrack from the sink until we meet the existing tree.
+        let mut node = sink_node;
+        let mut new_nodes = Vec::new();
+        let mut new_pips = Vec::new();
+        loop {
+            new_nodes.push(node);
+            let pip_raw = prev_pip[node.index()];
+            if pip_raw == u32::MAX {
+                // Reached a node that was seeded from the existing tree.
+                new_nodes.pop();
+                break;
+            }
+            let pip_id = PipId::from_index(pip_raw as usize);
+            new_pips.push(pip_id);
+            node = device.pip(pip_id).src;
+            if tree.nodes.contains(&node) {
+                break;
+            }
+        }
+        tree.nodes.extend(new_nodes);
+        tree.pips.extend(new_pips);
+        tree.sinks.push((sink_node, sink_cell, sink_pin));
+    }
+
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{place, PlacerOptions};
+    use tmr_designs::counter;
+    use tmr_synth::{lower, optimize, techmap};
+
+    fn routed_counter() -> (Device, Netlist, Placement, HashMap<NetId, RouteTree>) {
+        let device = Device::small(5, 5);
+        let netlist = techmap(&optimize(&lower(&counter(4)).unwrap())).unwrap();
+        let placement = place(&device, &netlist, &PlacerOptions::default()).unwrap();
+        let routes = route(&device, &netlist, &placement, &RouterOptions::default()).unwrap();
+        (device, netlist, placement, routes)
+    }
+
+    #[test]
+    fn routes_every_cell_to_cell_net() {
+        let (_, netlist, _, routes) = routed_counter();
+        let expected: usize = netlist
+            .nets()
+            .filter(|(_, n)| {
+                matches!(n.driver, Some(NetDriver::Cell(_)))
+                    && n.sinks.iter().any(|s| matches!(s, NetSink::CellPin { .. }))
+            })
+            .count();
+        assert_eq!(routes.len(), expected);
+    }
+
+    #[test]
+    fn routes_form_connected_trees() {
+        let (device, _, _, routes) = routed_counter();
+        for tree in routes.values() {
+            // Every PIP's source must already be reachable (tree property) and
+            // every sink must be in the node set.
+            let mut reachable: std::collections::HashSet<NodeId> =
+                std::collections::HashSet::new();
+            reachable.insert(tree.source);
+            let mut pips_left: Vec<PipId> = tree.pips.clone();
+            let mut progress = true;
+            while progress {
+                progress = false;
+                pips_left.retain(|&pip_id| {
+                    let pip = device.pip(pip_id);
+                    if reachable.contains(&pip.src) {
+                        reachable.insert(pip.dst);
+                        progress = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            assert!(pips_left.is_empty(), "disconnected PIPs in route tree");
+            for (sink, _, _) in &tree.sinks {
+                assert!(reachable.contains(sink), "sink not reached by tree");
+            }
+        }
+    }
+
+    #[test]
+    fn no_node_is_shared_between_nets() {
+        let (_, _, _, routes) = routed_counter();
+        let mut seen: std::collections::HashMap<NodeId, NetId> = std::collections::HashMap::new();
+        for (net, tree) in &routes {
+            for &node in &tree.nodes {
+                if let Some(other) = seen.insert(node, *net) {
+                    assert_eq!(other, *net, "node {node} used by two nets");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (_, _, _, a) = routed_counter();
+        let (_, _, _, b) = routed_counter();
+        assert_eq!(a.len(), b.len());
+        for (net, tree) in &a {
+            assert_eq!(tree.pips, b[net].pips);
+        }
+    }
+}

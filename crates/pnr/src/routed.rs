@@ -1,0 +1,341 @@
+//! The routed-design database: placement + routing + configuration bitstream.
+
+use crate::{place, route, Placement, PlacerOptions, PnrError, RouterOptions};
+use std::collections::HashMap;
+use tmr_arch::{
+    BitCategory, Bitstream, ConfigResource, Device, NodeId, PipId, SiteKind,
+};
+use tmr_netlist::{CellId, CellKind, NetId, Netlist};
+
+/// The routing tree of one net: the set of routing-graph nodes and enabled
+/// PIPs that connect the net's source pin to all of its sink pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTree {
+    /// The source node (the driving cell's output pin).
+    pub source: NodeId,
+    /// All nodes of the tree, source included.
+    pub nodes: Vec<NodeId>,
+    /// The enabled PIPs (each PIP's configuration bit is set in the bitstream).
+    pub pips: Vec<PipId>,
+    /// The sink pins reached, with the consuming cell and pin index.
+    pub sinks: Vec<(NodeId, CellId, usize)>,
+}
+
+/// Counts of design-related configuration bits per category — the "bitstream"
+/// columns of Table 2 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitReport {
+    /// General-routing bits related to the design (PIPs touching a used node).
+    pub routing_bits: usize,
+    /// CLB-customization bits related to the design (input-mux PIPs touching a
+    /// used node).
+    pub clb_mux_bits: usize,
+    /// LUT truth-table bits of used LUTs.
+    pub lut_bits: usize,
+    /// Flip-flop configuration bits of used flip-flops.
+    pub ff_bits: usize,
+}
+
+impl BitReport {
+    /// Total design-related configuration bits.
+    pub fn total(&self) -> usize {
+        self.routing_bits + self.clb_mux_bits + self.lut_bits + self.ff_bits
+    }
+
+    /// Fraction of the design-related bits that control routing (general
+    /// routing + CLB customization), the quantity the paper reports as
+    /// "roughly 80 % of the total customizable bits".
+    pub fn routing_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.routing_bits + self.clb_mux_bits) as f64 / self.total() as f64
+    }
+}
+
+/// A fully placed, routed and configured design.
+#[derive(Debug, Clone)]
+pub struct RoutedDesign {
+    netlist: Netlist,
+    placement: Placement,
+    routes: HashMap<NetId, RouteTree>,
+    bitstream: Bitstream,
+    node_net: HashMap<NodeId, NetId>,
+    pip_net: HashMap<PipId, NetId>,
+}
+
+impl RoutedDesign {
+    /// The mapped netlist this design was built from.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The routing tree of a net, if that net is routed through the fabric.
+    pub fn route_of(&self, net: NetId) -> Option<&RouteTree> {
+        self.routes.get(&net)
+    }
+
+    /// Iterates over all routed nets.
+    pub fn routes(&self) -> impl Iterator<Item = (NetId, &RouteTree)> {
+        self.routes.iter().map(|(&net, tree)| (net, tree))
+    }
+
+    /// The configuration bitstream.
+    pub fn bitstream(&self) -> &Bitstream {
+        &self.bitstream
+    }
+
+    /// The net using a routing node, if any.
+    pub fn net_of_node(&self, node: NodeId) -> Option<NetId> {
+        self.node_net.get(&node).copied()
+    }
+
+    /// The net whose tree enables a PIP, if any.
+    pub fn net_of_pip(&self, pip: PipId) -> Option<NetId> {
+        self.pip_net.get(&pip).copied()
+    }
+
+    /// Counts the design-related configuration bits per category: every PIP
+    /// touching a node used by the design, the truth-table bits of every used
+    /// LUT and the configuration bit of every used flip-flop. These are the
+    /// bits the paper's Fault List Manager extracts from its bitstream
+    /// database, and the columns of Table 2.
+    pub fn bit_report(&self, device: &Device) -> BitReport {
+        let mut report = BitReport::default();
+        let layout = device.config_layout();
+        for bit in 0..layout.bit_count() {
+            let resource = layout.resource_at(bit).expect("bit in range");
+            if !self.resource_is_design_related(device, &resource) {
+                continue;
+            }
+            match layout.category_at(bit) {
+                BitCategory::GeneralRouting => report.routing_bits += 1,
+                BitCategory::ClbCustomization => report.clb_mux_bits += 1,
+                BitCategory::LutContents => report.lut_bits += 1,
+                BitCategory::FlipFlop => report.ff_bits += 1,
+            }
+        }
+        report
+    }
+
+    /// Returns `true` if a configuration resource is related to the design:
+    /// PIPs with a used endpoint, LUT bits of used LUT sites, FF bits of used
+    /// FF sites. This is the fault-injection population of the paper.
+    pub fn resource_is_design_related(&self, device: &Device, resource: &ConfigResource) -> bool {
+        match *resource {
+            ConfigResource::Pip(pip) => {
+                let pip = device.pip(pip);
+                self.node_net.contains_key(&pip.src) || self.node_net.contains_key(&pip.dst)
+            }
+            ConfigResource::LutBit { site, .. } | ConfigResource::FfInit { site } => {
+                self.placement.cell_at(site).is_some()
+            }
+        }
+    }
+
+    /// Generates the configuration bitstream for this placed-and-routed design.
+    fn generate_bitstream(
+        device: &Device,
+        netlist: &Netlist,
+        placement: &Placement,
+        routes: &HashMap<NetId, RouteTree>,
+    ) -> Bitstream {
+        let layout = device.config_layout();
+        let mut bitstream = Bitstream::zeros(layout.bit_count());
+
+        // Routing PIPs.
+        for tree in routes.values() {
+            for &pip in &tree.pips {
+                bitstream.set(layout.pip_bit(pip), true);
+            }
+        }
+
+        // LUT truth tables and FF initial values.
+        for (cell_id, cell) in netlist.cells() {
+            let site = placement.site(cell_id);
+            match cell.kind {
+                CellKind::Lut { k, init } => {
+                    let mask = (1usize << k) - 1;
+                    for entry in 0..16u8 {
+                        let folded = usize::from(entry) & mask;
+                        if (init >> folded) & 1 == 1 {
+                            let bit = layout
+                                .bit_of(&ConfigResource::LutBit { site, bit: entry })
+                                .expect("LUT cells are placed on LUT sites");
+                            bitstream.set(bit, true);
+                        }
+                    }
+                }
+                CellKind::Vcc => {
+                    for entry in 0..16u8 {
+                        let bit = layout
+                            .bit_of(&ConfigResource::LutBit { site, bit: entry })
+                            .expect("constant cells are placed on LUT sites");
+                        bitstream.set(bit, true);
+                    }
+                }
+                CellKind::Gnd => {} // all-zero truth table
+                CellKind::Dff { init } => {
+                    if init {
+                        let bit = layout
+                            .bit_of(&ConfigResource::FfInit { site })
+                            .expect("DFF cells are placed on FF sites");
+                        bitstream.set(bit, true);
+                    }
+                }
+                CellKind::Ibuf | CellKind::Obuf => {} // IOBs carry no bits in this model
+                _ => unreachable!("placement rejects unmapped cells"),
+            }
+        }
+
+        bitstream
+    }
+}
+
+/// Runs placement, routing and bitstream generation with default options and
+/// the given seed.
+///
+/// # Errors
+///
+/// Propagates placement errors (unmapped cells, device too small) and routing
+/// errors (unroutable congestion, unreachable sinks).
+pub fn place_and_route(
+    device: &Device,
+    netlist: &Netlist,
+    seed: u64,
+) -> Result<RoutedDesign, PnrError> {
+    let placement = place(
+        device,
+        netlist,
+        &PlacerOptions {
+            seed,
+            ..PlacerOptions::default()
+        },
+    )?;
+    let routes = route(device, netlist, &placement, &RouterOptions::default())?;
+
+    let mut node_net = HashMap::new();
+    let mut pip_net = HashMap::new();
+    for (&net, tree) in &routes {
+        for &node in &tree.nodes {
+            node_net.insert(node, net);
+        }
+        for &pip in &tree.pips {
+            pip_net.insert(pip, net);
+        }
+    }
+
+    let bitstream = RoutedDesign::generate_bitstream(device, netlist, &placement, &routes);
+
+    Ok(RoutedDesign {
+        netlist: netlist.clone(),
+        placement,
+        routes,
+        bitstream,
+        node_net,
+        pip_net,
+    })
+}
+
+/// Number of sites of each kind used by a placement — convenience for
+/// utilisation reports.
+pub fn site_usage(device: &Device, placement: &Placement) -> HashMap<SiteKind, usize> {
+    let mut usage: HashMap<SiteKind, usize> = HashMap::new();
+    for (_, site) in placement.iter() {
+        *usage.entry(device.site(site).kind).or_insert(0) += 1;
+    }
+    usage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_designs::{counter, moving_sum};
+    use tmr_synth::{lower, optimize, techmap};
+
+    fn mapped(design: &tmr_synth::Design) -> Netlist {
+        techmap(&optimize(&lower(design).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn bitstream_bits_match_enabled_pips_and_luts() {
+        let device = Device::small(5, 5);
+        let netlist = mapped(&counter(4));
+        let routed = place_and_route(&device, &netlist, 7).unwrap();
+        let layout = device.config_layout();
+
+        // Every enabled PIP bit must be set.
+        let mut expected_pip_bits = 0;
+        for (_, tree) in routed.routes() {
+            expected_pip_bits += tree.pips.len();
+            for &pip in &tree.pips {
+                assert!(routed.bitstream().get(layout.pip_bit(pip)));
+            }
+        }
+        // Count set bits that are PIP bits.
+        let set_pip_bits = routed
+            .bitstream()
+            .iter_ones()
+            .filter(|&bit| matches!(layout.resource_at(bit), Some(ConfigResource::Pip(_))))
+            .count();
+        assert_eq!(set_pip_bits, expected_pip_bits);
+    }
+
+    #[test]
+    fn node_and_pip_usage_maps_are_consistent() {
+        let device = Device::small(5, 5);
+        let netlist = mapped(&counter(4));
+        let routed = place_and_route(&device, &netlist, 7).unwrap();
+        for (net, tree) in routed.routes() {
+            for &node in &tree.nodes {
+                assert_eq!(routed.net_of_node(node), Some(net));
+            }
+            for &pip in &tree.pips {
+                assert_eq!(routed.net_of_pip(pip), Some(net));
+            }
+        }
+        assert_eq!(routed.net_of_node(NodeId::from_index(usize::MAX as u32 as usize - 1)), None);
+    }
+
+    #[test]
+    fn bit_report_is_dominated_by_routing() {
+        let device = Device::small(6, 6);
+        let netlist = mapped(&moving_sum(3, 4, 6));
+        let routed = place_and_route(&device, &netlist, 3).unwrap();
+        let report = routed.bit_report(&device);
+        assert!(report.total() > 0);
+        assert!(report.lut_bits > 0);
+        assert!(
+            report.routing_fraction() > 0.6,
+            "routing bits should dominate, got {:.2}",
+            report.routing_fraction()
+        );
+        assert_eq!(report.lut_bits % 16, 0, "16 bits per used LUT");
+    }
+
+    #[test]
+    fn site_usage_counts_placed_cells() {
+        let device = Device::small(5, 5);
+        let netlist = mapped(&counter(4));
+        let routed = place_and_route(&device, &netlist, 7).unwrap();
+        let usage = site_usage(&device, routed.placement());
+        let stats = netlist.stats();
+        assert_eq!(usage[&SiteKind::Ff], stats.flip_flops);
+        assert_eq!(usage[&SiteKind::Iob], stats.io_buffers);
+        assert_eq!(usage[&SiteKind::Lut], stats.luts + stats.constants);
+    }
+
+    #[test]
+    fn larger_designs_route_on_adequate_devices() {
+        let device = Device::small(8, 8);
+        let netlist = mapped(&moving_sum(4, 5, 8));
+        let routed = place_and_route(&device, &netlist, 11).unwrap();
+        assert!(routed.routes().count() > 10);
+        assert!(routed.bitstream().count_ones() > 100);
+    }
+}

@@ -1,0 +1,167 @@
+//! Output comparison with pad-level voting of triplicated outputs.
+//!
+//! TMR designs built with the paper's scheme leave the fabric on triplicated
+//! output pins (`y_tr0`, `y_tr1`, `y_tr2`) that are voted "inside the output
+//! logic block". [`OutputGroups`] reconstructs that vote: it groups the output
+//! ports of a netlist by base signal name and bit, and reduces a raw
+//! [`SimTrace`] to one majority-voted value per group and cycle. Unprotected
+//! designs simply produce single-member groups.
+
+use crate::stimulus::port_key;
+use crate::{SimTrace, Trit};
+use tmr_netlist::Netlist;
+
+/// Majority vote over a small set of three-valued signals: a value wins if
+/// strictly more than half of the members carry it; otherwise the result is
+/// unknown. A single member is passed through unchanged.
+pub fn majority(values: &[Trit]) -> Trit {
+    if values.len() == 1 {
+        return values[0];
+    }
+    let ones = values.iter().filter(|&&v| v == Trit::One).count();
+    let zeros = values.iter().filter(|&&v| v == Trit::Zero).count();
+    if ones * 2 > values.len() {
+        Trit::One
+    } else if zeros * 2 > values.len() {
+        Trit::Zero
+    } else {
+        Trit::X
+    }
+}
+
+/// The grouping of a netlist's output ports into pad-voted word-level bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputGroups {
+    /// `(base name, bit, indices into the simulator's output order)`.
+    groups: Vec<(String, u32, Vec<usize>)>,
+}
+
+impl OutputGroups {
+    /// Builds the output grouping of a netlist. Port order follows
+    /// [`Netlist::output_ports`], which is also the order used by
+    /// [`crate::Simulator`] traces.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut groups: Vec<(String, u32, Vec<usize>)> = Vec::new();
+        for (index, (_, port)) in netlist.output_ports().enumerate() {
+            let (base, bit) = port_key(&port.name);
+            match groups.iter_mut().find(|(b, bt, _)| *b == base && *bt == bit) {
+                Some((_, _, members)) => members.push(index),
+                None => groups.push((base, bit, vec![index])),
+            }
+        }
+        Self { groups }
+    }
+
+    /// Number of voted output bits.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns `true` if the netlist has no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group descriptors: base name, bit index and member count.
+    pub fn descriptors(&self) -> impl Iterator<Item = (&str, u32, usize)> {
+        self.groups
+            .iter()
+            .map(|(base, bit, members)| (base.as_str(), *bit, members.len()))
+    }
+
+    /// Reduces a raw trace to one majority-voted value per group per cycle.
+    pub fn vote(&self, trace: &SimTrace) -> Vec<Vec<Trit>> {
+        trace
+            .outputs
+            .iter()
+            .map(|cycle| {
+                self.groups
+                    .iter()
+                    .map(|(_, _, members)| {
+                        let values: Vec<Trit> = members.iter().map(|&i| cycle[i]).collect();
+                        majority(&values)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Compares two traces after pad-level voting and returns the first cycle
+    /// where the voted outputs differ.
+    pub fn first_voted_mismatch(&self, golden: &SimTrace, dut: &SimTrace) -> Option<usize> {
+        let golden_voted = self.vote(golden);
+        let dut_voted = self.vote(dut);
+        golden_voted
+            .iter()
+            .zip(dut_voted.iter())
+            .position(|(a, b)| a != b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_netlist::{CellKind, Netlist};
+
+    #[test]
+    fn majority_of_three() {
+        assert_eq!(majority(&[Trit::One, Trit::One, Trit::Zero]), Trit::One);
+        assert_eq!(majority(&[Trit::Zero, Trit::X, Trit::Zero]), Trit::Zero);
+        assert_eq!(majority(&[Trit::One, Trit::Zero, Trit::X]), Trit::X);
+        assert_eq!(majority(&[Trit::X]), Trit::X);
+        assert_eq!(majority(&[Trit::One]), Trit::One);
+    }
+
+    fn triplicated_netlist() -> Netlist {
+        // Three buffers from three inputs to outputs y_tr0_0, y_tr1_0, y_tr2_0.
+        let mut nl = Netlist::new("trip");
+        for d in 0..3 {
+            let a = nl.add_input(format!("x_tr{d}_0"));
+            let y = nl.add_net(format!("y{d}"));
+            nl.add_cell(format!("b{d}"), CellKind::Buf, vec![a], y).unwrap();
+            nl.add_output(format!("y_tr{d}_0"), y);
+        }
+        nl
+    }
+
+    #[test]
+    fn groups_triplicated_outputs_into_one() {
+        let nl = triplicated_netlist();
+        let groups = OutputGroups::new(&nl);
+        assert_eq!(groups.len(), 1);
+        let (base, bit, members) = groups.descriptors().next().unwrap();
+        assert_eq!(base, "y");
+        assert_eq!(bit, 0);
+        assert_eq!(members, 3);
+    }
+
+    #[test]
+    fn voting_masks_a_single_bad_copy() {
+        let nl = triplicated_netlist();
+        let groups = OutputGroups::new(&nl);
+        let golden = SimTrace {
+            outputs: vec![vec![Trit::One, Trit::One, Trit::One]],
+        };
+        let faulty = SimTrace {
+            outputs: vec![vec![Trit::One, Trit::X, Trit::One]],
+        };
+        assert_eq!(groups.vote(&faulty), vec![vec![Trit::One]]);
+        assert_eq!(groups.first_voted_mismatch(&golden, &faulty), None);
+        let broken = SimTrace {
+            outputs: vec![vec![Trit::Zero, Trit::X, Trit::One]],
+        };
+        assert_eq!(groups.first_voted_mismatch(&golden, &broken), Some(0));
+    }
+
+    #[test]
+    fn plain_outputs_form_single_member_groups() {
+        let mut nl = Netlist::new("plain");
+        let a = nl.add_input("a_0");
+        let y = nl.add_net("y");
+        nl.add_cell("b", CellKind::Buf, vec![a], y).unwrap();
+        nl.add_output("y_0", y);
+        let groups = OutputGroups::new(&nl);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups.descriptors().next().unwrap().2, 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Structural fault overlays applied to a simulation run.
+
+use tmr_netlist::{CellId, NetId, PortId};
+
+/// A reference to a specific reader of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SinkRef {
+    /// Input pin `pin` of a cell.
+    CellPin {
+        /// The reading cell.
+        cell: CellId,
+        /// Zero-based pin index.
+        pin: usize,
+    },
+    /// A top-level output port.
+    OutputPort(PortId),
+}
+
+/// The functional effect of one injected configuration upset, expressed at the
+/// netlist level.
+///
+/// `tmr-faultsim` translates a flipped configuration bit into one of these
+/// overlays by consulting the routed design's node/PIP usage database; the
+/// simulator then applies the overlay without re-deriving the whole design
+/// from the faulty bitstream, which keeps campaigns fast.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultOverlay {
+    /// Replace the truth table of a LUT cell (upset in a LUT bit).
+    pub lut_overrides: Vec<(CellId, u64)>,
+    /// Replace the power-up value of a flip-flop (upset in an FF init bit).
+    pub ff_init_overrides: Vec<(CellId, bool)>,
+    /// Sinks disconnected from their net (routing *Open*): they read `X`.
+    pub opened_sinks: Vec<SinkRef>,
+    /// Pairs of nets shorted together (routing *Bridge* / *Conflict*): all
+    /// readers of either net observe the resolved value.
+    pub shorted_nets: Vec<(NetId, NetId)>,
+    /// Nets corrupted by a floating aggressor (routing *Input-Antenna*):
+    /// all readers observe `X`.
+    pub corrupted_nets: Vec<NetId>,
+}
+
+impl FaultOverlay {
+    /// The empty overlay: the fault-free golden configuration.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if this overlay changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.lut_overrides.is_empty()
+            && self.ff_init_overrides.is_empty()
+            && self.opened_sinks.is_empty()
+            && self.shorted_nets.is_empty()
+            && self.corrupted_nets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultOverlay::none().is_empty());
+        let overlay = FaultOverlay {
+            corrupted_nets: vec![NetId::from_index(0)],
+            ..FaultOverlay::none()
+        };
+        assert!(!overlay.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Stimulus generation for fault-injection campaigns.
+//!
+//! The paper drives the TMR design under test and the golden device with the
+//! same input patterns every clock cycle. For TMR designs, the three
+//! triplicated copies of an input (`x_tr0`, `x_tr1`, `x_tr2`) must receive the
+//! same value, otherwise the comparison against the (non-TMR) golden design is
+//! meaningless; [`random_vectors`] guarantees this by deriving the value of
+//! each port from its *base* signal name and bit index only.
+
+use crate::Trit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tmr_netlist::Netlist;
+
+/// Splits a lowered port name `base[_tr<d>]_<bit>` into its base word-level
+/// name and bit index; the TMR domain suffix is removed so that triplicated
+/// copies share the same key.
+pub(crate) fn port_key(port_name: &str) -> (String, u32) {
+    let (prefix, bit) = match port_name.rsplit_once('_') {
+        Some((prefix, bit)) => match bit.parse::<u32>() {
+            Ok(bit) => (prefix, bit),
+            Err(_) => (port_name, 0),
+        },
+        None => (port_name, 0),
+    };
+    let base = match prefix.rsplit_once("_tr") {
+        Some((base, domain)) if domain.chars().all(|c| c.is_ascii_digit()) && !domain.is_empty() => {
+            base
+        }
+        _ => prefix,
+    };
+    (base.to_string(), bit)
+}
+
+/// Generates `cycles` pseudo-random input vectors for `netlist`, in the input
+/// port order of [`crate::Simulator::input_ports`] (which is the netlist's
+/// port creation order). Triplicated TMR input copies receive identical
+/// values; repeated calls with the same seed produce identical stimuli.
+pub fn random_vectors(netlist: &Netlist, cycles: usize, seed: u64) -> Vec<Vec<Trit>> {
+    let ports: Vec<String> = netlist
+        .input_ports()
+        .map(|(_, p)| p.name.clone())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vectors = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
+        let mut values: HashMap<(String, u32), Trit> = HashMap::new();
+        let vector: Vec<Trit> = ports
+            .iter()
+            .map(|name| {
+                let key = port_key(name);
+                *values
+                    .entry(key)
+                    .or_insert_with(|| Trit::from_bool(rng.gen::<bool>()))
+            })
+            .collect();
+        vectors.push(vector);
+    }
+    vectors
+}
+
+/// Builds input vectors from word-level values: `samples[cycle]` maps a base
+/// input name (e.g. `"x"`) to a signed value, which is expanded onto the
+/// lowered bit ports (`x_3`, `x_tr1_3`, …) in two's complement.
+pub fn word_vectors(netlist: &Netlist, samples: &[HashMap<String, i64>]) -> Vec<Vec<Trit>> {
+    let ports: Vec<String> = netlist
+        .input_ports()
+        .map(|(_, p)| p.name.clone())
+        .collect();
+    samples
+        .iter()
+        .map(|cycle| {
+            ports
+                .iter()
+                .map(|name| {
+                    let (base, bit) = port_key(name);
+                    let value = cycle.get(&base).copied().unwrap_or(0);
+                    Trit::from_bool((value >> bit) & 1 == 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_netlist::Domain;
+
+    #[test]
+    fn key_parsing_strips_bit_and_domain() {
+        assert_eq!(port_key("x_3"), ("x".to_string(), 3));
+        assert_eq!(port_key("x_tr1_3"), ("x".to_string(), 3));
+        assert_eq!(port_key("data_in_tr2_10"), ("data_in".to_string(), 10));
+        assert_eq!(port_key("clk"), ("clk".to_string(), 0));
+        // A name whose last segment is not a number keeps the full name.
+        assert_eq!(port_key("strange_name"), ("strange_name".to_string(), 0));
+    }
+
+    fn tmr_ports_netlist() -> Netlist {
+        let mut nl = Netlist::new("stim");
+        for d in 0..3 {
+            for bit in 0..4 {
+                nl.add_input_in_domain(format!("x_tr{d}_{bit}"), Domain::redundant(d));
+            }
+        }
+        nl
+    }
+
+    #[test]
+    fn triplicated_inputs_receive_identical_values() {
+        let nl = tmr_ports_netlist();
+        let vectors = random_vectors(&nl, 16, 42);
+        assert_eq!(vectors.len(), 16);
+        for vector in &vectors {
+            assert_eq!(vector.len(), 12);
+            for bit in 0..4 {
+                assert_eq!(vector[bit], vector[4 + bit]);
+                assert_eq!(vector[bit], vector[8 + bit]);
+            }
+        }
+    }
+
+    #[test]
+    fn stimulus_is_deterministic_per_seed() {
+        let nl = tmr_ports_netlist();
+        assert_eq!(random_vectors(&nl, 8, 7), random_vectors(&nl, 8, 7));
+        assert_ne!(random_vectors(&nl, 8, 7), random_vectors(&nl, 8, 8));
+    }
+
+    #[test]
+    fn word_vectors_expand_twos_complement() {
+        let nl = tmr_ports_netlist();
+        let mut cycle = HashMap::new();
+        cycle.insert("x".to_string(), -3i64); // 0b1101 in 4 bits
+        let vectors = word_vectors(&nl, &[cycle]);
+        let expected_bits = [true, false, true, true];
+        for d in 0..3 {
+            for (bit, &expected) in expected_bits.iter().enumerate() {
+                assert_eq!(vectors[0][d * 4 + bit], Trit::from_bool(expected));
+            }
+        }
+    }
+}

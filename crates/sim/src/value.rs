@@ -1,0 +1,104 @@
+//! The three-valued logic type.
+
+use std::fmt;
+
+/// A three-valued logic level: 0, 1 or unknown.
+///
+/// `X` models floating nodes (opens, antennas) and conflicting drivers
+/// (bridges between nets carrying different values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Trit {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / conflicting / floating.
+    X,
+}
+
+impl Trit {
+    /// Converts a boolean to a trit.
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Returns the boolean value, if known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Returns `true` for [`Trit::X`].
+    pub fn is_unknown(self) -> bool {
+        self == Trit::X
+    }
+
+    /// Resolution of two drivers on the same electrical node: equal known
+    /// values resolve to that value, anything else resolves to `X`.
+    ///
+    /// This models a bridging fault between two routed nets (the paper's
+    /// *Bridge* and *Conflict* effects): where the shorted signals agree the
+    /// level is preserved, where they disagree the level is undefined.
+    pub fn resolve(self, other: Trit) -> Trit {
+        if self == other {
+            self
+        } else {
+            Trit::X
+        }
+    }
+}
+
+impl From<bool> for Trit {
+    fn from(value: bool) -> Self {
+        Trit::from_bool(value)
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trit::Zero => f.write_str("0"),
+            Trit::One => f.write_str("1"),
+            Trit::X => f.write_str("X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Trit::from_bool(true), Trit::One);
+        assert_eq!(Trit::from(false), Trit::Zero);
+        assert_eq!(Trit::One.to_bool(), Some(true));
+        assert_eq!(Trit::X.to_bool(), None);
+        assert!(Trit::X.is_unknown());
+        assert!(!Trit::Zero.is_unknown());
+    }
+
+    #[test]
+    fn resolution_matches_wired_logic() {
+        assert_eq!(Trit::One.resolve(Trit::One), Trit::One);
+        assert_eq!(Trit::Zero.resolve(Trit::Zero), Trit::Zero);
+        assert_eq!(Trit::One.resolve(Trit::Zero), Trit::X);
+        assert_eq!(Trit::X.resolve(Trit::One), Trit::X);
+        assert_eq!(Trit::X.resolve(Trit::X), Trit::X);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Trit::Zero.to_string(), "0");
+        assert_eq!(Trit::One.to_string(), "1");
+        assert_eq!(Trit::X.to_string(), "X");
+    }
+}

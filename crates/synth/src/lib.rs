@@ -1,0 +1,57 @@
+//! # tmr-synth
+//!
+//! Word-level design capture, gate-level lowering and LUT technology mapping
+//! for the `tmr-fpga` workspace.
+//!
+//! The flow mirrors the one the DATE 2005 paper used (VHDL → Xilinx ISE):
+//!
+//! 1. A design is captured as a word-level [`Design`] graph of arithmetic
+//!    operators (constant multipliers, adders, registers, majority voters) —
+//!    the level at which the TMR transformation of `tmr-core` operates,
+//!    because "insert a voter after each adder" is a word-level statement.
+//! 2. [`lower`] expands the word-level graph into a gate-level
+//!    [`tmr_netlist::Netlist`] (ripple-carry adders, CSD shift-add constant
+//!    multipliers, per-bit registers and majority gates), preserving the TMR
+//!    [`tmr_netlist::Domain`] of every word-level node on every generated cell
+//!    and net.
+//! 3. [`techmap`] converts every combinational gate into a 4-input LUT cell
+//!    and inserts I/O buffers, producing a netlist whose cells map one-to-one
+//!    onto the sites of a `tmr-arch` device.
+//! 4. [`optimize`] removes logic that cannot reach any output (dead-code
+//!    elimination), as a synthesis tool would.
+//!
+//! ## Example
+//!
+//! ```
+//! use tmr_synth::{Design, lower, techmap, optimize};
+//!
+//! // y = register(a + b)
+//! let mut design = Design::new("adder");
+//! let a = design.add_input("a", 8);
+//! let b = design.add_input("b", 8);
+//! let sum = design.add_add("sum", a, b, 9);
+//! let q = design.add_register("q", sum);
+//! design.add_output("y", q);
+//!
+//! let gates = lower(&design).unwrap();
+//! let mapped = techmap(&optimize(&gates)).unwrap();
+//! assert!(mapped.stats().luts > 0);
+//! assert_eq!(mapped.stats().flip_flops, 9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod design;
+mod lower;
+mod opt;
+mod techmap;
+#[cfg(test)]
+mod test_util;
+
+pub use design::{
+    Design, DesignError, DesignStats, SignalId, WordNode, WordNodeId, WordOp, WordSignal,
+};
+pub use lower::{lower, LowerError};
+pub use opt::optimize;
+pub use techmap::{techmap, TechmapError};

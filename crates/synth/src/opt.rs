@@ -1,0 +1,96 @@
+//! Netlist optimisation: dead-logic elimination.
+
+use std::collections::HashSet;
+use tmr_netlist::{CellId, NetDriver, NetId, Netlist};
+
+/// Removes every cell whose output cannot reach a top-level output port,
+/// following combinational paths and register D-inputs backwards from the
+/// outputs (sweep of dead logic such as unused carry-out chains).
+///
+/// The result preserves all ports, the relative order of surviving cells, and
+/// every cell's TMR domain.
+pub fn optimize(netlist: &Netlist) -> Netlist {
+    let mut live_cells: HashSet<CellId> = HashSet::new();
+    let mut visited_nets: HashSet<NetId> = HashSet::new();
+    let mut stack: Vec<NetId> = netlist.output_ports().map(|(_, p)| p.net).collect();
+
+    while let Some(net) = stack.pop() {
+        if !visited_nets.insert(net) {
+            continue;
+        }
+        if let Some(NetDriver::Cell(cell)) = netlist.net(net).driver {
+            if live_cells.insert(cell) {
+                stack.extend(netlist.cell(cell).inputs.iter().copied());
+            }
+        }
+    }
+
+    netlist.filtered(|id, _| live_cells.contains(&id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_netlist::CellKind;
+
+    #[test]
+    fn removes_unreachable_cells() {
+        let mut nl = Netlist::new("dce");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let live = nl.add_net("live");
+        let dead = nl.add_net("dead");
+        let dead2 = nl.add_net("dead2");
+        nl.add_cell("u_live", CellKind::And2, vec![a, b], live).unwrap();
+        nl.add_cell("u_dead", CellKind::Or2, vec![a, b], dead).unwrap();
+        nl.add_cell("u_dead2", CellKind::Not, vec![dead], dead2).unwrap();
+        nl.add_output("y", live);
+
+        let optimized = optimize(&nl);
+        optimized.validate().unwrap();
+        assert_eq!(optimized.cell_count(), 1);
+        assert!(optimized.find_cell("u_live").is_some());
+        assert!(optimized.find_cell("u_dead").is_none());
+    }
+
+    #[test]
+    fn keeps_register_feedback_cones() {
+        // Accumulator: the register and its adder are all live.
+        let mut nl = Netlist::new("acc");
+        let a = nl.add_input("a");
+        let sum = nl.add_net("sum");
+        let q = nl.add_net("q");
+        nl.add_cell("u_add", CellKind::Xor2, vec![a, q], sum).unwrap();
+        nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![sum], q).unwrap();
+        nl.add_output("y", q);
+        let optimized = optimize(&nl);
+        assert_eq!(optimized.cell_count(), 2);
+    }
+
+    #[test]
+    fn removes_registers_that_feed_nothing() {
+        let mut nl = Netlist::new("deadreg");
+        let a = nl.add_input("a");
+        let q = nl.add_net("q");
+        let y = nl.add_net("y");
+        nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![a], q).unwrap();
+        nl.add_cell("u_buf", CellKind::Buf, vec![a], y).unwrap();
+        nl.add_output("y", y);
+        let optimized = optimize(&nl);
+        assert_eq!(optimized.cell_count(), 1);
+        assert!(optimized.find_cell("u_reg").is_none());
+    }
+
+    #[test]
+    fn is_idempotent() {
+        let mut nl = Netlist::new("idem");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellKind::Not, vec![a], y).unwrap();
+        nl.add_output("y", y);
+        let once = optimize(&nl);
+        let twice = optimize(&once);
+        assert_eq!(once.cell_count(), twice.cell_count());
+        assert_eq!(once.net_count(), twice.net_count());
+    }
+}

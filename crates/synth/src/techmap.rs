@@ -1,0 +1,230 @@
+//! Technology mapping: generic gates → 4-input LUTs, plus I/O buffer insertion.
+//!
+//! The output of [`techmap`] is a netlist whose cells correspond one-to-one to
+//! the site kinds of a `tmr-arch` device: `Lut` cells (and constant drivers,
+//! which are configured as constant LUTs) map to LUT sites, `Dff` cells to FF
+//! sites, and `Ibuf`/`Obuf` cells to IOB sites.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use tmr_netlist::{CellKind, NetId, Netlist, NetlistError};
+
+/// Errors produced during technology mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechmapError {
+    /// A combinational cell had more inputs than a device LUT provides.
+    TooManyInputs {
+        /// Offending cell name.
+        cell: String,
+        /// Its input count.
+        inputs: usize,
+    },
+    /// The input netlist already contained I/O buffers.
+    AlreadyMapped {
+        /// Offending cell name.
+        cell: String,
+    },
+    /// Internal netlist construction error.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for TechmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechmapError::TooManyInputs { cell, inputs } => {
+                write!(f, "cell `{cell}` has {inputs} inputs, more than a LUT4 provides")
+            }
+            TechmapError::AlreadyMapped { cell } => {
+                write!(f, "cell `{cell}` is an I/O buffer; the netlist is already mapped")
+            }
+            TechmapError::Netlist(err) => write!(f, "netlist construction failed: {err}"),
+        }
+    }
+}
+
+impl Error for TechmapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TechmapError::Netlist(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for TechmapError {
+    fn from(err: NetlistError) -> Self {
+        TechmapError::Netlist(err)
+    }
+}
+
+/// Maximum LUT input count supported by the target architecture.
+const LUT_K: usize = 4;
+
+/// Maps a gate-level netlist onto LUT4 + DFF + IOB primitives.
+///
+/// Every combinational gate is converted into a `Lut` cell with the gate's
+/// truth table; flip-flops and constants are kept; an `Ibuf` is inserted
+/// behind every top-level input port and an `Obuf` in front of every output
+/// port, so that each port maps to an IOB site of the device.
+///
+/// # Errors
+///
+/// Returns [`TechmapError::TooManyInputs`] if a gate needs more than 4 inputs
+/// and [`TechmapError::AlreadyMapped`] if the netlist already contains I/O
+/// buffers.
+pub fn techmap(netlist: &Netlist) -> Result<Netlist, TechmapError> {
+    let mut out = Netlist::new(netlist.name());
+    let mut net_map: HashMap<NetId, NetId> = HashMap::new();
+
+    // Ports: each input port gets a pad net (the port) plus a fabric net
+    // (driven by an IBUF); consumers are rewired to the fabric net. Output
+    // ports get a fabric net (what the logic drives) plus a pad net driven by
+    // an OBUF.
+    for (_, port) in netlist.input_ports() {
+        let pad = out.add_input_in_domain(port.name.clone(), port.domain);
+        let fabric = out.add_net_in_domain(format!("{}_ibuf", port.name), port.domain);
+        out.add_cell_in_domain(
+            format!("u_ibuf_{}", port.name),
+            CellKind::Ibuf,
+            vec![pad],
+            fabric,
+            port.domain,
+        )?;
+        net_map.insert(port.net, fabric);
+    }
+
+    let mut map_net = |old: NetId, out: &mut Netlist| -> NetId {
+        if let Some(&mapped) = net_map.get(&old) {
+            return mapped;
+        }
+        let net = netlist.net(old);
+        let mapped = out.add_net_in_domain(net.name.clone(), net.domain);
+        net_map.insert(old, mapped);
+        mapped
+    };
+
+    // Cells.
+    for (_, cell) in netlist.cells() {
+        let inputs: Vec<NetId> = cell.inputs.iter().map(|&n| map_net(n, &mut out)).collect();
+        let output = map_net(cell.output, &mut out);
+        let kind = match cell.kind {
+            CellKind::Lut { k, init } => {
+                if usize::from(k) > LUT_K {
+                    return Err(TechmapError::TooManyInputs {
+                        cell: cell.name.clone(),
+                        inputs: k as usize,
+                    });
+                }
+                CellKind::Lut { k, init }
+            }
+            CellKind::Dff { init } => CellKind::Dff { init },
+            CellKind::Gnd => CellKind::Gnd,
+            CellKind::Vcc => CellKind::Vcc,
+            CellKind::Ibuf | CellKind::Obuf => {
+                return Err(TechmapError::AlreadyMapped {
+                    cell: cell.name.clone(),
+                })
+            }
+            gate => {
+                let k = gate.input_count();
+                if k > LUT_K {
+                    return Err(TechmapError::TooManyInputs {
+                        cell: cell.name.clone(),
+                        inputs: k,
+                    });
+                }
+                let init = gate
+                    .truth_table()
+                    .expect("generic gates are combinational and small");
+                CellKind::Lut { k: k as u8, init }
+            }
+        };
+        out.add_cell_in_domain(cell.name.clone(), kind, inputs, output, cell.domain)?;
+    }
+
+    // Output ports through OBUFs.
+    for (_, port) in netlist.output_ports() {
+        let fabric = map_net(port.net, &mut out);
+        let pad = out.add_net_in_domain(format!("{}_obuf", port.name), port.domain);
+        out.add_cell_in_domain(
+            format!("u_obuf_{}", port.name),
+            CellKind::Obuf,
+            vec![fabric],
+            pad,
+            port.domain,
+        )?;
+        out.add_output_in_domain(port.name.clone(), pad, port.domain);
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_netlist::{Domain, PortDir};
+
+    fn gate_netlist() -> Netlist {
+        let mut nl = Netlist::new("g");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.add_net("x");
+        let v = nl.add_net_in_domain("v", Domain::Voter);
+        let q = nl.add_net("q");
+        nl.add_cell("u_and", CellKind::And2, vec![a, b], x).unwrap();
+        nl.add_cell_in_domain("u_maj", CellKind::Maj3, vec![x, b, c], v, Domain::Voter)
+            .unwrap();
+        nl.add_cell("u_ff", CellKind::Dff { init: true }, vec![v], q)
+            .unwrap();
+        nl.add_output("y", q);
+        nl
+    }
+
+    #[test]
+    fn gates_become_luts_and_ios_are_inserted() {
+        let mapped = techmap(&gate_netlist()).unwrap();
+        mapped.validate().unwrap();
+        let stats = mapped.stats();
+        assert_eq!(stats.luts, 2, "AND2 and MAJ3 each map to one LUT");
+        assert_eq!(stats.flip_flops, 1);
+        assert_eq!(stats.io_buffers, 3 + 1);
+        assert_eq!(stats.generic_gates, 0);
+        // Domains survive mapping.
+        let (_, maj) = mapped.find_cell("u_maj").unwrap();
+        assert_eq!(maj.domain, Domain::Voter);
+        assert!(matches!(maj.kind, CellKind::Lut { k: 3, .. }));
+    }
+
+    #[test]
+    fn mapped_luts_preserve_function() {
+        let mapped = techmap(&gate_netlist()).unwrap();
+        let (_, and) = mapped.find_cell("u_and").unwrap();
+        match and.kind {
+            CellKind::Lut { k: 2, init } => assert_eq!(init, CellKind::And2.truth_table().unwrap()),
+            other => panic!("expected LUT2, got {other}"),
+        }
+    }
+
+    #[test]
+    fn port_counts_are_preserved() {
+        let original = gate_netlist();
+        let mapped = techmap(&original).unwrap();
+        assert_eq!(
+            mapped.port_count(PortDir::Input),
+            original.port_count(PortDir::Input)
+        );
+        assert_eq!(
+            mapped.port_count(PortDir::Output),
+            original.port_count(PortDir::Output)
+        );
+    }
+
+    #[test]
+    fn double_mapping_is_rejected() {
+        let mapped = techmap(&gate_netlist()).unwrap();
+        let err = techmap(&mapped).unwrap_err();
+        assert!(matches!(err, TechmapError::AlreadyMapped { .. }));
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal gate-level simulator used by this crate's tests to check lowering
+//! against the behavioural reference model (`Design::evaluate`).
+//!
+//! The full-featured 3-valued simulator lives in `tmr-sim`; this one is kept
+//! deliberately independent so that lowering bugs and simulator bugs cannot
+//! mask each other.
+
+use crate::Design;
+use std::collections::HashMap;
+use tmr_netlist::{CellId, NetId, Netlist};
+
+/// Simulates `netlist` with the named word-level stimuli and returns the
+/// word-level outputs, using the port naming convention of the lowering pass
+/// (`{signal}_{bit}`).
+pub fn simulate_netlist(
+    netlist: &Netlist,
+    design: &Design,
+    stimuli: &[HashMap<String, i64>],
+) -> Vec<HashMap<String, i64>> {
+    let levelization = netlist.levelize().expect("lowered netlists are acyclic");
+    let mut net_values = vec![false; netlist.net_count()];
+    let mut ff_state: HashMap<CellId, bool> = netlist
+        .sequential_cells()
+        .into_iter()
+        .map(|id| {
+            let init = match netlist.cell(id).kind {
+                tmr_netlist::CellKind::Dff { init } => init,
+                _ => unreachable!(),
+            };
+            (id, init)
+        })
+        .collect();
+
+    // Port bit lookup tables.
+    let input_bits: Vec<(String, u8, NetId)> = netlist
+        .input_ports()
+        .map(|(_, p)| {
+            let (name, bit) = split_bit_name(&p.name);
+            (name, bit, p.net)
+        })
+        .collect();
+    let output_bits: Vec<(String, u8, NetId)> = netlist
+        .output_ports()
+        .map(|(_, p)| {
+            let (name, bit) = split_bit_name(&p.name);
+            (name, bit, p.net)
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(stimuli.len());
+    for cycle in stimuli {
+        // Drive inputs.
+        for (name, bit, net) in &input_bits {
+            let value = cycle.get(name).copied().unwrap_or(0);
+            net_values[net.index()] = (value >> bit) & 1 == 1;
+        }
+        // Drive flip-flop outputs from state.
+        for (&cell, &state) in &ff_state {
+            net_values[netlist.cell(cell).output.index()] = state;
+        }
+        // Combinational settle.
+        for &cell_id in &levelization.order {
+            let cell = netlist.cell(cell_id);
+            let inputs: Vec<bool> = cell.inputs.iter().map(|&n| net_values[n.index()]).collect();
+            net_values[cell.output.index()] = cell.kind.eval(&inputs);
+        }
+        // Sample outputs.
+        let mut out: HashMap<String, (i64, u8)> = HashMap::new();
+        for (name, bit, net) in &output_bits {
+            let entry = out.entry(name.clone()).or_insert((0, 0));
+            if net_values[net.index()] {
+                entry.0 |= 1 << bit;
+            }
+            entry.1 = entry.1.max(bit + 1);
+        }
+        let signed: HashMap<String, i64> = out
+            .into_iter()
+            .map(|(name, (raw, width))| (name, sign_extend(raw, width)))
+            .collect();
+        // Sanity: output ports must match the design's declared outputs.
+        debug_assert_eq!(signed.len(), design.outputs().len());
+        results.push(signed);
+
+        // Clock edge.
+        let next: Vec<(CellId, bool)> = ff_state
+            .keys()
+            .map(|&cell| {
+                let d = netlist.cell(cell).inputs[0];
+                (cell, net_values[d.index()])
+            })
+            .collect();
+        for (cell, value) in next {
+            ff_state.insert(cell, value);
+        }
+    }
+    results
+}
+
+fn split_bit_name(port: &str) -> (String, u8) {
+    let (name, bit) = port
+        .rsplit_once('_')
+        .expect("lowered port names end in _<bit>");
+    (name.to_string(), bit.parse().expect("bit index"))
+}
+
+fn sign_extend(raw: i64, width: u8) -> i64 {
+    let shift = 64 - u32::from(width);
+    (raw << shift) >> shift
+}

@@ -1,0 +1,104 @@
+//! # tmr-fpga
+//!
+//! Facade crate for the `tmr-fpga` workspace — a from-scratch reproduction of
+//! *"On the Optimal Design of Triple Modular Redundancy Logic for SRAM-based
+//! FPGAs"* (DATE 2005): a TMR transformation with configurable voter
+//! partitioning, an island-style SRAM FPGA model, a synthesis and
+//! place-and-route flow, and a bitstream fault-injection framework.
+//!
+//! The individual subsystems are re-exported as modules; [`flow`] provides
+//! one-call helpers covering the full paper flow (word-level design → TMR →
+//! LUT mapping → place-and-route → fault-injection campaign).
+//!
+//! ```
+//! use tmr_fpga::flow;
+//! use tmr_fpga::tmr::TmrConfig;
+//!
+//! let device = tmr_fpga::arch::Device::small(8, 8);
+//! let design = tmr_fpga::designs::counter(4);
+//! let tmr = tmr_fpga::tmr::apply_tmr(&design, &TmrConfig::paper_p2()).unwrap();
+//! let routed = flow::implement(&device, &tmr, 1).unwrap();
+//! assert!(routed.bitstream().count_ones() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tmr_arch as arch;
+pub use tmr_core as tmr;
+pub use tmr_designs as designs;
+pub use tmr_faultsim as faultsim;
+pub use tmr_netlist as netlist;
+pub use tmr_pnr as pnr;
+pub use tmr_sim as sim;
+pub use tmr_synth as synth;
+
+/// One-call helpers for the complete implementation flow.
+pub mod flow {
+    use std::error::Error;
+    use std::fmt;
+    use tmr_arch::Device;
+    use tmr_netlist::Netlist;
+    use tmr_pnr::{place_and_route, PnrError, RoutedDesign};
+    use tmr_synth::{lower, optimize, techmap, Design, LowerError, TechmapError};
+
+    /// Errors of the combined flow.
+    #[derive(Debug)]
+    pub enum FlowError {
+        /// Word-level lowering failed.
+        Lower(LowerError),
+        /// Technology mapping failed.
+        Techmap(TechmapError),
+        /// Placement or routing failed.
+        Pnr(PnrError),
+    }
+
+    impl fmt::Display for FlowError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                FlowError::Lower(e) => write!(f, "lowering failed: {e}"),
+                FlowError::Techmap(e) => write!(f, "technology mapping failed: {e}"),
+                FlowError::Pnr(e) => write!(f, "place-and-route failed: {e}"),
+            }
+        }
+    }
+
+    impl Error for FlowError {}
+
+    impl From<LowerError> for FlowError {
+        fn from(e: LowerError) -> Self {
+            FlowError::Lower(e)
+        }
+    }
+    impl From<TechmapError> for FlowError {
+        fn from(e: TechmapError) -> Self {
+            FlowError::Techmap(e)
+        }
+    }
+    impl From<PnrError> for FlowError {
+        fn from(e: PnrError) -> Self {
+            FlowError::Pnr(e)
+        }
+    }
+
+    /// Synthesises a word-level design to a technology-mapped LUT netlist
+    /// (lowering → dead-logic elimination → LUT mapping + I/O insertion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and mapping errors.
+    pub fn synthesize(design: &Design) -> Result<Netlist, FlowError> {
+        Ok(techmap(&optimize(&lower(design)?))?)
+    }
+
+    /// Runs the full implementation flow: synthesis, placement, routing and
+    /// bitstream generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis and place-and-route errors.
+    pub fn implement(device: &Device, design: &Design, seed: u64) -> Result<RoutedDesign, FlowError> {
+        let netlist = synthesize(design)?;
+        Ok(place_and_route(device, &netlist, seed)?)
+    }
+}

