@@ -111,7 +111,12 @@ impl Bitstream {
 
 impl fmt::Display for Bitstream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bitstream: {} bits, {} programmed", self.len, self.count_ones())
+        write!(
+            f,
+            "bitstream: {} bits, {} programmed",
+            self.len,
+            self.count_ones()
+        )
     }
 }
 

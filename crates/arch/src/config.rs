@@ -92,7 +92,8 @@ impl ConfigLayout {
 
         // Group resources by tile so the frame address space has the same
         // geographic locality as a real bitstream.
-        let tile_key = |x: u16, y: u16| (usize::from(y) * usize::from(params.cols)) + usize::from(x);
+        let tile_key =
+            |x: u16, y: u16| (usize::from(y) * usize::from(params.cols)) + usize::from(x);
         let tile_count = usize::from(params.cols) * usize::from(params.rows);
         let mut pips_by_tile: Vec<Vec<usize>> = vec![Vec::new(); tile_count];
         for (i, pip) in pips.iter().enumerate() {
@@ -271,10 +272,7 @@ mod tests {
         let d = Device::small(2, 2);
         let layout = d.config_layout();
         let counts = layout.counts_by_category();
-        assert_eq!(
-            counts[&BitCategory::LutContents],
-            d.lut_sites().len() * 16
-        );
+        assert_eq!(counts[&BitCategory::LutContents], d.lut_sites().len() * 16);
         assert_eq!(counts[&BitCategory::FlipFlop], d.ff_sites().len());
     }
 
@@ -283,10 +281,15 @@ mod tests {
         let d = Device::small(2, 2);
         let layout = d.config_layout();
         let lut_site = d.lut_sites()[0];
-        assert!(layout.bit_of(&ConfigResource::FfInit { site: lut_site }).is_none());
+        assert!(layout
+            .bit_of(&ConfigResource::FfInit { site: lut_site })
+            .is_none());
         let ff_site = d.ff_sites()[0];
         assert!(layout
-            .bit_of(&ConfigResource::LutBit { site: ff_site, bit: 0 })
+            .bit_of(&ConfigResource::LutBit {
+                site: ff_site,
+                bit: 0
+            })
             .is_none());
     }
 }

@@ -54,14 +54,20 @@ impl DeviceParams {
 
     /// Small parameters for unit tests and examples: fewer tracks and a single
     /// slice per tile, so graphs stay tiny.
+    ///
+    /// The channel width and pin connectivity are provisioned so that even a
+    /// near-fully-utilised tile grid remains routable: TMR designs pack three
+    /// redundant copies plus voters into the fabric, and with fewer track or
+    /// pin candidates the PathFinder negotiation cannot resolve the resulting
+    /// congestion no matter how large the grid is.
     pub fn small(cols: u16, rows: u16) -> Self {
         Self {
             cols,
             rows,
             slices_per_tile: 1,
-            tracks: 20,
-            out_pin_candidates: 6,
-            in_pin_candidates: 4,
+            tracks: 32,
+            out_pin_candidates: 8,
+            in_pin_candidates: 6,
             sb_same_tile: 3,
             sb_neighbor: 3,
             iobs_per_perimeter_tile: 2,
@@ -305,7 +311,12 @@ impl DeviceBuilder {
         let out = self.intern_node(RouteNode::OutPin { site: id });
         self.out_pin_of_site.push(out);
         let pins = (0..kind.input_pins())
-            .map(|p| self.intern_node(RouteNode::InPin { site: id, pin: p as u8 }))
+            .map(|p| {
+                self.intern_node(RouteNode::InPin {
+                    site: id,
+                    pin: p as u8,
+                })
+            })
             .collect();
         self.in_pins_of_site.push(pins);
         match kind {
@@ -377,7 +388,8 @@ impl DeviceBuilder {
             for pin in 0..site.kind.input_pins() {
                 let pin_node = self.in_pins_of_site[site_index][pin];
                 let pin_base =
-                    (site_index * 5 + pin * 11 + usize::from(tile.x) * 2 + usize::from(tile.y)) % tracks;
+                    (site_index * 5 + pin * 11 + usize::from(tile.x) * 2 + usize::from(tile.y))
+                        % tracks;
                 let pin_step = (tracks / p.in_pin_candidates.max(1) as usize).max(1);
                 for i in 0..p.in_pin_candidates as usize {
                     let track = ((pin_base + i * pin_step + i) % tracks) as u16;
@@ -568,7 +580,10 @@ mod tests {
         let clb = frac(BitCategory::ClbCustomization);
         let lut = frac(BitCategory::LutContents);
         let ff = frac(BitCategory::FlipFlop);
-        assert!(routing > 0.75 && routing < 0.90, "routing fraction {routing}");
+        assert!(
+            routing > 0.75 && routing < 0.90,
+            "routing fraction {routing}"
+        );
         assert!(clb > 0.03 && clb < 0.12, "clb fraction {clb}");
         assert!(lut > 0.05 && lut < 0.12, "lut fraction {lut}");
         assert!(ff < 0.02, "ff fraction {ff}");
@@ -589,11 +604,17 @@ mod tests {
     #[test]
     fn node_lookup_round_trips() {
         let d = Device::small(3, 3);
-        let node = RouteNode::Wire { tile: TileCoord::new(1, 1), track: 3 };
+        let node = RouteNode::Wire {
+            tile: TileCoord::new(1, 1),
+            track: 3,
+        };
         let id = d.node_id(node).expect("wire exists");
         assert_eq!(d.node(id), node);
         assert!(d
-            .node_id(RouteNode::Wire { tile: TileCoord::new(1, 1), track: 999 })
+            .node_id(RouteNode::Wire {
+                tile: TileCoord::new(1, 1),
+                track: 999
+            })
             .is_none());
     }
 }

@@ -149,9 +149,17 @@ mod tests {
 
     #[test]
     fn node_kind_predicates() {
-        let wire = RouteNode::Wire { tile: TileCoord::new(0, 0), track: 3 };
-        let inp = RouteNode::InPin { site: SiteId::from_index(0), pin: 1 };
-        let outp = RouteNode::OutPin { site: SiteId::from_index(0) };
+        let wire = RouteNode::Wire {
+            tile: TileCoord::new(0, 0),
+            track: 3,
+        };
+        let inp = RouteNode::InPin {
+            site: SiteId::from_index(0),
+            pin: 1,
+        };
+        let outp = RouteNode::OutPin {
+            site: SiteId::from_index(0),
+        };
         assert!(wire.is_wire() && !wire.is_in_pin() && !wire.is_out_pin());
         assert!(inp.is_in_pin());
         assert!(outp.is_out_pin());

@@ -86,7 +86,10 @@ pub struct Site {
 impl Site {
     /// Human-readable name, e.g. `LUT_X2Y5_3`.
     pub fn name(&self) -> String {
-        format!("{}_X{}Y{}_{}", self.kind, self.tile.x, self.tile.y, self.index_in_tile)
+        format!(
+            "{}_X{}Y{}_{}",
+            self.kind, self.tile.x, self.tile.y, self.index_in_tile
+        )
     }
 }
 

@@ -1,22 +1,36 @@
 //! Criterion benchmarks of the individual flow stages on reduced designs:
 //! TMR transformation, synthesis, placement, routing, bitstream generation and
 //! fault-injection throughput. One group per paper table/figure family.
+//!
+//! The `campaign_throughput` group is the headline number: it measures
+//! faults/second on the FIR `TMR_p2` design for the sequential engine and for
+//! the sharded parallel engine at 2, 4 and 8 shards. To record a baseline:
+//!
+//! ```text
+//! cargo bench -p tmr-bench --bench flow | tee target/bench-baseline.txt
+//! ```
+//!
+//! and compare the `thrpt:` columns of `campaign_throughput/*` lines between
+//! runs (the parallel/4-shard row is expected to be ≥ 2× the sequential row
+//! on a 4-core machine).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tmr_arch::Device;
 use tmr_core::{apply_tmr, estimate_resources, partition_report, TmrConfig};
 use tmr_designs::FirFilter;
-use tmr_faultsim::{classify_bit, run_campaign, CampaignOptions, FaultList};
-use tmr_pnr::{place, place_and_route, route, PlacerOptions, RouterOptions};
-use tmr_sim::{random_vectors, FaultOverlay, Simulator};
-use tmr_synth::{lower, optimize, techmap};
+use tmr_faultsim::{classify_bit, CampaignEngine, CampaignOptions, FaultList};
+use tmr_pnr::{place, place_and_route, route, PlacerOptions, RoutedDesign, RouterOptions};
+use tmr_sim::{FaultOverlay, Simulator, Stimulus};
 
 /// The reduced FIR used by all benches (5 taps, 6-bit) keeps `cargo bench`
 /// runtimes in seconds while exercising every code path of the full flow.
 fn small_tmr_netlist(config: &TmrConfig) -> tmr_netlist::Netlist {
     let design = FirFilter::small_filter().to_design();
     let tmr = apply_tmr(&design, config).expect("unprotected input design");
-    techmap(&optimize(&lower(&tmr).expect("lowering"))).expect("mapping")
+    tmr_synth::techmap(&tmr_synth::optimize(
+        &tmr_synth::lower(&tmr).expect("lowering"),
+    ))
+    .expect("mapping")
 }
 
 /// Figure 4 family: the TMR transformation and partition analysis.
@@ -40,11 +54,16 @@ fn bench_implementation(c: &mut Criterion) {
     let design = FirFilter::small_filter().to_design();
     let tmr = apply_tmr(&design, &TmrConfig::paper_p2()).expect("transform");
     group.bench_function("synthesize_small_tmr_p2", |b| {
-        b.iter(|| techmap(&optimize(&lower(&tmr).expect("lowering"))).expect("mapping"))
+        b.iter(|| {
+            tmr_synth::techmap(&tmr_synth::optimize(
+                &tmr_synth::lower(&tmr).expect("lowering"),
+            ))
+            .expect("mapping")
+        })
     });
 
     let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
-    let device = Device::small(16, 16);
+    let device = Device::small(20, 20); // 800 LUT sites; small TMR_p2 needs 777
     group.bench_function("place_small_tmr_p2", |b| {
         b.iter(|| place(&device, &netlist, &PlacerOptions::default()).expect("placement"))
     });
@@ -52,17 +71,19 @@ fn bench_implementation(c: &mut Criterion) {
     group.bench_function("route_small_tmr_p2", |b| {
         b.iter(|| route(&device, &netlist, &placement, &RouterOptions::default()).expect("routing"))
     });
-    group.bench_function("estimate_resources", |b| b.iter(|| estimate_resources(&netlist)));
+    group.bench_function("estimate_resources", |b| {
+        b.iter(|| estimate_resources(&netlist))
+    });
     group.finish();
 }
 
-/// Table 3 / Table 4 family: fault-list construction, classification,
-/// simulation and campaign throughput.
+/// Table 3 / Table 4 family: fault-list construction, classification and
+/// simulation building blocks.
 fn bench_fault_injection(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_fault_injection");
     group.sample_size(10);
     let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
-    let device = Device::small(16, 16);
+    let device = Device::small(20, 20); // 800 LUT sites; small TMR_p2 needs 777
     let routed = place_and_route(&device, &netlist, 1).expect("place and route");
 
     group.bench_function("fault_list_build", |b| {
@@ -75,37 +96,61 @@ fn bench_fault_injection(c: &mut Criterion) {
         b.iter(|| {
             sample
                 .iter()
-                .map(|&bit| classify_bit(&device, &routed, bit))
+                .filter(|&&bit| !classify_bit(&device, &routed, bit).overlay.is_empty())
                 .count()
         })
     });
 
     let simulator = Simulator::new(routed.netlist()).expect("acyclic");
-    let vectors = random_vectors(routed.netlist(), 24, 7);
+    let stimulus = Stimulus::random(routed.netlist(), 24, 7);
     group.bench_function("simulate_24_cycles", |b| {
-        b.iter(|| simulator.run(&vectors, &FaultOverlay::none()))
-    });
-
-    group.bench_function("campaign_100_faults", |b| {
-        b.iter_batched(
-            || (),
-            |_| {
-                run_campaign(
-                    &device,
-                    &routed,
-                    &CampaignOptions {
-                        faults: 100,
-                        cycles: 12,
-                        ..CampaignOptions::default()
-                    },
-                )
-                .expect("campaign")
-            },
-            BatchSize::PerIteration,
-        )
+        b.iter(|| simulator.run_stimulus(&stimulus, &FaultOverlay::none()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_transform, bench_implementation, bench_fault_injection);
+/// Campaign throughput (faults/second): the sequential engine against the
+/// sharded parallel engine on the FIR `TMR_p2` design.
+fn bench_campaign_throughput(c: &mut Criterion) {
+    const FAULTS: usize = 600;
+    let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
+    let device = Device::small(20, 20);
+    let routed: RoutedDesign = place_and_route(&device, &netlist, 1).expect("place and route");
+    let options = CampaignOptions {
+        faults: FAULTS,
+        cycles: 12,
+        ..CampaignOptions::default()
+    };
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(FAULTS as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            CampaignEngine::new(&device, &routed, options)
+                .sequential()
+                .run()
+                .expect("campaign")
+        })
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench_function(format!("parallel_{shards}_shards"), |b| {
+            b.iter(|| {
+                CampaignEngine::new(&device, &routed, options)
+                    .with_shards(shards)
+                    .run()
+                    .expect("campaign")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_implementation,
+    bench_fault_injection,
+    bench_campaign_throughput
+);
 criterion_main!(benches);

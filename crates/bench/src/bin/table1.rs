@@ -20,14 +20,17 @@ fn main() {
         ],
         vec![
             "Routing".to_string(),
-            "Connection (bridge/antenna/conflict) or disconnection (open) between signals".to_string(),
-            "Error in one redundant part, or in more than one part with a TMR output error".to_string(),
+            "Connection (bridge/antenna/conflict) or disconnection (open) between signals"
+                .to_string(),
+            "Error in one redundant part, or in more than one part with a TMR output error"
+                .to_string(),
             "By scrubbing".to_string(),
         ],
         vec![
             "CLB customization (MUX)".to_string(),
             "Connection or disconnection between signals inside the same CLB".to_string(),
-            "Error in one redundant part, or in more than one part with a TMR output error".to_string(),
+            "Error in one redundant part, or in more than one part with a TMR output error"
+                .to_string(),
             "By scrubbing".to_string(),
         ],
         vec![
@@ -40,7 +43,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Upset location", "Upset effect", "Consequences", "Upset correction"],
+            &[
+                "Upset location",
+                "Upset effect",
+                "Consequences",
+                "Upset correction"
+            ],
             &rows
         )
     );

@@ -59,13 +59,55 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Design", "Area (#slices)", "#routing bits", "#LUT bits", "#FF bits", "Est. performance"],
             &[
-                vec!["standard".into(), "150".into(), "42,953".into(), "9,600".into(), "722".into(), "154 MHz".into()],
-                vec!["tmr_p1".into(), "560".into(), "138,453".into(), "35,840".into(), "3,498".into(), "123 MHz".into()],
-                vec!["tmr_p2".into(), "504".into(), "161,568".into(), "32,256".into(), "3,492".into(), "137 MHz".into()],
-                vec!["tmr_p3".into(), "498".into(), "151,994".into(), "31,872".into(), "3,447".into(), "153 MHz".into()],
-                vec!["tmr_p3_nv".into(), "476".into(), "150,521".into(), "30,464".into(), "2,141".into(), "154 MHz".into()],
+                "Design",
+                "Area (#slices)",
+                "#routing bits",
+                "#LUT bits",
+                "#FF bits",
+                "Est. performance"
+            ],
+            &[
+                vec![
+                    "standard".into(),
+                    "150".into(),
+                    "42,953".into(),
+                    "9,600".into(),
+                    "722".into(),
+                    "154 MHz".into()
+                ],
+                vec![
+                    "tmr_p1".into(),
+                    "560".into(),
+                    "138,453".into(),
+                    "35,840".into(),
+                    "3,498".into(),
+                    "123 MHz".into()
+                ],
+                vec![
+                    "tmr_p2".into(),
+                    "504".into(),
+                    "161,568".into(),
+                    "32,256".into(),
+                    "3,492".into(),
+                    "137 MHz".into()
+                ],
+                vec![
+                    "tmr_p3".into(),
+                    "498".into(),
+                    "151,994".into(),
+                    "31,872".into(),
+                    "3,447".into(),
+                    "153 MHz".into()
+                ],
+                vec![
+                    "tmr_p3_nv".into(),
+                    "476".into(),
+                    "150,521".into(),
+                    "30,464".into(),
+                    "2,141".into(),
+                    "154 MHz".into()
+                ],
             ]
         )
     );

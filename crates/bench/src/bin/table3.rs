@@ -4,13 +4,17 @@
 //!
 //! The number of injected faults per design is controlled by the `TMR_FAULTS`
 //! environment variable (default 4000) and the stimulus length by
-//! `TMR_CYCLES` (default 24).
+//! `TMR_CYCLES` (default 24). Campaigns run on the sharded parallel engine
+//! (one shard per CPU core; override with `TMR_SHARDS`); results are
+//! bit-identical to the sequential path for any shard count.
 //!
 //! ```text
 //! TMR_FAULTS=4000 cargo run --release -p tmr-bench --bin table3
 //! ```
 
-use tmr_bench::{campaign, cycles_from_env, faults_from_env, implement_fir_variants, markdown_table};
+use tmr_bench::{
+    campaign, cycles_from_env, faults_from_env, implement_fir_variants, markdown_table,
+};
 
 fn main() {
     let faults = faults_from_env();
@@ -63,13 +67,43 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Design", "Injected faults [#]", "Wrong answer [#]", "Wrong answer [%]"],
             &[
-                vec!["standard".into(), "5,100".into(), "4,952".into(), "97.10".into()],
-                vec!["tmr_p1".into(), "17,515".into(), "706".into(), "4.03".into()],
-                vec!["tmr_p2".into(), "19,401".into(), "190".into(), "0.98".into()],
-                vec!["tmr_p3".into(), "18,501".into(), "289".into(), "1.56".into()],
-                vec!["tmr_p3_nv".into(), "18,000".into(), "2,268".into(), "12.60".into()],
+                "Design",
+                "Injected faults [#]",
+                "Wrong answer [#]",
+                "Wrong answer [%]"
+            ],
+            &[
+                vec![
+                    "standard".into(),
+                    "5,100".into(),
+                    "4,952".into(),
+                    "97.10".into()
+                ],
+                vec![
+                    "tmr_p1".into(),
+                    "17,515".into(),
+                    "706".into(),
+                    "4.03".into()
+                ],
+                vec![
+                    "tmr_p2".into(),
+                    "19,401".into(),
+                    "190".into(),
+                    "0.98".into()
+                ],
+                vec![
+                    "tmr_p3".into(),
+                    "18,501".into(),
+                    "289".into(),
+                    "1.56".into()
+                ],
+                vec![
+                    "tmr_p3_nv".into(),
+                    "18,000".into(),
+                    "2,268".into(),
+                    "12.60".into()
+                ],
             ]
         )
     );

@@ -4,13 +4,16 @@
 //! Others).
 //!
 //! Fault count and stimulus length are controlled by `TMR_FAULTS` and
-//! `TMR_CYCLES`, as for `table3`.
+//! `TMR_CYCLES`, and the campaign shard count by `TMR_SHARDS`, as for
+//! `table3` (campaigns run on the sharded parallel engine).
 //!
 //! ```text
 //! cargo run --release -p tmr-bench --bin table4
 //! ```
 
-use tmr_bench::{campaign, cycles_from_env, faults_from_env, implement_fir_variants, markdown_table};
+use tmr_bench::{
+    campaign, cycles_from_env, faults_from_env, implement_fir_variants, markdown_table,
+};
 use tmr_faultsim::FaultClass;
 
 fn main() {

@@ -15,7 +15,7 @@
 use tmr_arch::{Device, DeviceParams};
 use tmr_core::{estimate_resources, paper_variants, ResourceEstimate};
 use tmr_designs::FirFilter;
-use tmr_faultsim::{run_campaign, CampaignOptions, CampaignResult};
+use tmr_faultsim::{CampaignEngine, CampaignOptions, CampaignResult};
 use tmr_netlist::Netlist;
 use tmr_pnr::{place_and_route, BitReport, RoutedDesign};
 use tmr_synth::{lower, optimize, techmap, Design};
@@ -47,8 +47,16 @@ pub fn paper_device(netlists: &[&Netlist]) -> Device {
         })
         .max()
         .unwrap_or(0);
-    let max_ffs = netlists.iter().map(|n| n.stats().flip_flops).max().unwrap_or(0);
-    let max_iobs = netlists.iter().map(|n| n.stats().io_buffers).max().unwrap_or(0);
+    let max_ffs = netlists
+        .iter()
+        .map(|n| n.stats().flip_flops)
+        .max()
+        .unwrap_or(0);
+    let max_iobs = netlists
+        .iter()
+        .map(|n| n.stats().io_buffers)
+        .max()
+        .unwrap_or(0);
 
     let fits = |params: &DeviceParams| {
         let tiles = usize::from(params.cols) * usize::from(params.rows);
@@ -114,23 +122,37 @@ pub fn implement_fir_variants(seed: u64) -> (Device, Vec<ImplementedDesign>) {
     (device, implementations)
 }
 
-/// Runs the fault-injection campaign of one implemented design.
+/// Runs the fault-injection campaign of one implemented design through the
+/// sharded [`CampaignEngine`] (one shard per CPU core, or `TMR_SHARDS` when
+/// set; results are bit-identical to the sequential path for any shard
+/// count).
 pub fn campaign(
     device: &Device,
     implemented: &ImplementedDesign,
     faults: usize,
     cycles: usize,
 ) -> CampaignResult {
-    run_campaign(
+    let mut engine = CampaignEngine::new(
         device,
         &implemented.routed,
-        &CampaignOptions {
+        CampaignOptions {
             faults,
             cycles,
             ..CampaignOptions::default()
         },
-    )
-    .expect("flow netlists are always simulable")
+    );
+    if let Some(shards) = shards_from_env() {
+        engine = engine.with_shards(shards);
+    }
+    engine.run().expect("flow netlists are always simulable")
+}
+
+/// Explicit shard count for campaigns, configurable through the `TMR_SHARDS`
+/// environment variable (default: one shard per CPU core).
+pub fn shards_from_env() -> Option<usize> {
+    std::env::var("TMR_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
 }
 
 /// Number of faults per campaign, configurable through the `TMR_FAULTS`
@@ -178,7 +200,10 @@ mod tests {
     #[test]
     fn fir_variants_are_the_five_paper_designs() {
         let names: Vec<String> = fir_variants().into_iter().map(|(n, _)| n).collect();
-        assert_eq!(names, ["standard", "tmr_p1", "tmr_p2", "tmr_p3", "tmr_p3_nv"]);
+        assert_eq!(
+            names,
+            ["standard", "tmr_p1", "tmr_p2", "tmr_p3", "tmr_p3_nv"]
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl PartitionReport {
 
     /// The largest partition size in nodes.
     pub fn max_partition_nodes(&self) -> usize {
-        self.partitions.iter().map(PartitionInfo::total_nodes).max().unwrap_or(0)
+        self.partitions
+            .iter()
+            .map(PartitionInfo::total_nodes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean partition size in nodes.
@@ -64,7 +68,10 @@ impl PartitionReport {
         if self.partitions.is_empty() {
             return 0.0;
         }
-        self.partitions.iter().map(PartitionInfo::total_nodes).sum::<usize>() as f64
+        self.partitions
+            .iter()
+            .map(PartitionInfo::total_nodes)
+            .sum::<usize>() as f64
             / self.partitions.len() as f64
     }
 
@@ -73,7 +80,10 @@ impl PartitionReport {
     /// minimises *per voter*: too few voters concentrate exposure in huge
     /// partitions, too many voters add cross-domain wiring of their own.
     pub fn total_cross_domain_pairs(&self) -> usize {
-        self.partitions.iter().map(PartitionInfo::cross_domain_pairs).sum()
+        self.partitions
+            .iter()
+            .map(PartitionInfo::cross_domain_pairs)
+            .sum()
     }
 }
 

@@ -49,9 +49,7 @@ pub fn estimate_resources(netlist: &Netlist) -> ResourceEstimate {
     let luts = stats.luts + stats.constants;
     let flip_flops = stats.flip_flops;
     let slices = usize::max(luts.div_ceil(2), flip_flops.div_ceil(2));
-    let logic_depth = netlist
-        .logic_depth()
-        .expect("mapped netlists are acyclic");
+    let logic_depth = netlist.logic_depth().expect("mapped netlists are acyclic");
     let critical_path = CLOCK_OVERHEAD_NS + logic_depth as f64 * LUT_DELAY_NS;
     let fmax_mhz = 1000.0 / critical_path;
     ResourceEstimate {
@@ -80,7 +78,8 @@ mod tests {
             .unwrap();
         nl.add_cell("l2", CellKind::Lut { k: 2, init: 0b0110 }, vec![x, b], y)
             .unwrap();
-        nl.add_cell("ff", CellKind::Dff { init: false }, vec![y], q).unwrap();
+        nl.add_cell("ff", CellKind::Dff { init: false }, vec![y], q)
+            .unwrap();
         nl.add_output("q", q);
         nl
     }
@@ -101,7 +100,11 @@ mod tests {
         let shallow = estimate_resources(&two_level_netlist());
         // Chain four more LUTs.
         let mut nl = two_level_netlist();
-        let mut prev = nl.find_port("a", tmr_netlist::PortDir::Input).unwrap().1.net;
+        let mut prev = nl
+            .find_port("a", tmr_netlist::PortDir::Input)
+            .unwrap()
+            .1
+            .net;
         for i in 0..4 {
             let next = nl.add_net(format!("c{i}"));
             nl.add_cell(
@@ -126,8 +129,13 @@ mod tests {
         let mut prev = a;
         for i in 0..8 {
             let q = nl.add_net(format!("q{i}"));
-            nl.add_cell(format!("ff{i}"), CellKind::Dff { init: false }, vec![prev], q)
-                .unwrap();
+            nl.add_cell(
+                format!("ff{i}"),
+                CellKind::Dff { init: false },
+                vec![prev],
+                q,
+            )
+            .unwrap();
             prev = q;
         }
         nl.add_output("y", prev);

@@ -30,10 +30,9 @@ impl VoterPlacement {
     /// placement.
     pub fn votes_node(self, node: &WordNode) -> bool {
         match self {
-            VoterPlacement::EveryComponent => matches!(
-                node.op,
-                WordOp::Add | WordOp::Sub | WordOp::MulConst { .. }
-            ),
+            VoterPlacement::EveryComponent => {
+                matches!(node.op, WordOp::Add | WordOp::Sub | WordOp::MulConst { .. })
+            }
             VoterPlacement::AfterAdders => matches!(node.op, WordOp::Add | WordOp::Sub),
             VoterPlacement::OutputsOnly => false,
         }
@@ -162,9 +161,9 @@ pub fn apply_tmr(design: &Design, config: &TmrConfig) -> Result<Design, TmrError
         };
         let out_sig = node.output.expect("registers produce a signal");
         let width = design.signal(out_sig).width;
-        let placeholder = *placeholders.entry(width).or_insert_with(|| {
-            out.add_const(format!("tmr_placeholder_w{width}"), 0, width)
-        });
+        let placeholder = *placeholders
+            .entry(width)
+            .or_insert_with(|| out.add_const(format!("tmr_placeholder_w{width}"), 0, width));
 
         let mut copies = [WordNodeId::from_index(0); 3];
         let mut raw = [SignalId::from_index(0); 3];
@@ -195,7 +194,9 @@ pub fn apply_tmr(design: &Design, config: &TmrConfig) -> Result<Design, TmrError
     for node_id in design.topological_order() {
         let node = design.node(node_id);
         match &node.op {
-            WordOp::Register { .. } => unreachable!("registers are excluded from the topological order"),
+            WordOp::Register { .. } => {
+                unreachable!("registers are excluded from the topological order")
+            }
             WordOp::Input => {
                 let out_sig = node.output.expect("inputs produce a signal");
                 let width = design.signal(out_sig).width;
@@ -233,11 +234,7 @@ pub fn apply_tmr(design: &Design, config: &TmrConfig) -> Result<Design, TmrError
                     // logic block (modelled as pad-level voting, immune to
                     // configuration upsets).
                     for (d, domain) in Domain::REDUNDANT.iter().enumerate() {
-                        out.add_output_in_domain(
-                            format!("{port}_tr{d}"),
-                            sources[0][d],
-                            *domain,
-                        );
+                        out.add_output_in_domain(format!("{port}_tr{d}"), sources[0][d], *domain);
                     }
                 } else {
                     // Ablation variant: a single in-fabric voter LUT reduces
@@ -262,7 +259,8 @@ pub fn apply_tmr(design: &Design, config: &TmrConfig) -> Result<Design, TmrError
                 let sources = mapped_inputs(&map, node)?;
                 let mut raw = [SignalId::from_index(0); 3];
                 for (d, domain) in Domain::REDUNDANT.iter().enumerate() {
-                    let inputs: Vec<SignalId> = sources.iter().map(|per_domain| per_domain[d]).collect();
+                    let inputs: Vec<SignalId> =
+                        sources.iter().map(|per_domain| per_domain[d]).collect();
                     let (_, sig) = out.add_node_in_domain(
                         format!("{}_tr{d}", node.name),
                         node.op.clone(),
@@ -287,9 +285,11 @@ pub fn apply_tmr(design: &Design, config: &TmrConfig) -> Result<Design, TmrError
     // Phase 3: close register feedback.
     // ------------------------------------------------------------------
     for (orig_input, copies) in register_patches {
-        let sources = map
-            .get(&orig_input)
-            .ok_or(TmrError::Design(tmr_synth::DesignError::UnknownSignal(orig_input)))?;
+        let sources =
+            map.get(&orig_input)
+                .ok_or(TmrError::Design(tmr_synth::DesignError::UnknownSignal(
+                    orig_input,
+                )))?;
         for (d, &copy) in copies.iter().enumerate() {
             out.replace_input(copy, 0, sources[d])?;
         }
@@ -334,7 +334,9 @@ fn mapped_inputs(
         .map(|sig| {
             map.get(sig)
                 .copied()
-                .ok_or(TmrError::Design(tmr_synth::DesignError::UnknownSignal(*sig)))
+                .ok_or(TmrError::Design(tmr_synth::DesignError::UnknownSignal(
+                    *sig,
+                )))
         })
         .collect()
 }
@@ -397,6 +399,106 @@ mod tests {
             .collect()
     }
 
+    /// Builds one design containing every votable node kind and returns the
+    /// node matching `name`.
+    fn node_by_name(design: &Design, name: &str) -> WordNode {
+        design
+            .nodes()
+            .find(|(_, node)| node.name == name)
+            .map(|(_, node)| node.clone())
+            .unwrap_or_else(|| panic!("node `{name}` not found"))
+    }
+
+    #[test]
+    fn votes_node_follows_the_partition_definitions() {
+        let mut d = Design::new("ops");
+        let a = d.add_input("a", 6);
+        let b = d.add_input("b", 6);
+        let m = d.add_mul_const("m", a, 3, 9);
+        let s = d.add_add("s", m, b, 9);
+        let t = d.add_sub("t", s, b, 9);
+        let q = d.add_register("q", t);
+        d.add_output("y", q);
+
+        let mul = node_by_name(&d, "m");
+        let add = node_by_name(&d, "s");
+        let sub = node_by_name(&d, "t");
+        let reg = node_by_name(&d, "q");
+        let input = node_by_name(&d, "a");
+        let output = node_by_name(&d, "out_y");
+
+        // Maximum partition: every combinational component is voted.
+        for node in [&mul, &add, &sub] {
+            assert!(
+                VoterPlacement::EveryComponent.votes_node(node),
+                "{}",
+                node.name
+            );
+        }
+        // Medium partition: adders and subtractors only, not multipliers.
+        assert!(VoterPlacement::AfterAdders.votes_node(&add));
+        assert!(VoterPlacement::AfterAdders.votes_node(&sub));
+        assert!(!VoterPlacement::AfterAdders.votes_node(&mul));
+        // Minimum partition: no combinational voters at all.
+        for node in [&mul, &add, &sub] {
+            assert!(
+                !VoterPlacement::OutputsOnly.votes_node(node),
+                "{}",
+                node.name
+            );
+        }
+        // Registers, inputs and outputs are never combinational vote points
+        // (registers are controlled by `vote_registers` instead).
+        for placement in [
+            VoterPlacement::EveryComponent,
+            VoterPlacement::AfterAdders,
+            VoterPlacement::OutputsOnly,
+        ] {
+            for node in [&reg, &input, &output] {
+                assert!(
+                    !placement.votes_node(node),
+                    "{placement:?} voting {}",
+                    node.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_preset_constructors_match_the_figure4_variants() {
+        let p1 = TmrConfig::paper_p1();
+        assert_eq!(p1.placement, VoterPlacement::EveryComponent);
+        assert!(p1.vote_registers);
+        assert!(p1.output_voter_in_iob);
+        assert_eq!(p1.label, "p1");
+
+        let p2 = TmrConfig::paper_p2();
+        assert_eq!(p2.placement, VoterPlacement::AfterAdders);
+        assert!(p2.vote_registers);
+        assert!(p2.output_voter_in_iob);
+        assert_eq!(p2.label, "p2");
+
+        let p3 = TmrConfig::paper_p3();
+        assert_eq!(p3.placement, VoterPlacement::OutputsOnly);
+        assert!(p3.vote_registers);
+        assert!(p3.output_voter_in_iob);
+        assert_eq!(p3.label, "p3");
+
+        // p3_nv is p3 with unvoted (merely triplicated) registers.
+        let p3_nv = TmrConfig::paper_p3_nv();
+        assert_eq!(p3_nv.placement, VoterPlacement::OutputsOnly);
+        assert!(!p3_nv.vote_registers);
+        assert!(p3_nv.output_voter_in_iob);
+        assert_eq!(p3_nv.label, "p3_nv");
+
+        // The preset list is the paper's evaluation order.
+        let labels: Vec<String> = TmrConfig::paper_presets()
+            .into_iter()
+            .map(|c| c.label)
+            .collect();
+        assert_eq!(labels, ["p1", "p2", "p3", "p3_nv"]);
+    }
+
     #[test]
     fn triplicates_logic_and_inputs() {
         let original = small_design();
@@ -406,21 +508,28 @@ mod tests {
         assert_eq!(stats.multipliers, 3);
         assert_eq!(stats.registers, 3);
         assert_eq!(stats.inputs, 6);
-        assert_eq!(stats.outputs, 3, "outputs are triplicated and voted at the pads");
+        assert_eq!(
+            stats.outputs, 3,
+            "outputs are triplicated and voted at the pads"
+        );
     }
 
     #[test]
     fn voter_counts_follow_the_partition_ordering() {
         let original = small_design();
-        let count = |config: &TmrConfig| {
-            apply_tmr(&original, config).unwrap().stats().voters
-        };
+        let count = |config: &TmrConfig| apply_tmr(&original, config).unwrap().stats().voters;
         let p1 = count(&TmrConfig::paper_p1());
         let p2 = count(&TmrConfig::paper_p2());
         let p3 = count(&TmrConfig::paper_p3());
         let p3_nv = count(&TmrConfig::paper_p3_nv());
-        assert!(p1 > p2, "max partition has more voters than medium ({p1} vs {p2})");
-        assert!(p2 > p3, "medium partition has more voters than minimum ({p2} vs {p3})");
+        assert!(
+            p1 > p2,
+            "max partition has more voters than medium ({p1} vs {p2})"
+        );
+        assert!(
+            p2 > p3,
+            "medium partition has more voters than minimum ({p2} vs {p3})"
+        );
         assert!(p3 > p3_nv, "voted registers add voters ({p3} vs {p3_nv})");
         // Exact counts for this design: 1 mul + 1 add voted in p1 (2*3), only
         // the adder in p2 (1*3), none in p3; registers add 3 except in p3_nv.
@@ -433,13 +542,18 @@ mod tests {
 
     /// Checks that every triplicated output copy of `actual` matches the
     /// single output of `expected`, cycle by cycle.
-    fn assert_tmr_equivalent(expected: &[Map<String, i64>], actual: &[Map<String, i64>], label: &str) {
+    fn assert_tmr_equivalent(
+        expected: &[Map<String, i64>],
+        actual: &[Map<String, i64>],
+        label: &str,
+    ) {
         assert_eq!(expected.len(), actual.len());
         for (cycle, (exp, act)) in expected.iter().zip(actual.iter()).enumerate() {
             for (port, value) in exp {
                 for d in 0..3 {
                     assert_eq!(
-                        act[&format!("{port}_tr{d}")], *value,
+                        act[&format!("{port}_tr{d}")],
+                        *value,
                         "variant {label}, cycle {cycle}, output {port}_tr{d}"
                     );
                 }
@@ -450,7 +564,14 @@ mod tests {
     #[test]
     fn tmr_design_is_functionally_equivalent() {
         let original = small_design();
-        let values = [(0i64, 0i64), (5, 7), (-20, 3), (31, -32), (-1, -1), (12, 13)];
+        let values = [
+            (0i64, 0i64),
+            (5, 7),
+            (-20, 3),
+            (31, -32),
+            (-1, -1),
+            (12, 13),
+        ];
         let expected = original.evaluate(&plain_stimuli(&values));
         for config in TmrConfig::paper_presets() {
             let tmr = apply_tmr(&original, &config).unwrap();
@@ -504,7 +625,8 @@ mod tests {
         // At least one output copy (in fact all of them, because the corrupted
         // value wins the internal votes) differs from the reference.
         let diverged = expected.iter().zip(actual.iter()).any(|(exp, act)| {
-            exp.iter().any(|(port, value)| act[&format!("{port}_tr0")] != *value)
+            exp.iter()
+                .any(|(port, value)| act[&format!("{port}_tr0")] != *value)
         });
         assert!(diverged, "two faulty domains cannot be voted out");
     }
@@ -515,7 +637,13 @@ mod tests {
         let mut d = Design::new("acc");
         let x = d.add_input("x", 8);
         let (reg, acc) = d
-            .add_node_in_domain("acc", WordOp::Register { init: 0 }, vec![x], None, Domain::None)
+            .add_node_in_domain(
+                "acc",
+                WordOp::Register { init: 0 },
+                vec![x],
+                None,
+                Domain::None,
+            )
             .unwrap();
         let acc = acc.unwrap();
         let sum = d.add_add("sum", acc, x, 8);

@@ -173,7 +173,9 @@ mod tests {
     fn design_evaluation_matches_reference_response() {
         let fir = FirFilter::paper_filter();
         let design = fir.to_design();
-        let samples: Vec<i64> = vec![0, 10, -20, 255, -256, 100, 0, 0, 37, -1, 5, 9, -200, 13, 0, 0, 0];
+        let samples: Vec<i64> = vec![
+            0, 10, -20, 255, -256, 100, 0, 0, 37, -1, 5, 9, -200, 13, 0, 0, 0,
+        ];
         let stimuli: Vec<HashMap<String, i64>> = samples
             .iter()
             .map(|&s| {
@@ -193,7 +195,7 @@ mod tests {
     fn impulse_response_reproduces_coefficients() {
         let fir = FirFilter::paper_filter();
         let mut samples = vec![1i64];
-        samples.extend(std::iter::repeat(0).take(12));
+        samples.extend(std::iter::repeat_n(0, 12));
         let response = fir.reference_response(&samples);
         for (i, &coeff) in fir.taps().iter().enumerate() {
             assert_eq!(response[i], coeff, "impulse response tap {i}");

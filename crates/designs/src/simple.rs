@@ -17,7 +17,13 @@ pub fn accumulator(width: u8) -> Design {
     // placeholder input, build the adder that reads the register output, then
     // patch the register input to the adder output.
     let (reg_node, acc) = design
-        .add_node_in_domain("acc", WordOp::Register { init: 0 }, vec![x], None, Domain::None)
+        .add_node_in_domain(
+            "acc",
+            WordOp::Register { init: 0 },
+            vec![x],
+            None,
+            Domain::None,
+        )
         .expect("register construction");
     let acc = acc.expect("registers produce a signal");
     let sum = design.add_add("sum", acc, x, width);

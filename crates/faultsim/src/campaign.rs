@@ -1,11 +1,11 @@
 //! The Fault Injection Manager: campaign execution and result tables.
 
-use crate::{classify_bit, FaultClass, FaultList};
+use crate::{classify_bit, CampaignEngine, FaultClass};
 use std::collections::BTreeMap;
 use std::fmt;
 use tmr_arch::Device;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{random_vectors, FaultOverlay, OutputGroups, SimError, Simulator};
+use tmr_sim::{OutputGroups, SimError, SimTrace, Simulator, Stimulus};
 
 /// Options of a fault-injection campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,43 +141,48 @@ pub fn run_campaign(
     routed: &RoutedDesign,
     options: &CampaignOptions,
 ) -> Result<CampaignResult, SimError> {
-    let netlist = routed.netlist();
-    let simulator = Simulator::new(netlist)?;
-    let vectors = random_vectors(netlist, options.cycles, options.stimulus_seed);
-    let golden = simulator.run(&vectors, &FaultOverlay::none());
-    // Triplicated outputs are voted in the output logic block (at the pads),
-    // outside the reach of configuration upsets, before comparison.
-    let output_groups = OutputGroups::new(netlist);
+    CampaignEngine::new(device, routed, *options)
+        .sequential()
+        .run()
+}
 
-    let fault_list = FaultList::build(device, routed);
-    let sample = fault_list.sample(options.faults, options.sampling_seed);
-
-    let mut outcomes = Vec::with_capacity(sample.len());
-    for bit in sample {
-        let effect = classify_bit(device, routed, bit);
-        let (wrong_answer, first_error_cycle) = if effect.overlay.is_empty() {
-            (false, None)
-        } else {
-            let trace = simulator.run(&vectors, &effect.overlay);
-            match output_groups.first_voted_mismatch(&golden, &trace) {
-                Some(cycle) => (true, Some(cycle)),
-                None => (false, None),
+/// Injects the faults of one shard (any contiguous slice of the sampled fault
+/// list) and returns their outcomes, in slice order.
+///
+/// This is the single per-fault code path shared by the sequential and the
+/// parallel campaign engines: for a given `(bit, stimulus, golden)` triple
+/// the outcome is a pure function, which is what makes sharded campaigns
+/// bit-identical to sequential ones.
+pub(crate) fn run_shard(
+    device: &Device,
+    routed: &RoutedDesign,
+    simulator: &Simulator<'_>,
+    stimulus: &Stimulus,
+    golden: &SimTrace,
+    output_groups: &OutputGroups,
+    bits: &[usize],
+) -> Vec<FaultOutcome> {
+    bits.iter()
+        .map(|&bit| {
+            let effect = classify_bit(device, routed, bit);
+            let (wrong_answer, first_error_cycle) = if effect.overlay.is_empty() {
+                (false, None)
+            } else {
+                let trace = simulator.run_stimulus(stimulus, &effect.overlay);
+                match output_groups.first_voted_mismatch(golden, &trace) {
+                    Some(cycle) => (true, Some(cycle)),
+                    None => (false, None),
+                }
+            };
+            FaultOutcome {
+                bit,
+                class: effect.class,
+                wrong_answer,
+                first_error_cycle,
+                crosses_domains: effect.crosses_domains,
             }
-        };
-        outcomes.push(FaultOutcome {
-            bit,
-            class: effect.class,
-            wrong_answer,
-            first_error_cycle,
-            crosses_domains: effect.crosses_domains,
-        });
-    }
-
-    Ok(CampaignResult {
-        design: netlist.name().to_string(),
-        fault_list_size: fault_list.len(),
-        outcomes,
-    })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use tmr_arch::{ConfigResource, Device, NodeId, PipCategory, PipId, RouteNode};
+use tmr_arch::{ConfigResource, Device, NodeId, PipId, RouteNode};
 use tmr_netlist::{CellKind, Domain, NetId};
 use tmr_pnr::RoutedDesign;
 use tmr_sim::{FaultOverlay, SinkRef};
@@ -138,7 +138,9 @@ pub fn classify_bit(device: &Device, routed: &RoutedDesign, bit: usize) -> BitEf
             }
             effect
         }
-        ConfigResource::Pip(pip_id) => classify_pip_flip(device, routed, bit, pip_id, currently_set),
+        ConfigResource::Pip(pip_id) => {
+            classify_pip_flip(device, routed, bit, pip_id, currently_set)
+        }
     }
 }
 
@@ -240,7 +242,12 @@ fn open_overlay(
     // Re-walk the tree without the removed PIP.
     let mut reachable: HashSet<NodeId> = HashSet::new();
     reachable.insert(tree.source);
-    let mut remaining: Vec<PipId> = tree.pips.iter().copied().filter(|&p| p != removed_pip).collect();
+    let mut remaining: Vec<PipId> = tree
+        .pips
+        .iter()
+        .copied()
+        .filter(|&p| p != removed_pip)
+        .collect();
     let mut progress = true;
     while progress {
         progress = false;
@@ -270,7 +277,7 @@ fn open_overlay(
 /// Convenience: returns `true` for the PIP categories counted as CLB
 /// customization by the classifier (exposed for tests and reports).
 #[cfg(test)]
-pub(crate) fn is_clb_mux_category(category: PipCategory) -> bool {
+pub(crate) fn is_clb_mux_category(category: tmr_arch::PipCategory) -> bool {
     !category.is_general_routing()
 }
 
@@ -365,13 +372,23 @@ mod tests {
         // Even a small design must expose bridge and antenna candidates; a
         // conflict needs an unset PIP onto a used pin, which the architecture
         // provides through the extra input-pin candidates.
-        assert!(classes_seen.contains_key(&FaultClass::Bridge), "{classes_seen:?}");
-        assert!(classes_seen.contains_key(&FaultClass::InputAntenna), "{classes_seen:?}");
-        assert!(classes_seen.contains_key(&FaultClass::Others), "{classes_seen:?}");
+        assert!(
+            classes_seen.contains_key(&FaultClass::Bridge),
+            "{classes_seen:?}"
+        );
+        assert!(
+            classes_seen.contains_key(&FaultClass::InputAntenna),
+            "{classes_seen:?}"
+        );
+        assert!(
+            classes_seen.contains_key(&FaultClass::Others),
+            "{classes_seen:?}"
+        );
     }
 
     #[test]
     fn clb_mux_pips_classify_as_mux() {
+        use tmr_arch::PipCategory;
         assert!(is_clb_mux_category(PipCategory::InputMux));
         assert!(!is_clb_mux_category(PipCategory::Switchbox));
         assert!(!is_clb_mux_category(PipCategory::LongInput));

@@ -1,0 +1,236 @@
+//! The parallel, sharded campaign engine.
+//!
+//! The paper's fault-injection campaign is embarrassingly parallel: every
+//! experiment downloads a faulty bitstream into a freshly configured device,
+//! runs the same stimulus and compares against the same golden trace — no
+//! experiment depends on another. [`CampaignEngine`] exploits that:
+//!
+//! 1. the expensive shared state is computed **once** — the compiled
+//!    [`Simulator`], the replayable [`Stimulus`], the golden trace, the
+//!    output grouping and the sampled fault list;
+//! 2. the sampled fault list is split into deterministic contiguous
+//!    **shards**;
+//! 3. each shard runs on its own [`std::thread::scope`] worker thread with
+//!    its own `Simulator` clone (the levelization is reused, not recomputed)
+//!    while the routed design, stimulus and golden trace are shared
+//!    immutably;
+//! 4. per-shard outcome vectors are concatenated in shard order, which *is*
+//!    fault-list order — so the merged [`CampaignResult`] is bit-identical
+//!    to the sequential one regardless of the shard count.
+//!
+//! Determinism is a hard requirement, not a nicety: Table 3/4 reproductions
+//! and the regression tests compare whole result tables, and partition sweeps
+//! must attribute differences to the design variant, never to the thread
+//! schedule.
+
+use crate::campaign::run_shard;
+use crate::{CampaignOptions, CampaignResult, FaultList, FaultOutcome};
+use std::num::NonZeroUsize;
+use tmr_arch::Device;
+use tmr_pnr::RoutedDesign;
+use tmr_sim::{FaultOverlay, OutputGroups, SimError, Simulator, Stimulus};
+
+/// A configured fault-injection campaign over one routed design.
+///
+/// ```no_run
+/// use tmr_arch::Device;
+/// # fn routed() -> tmr_pnr::RoutedDesign { unimplemented!() }
+/// use tmr_faultsim::{CampaignEngine, CampaignOptions};
+///
+/// let device = Device::small(8, 8);
+/// let routed = routed();
+/// let result = CampaignEngine::new(&device, &routed, CampaignOptions::default())
+///     .with_shards(4)
+///     .run()
+///     .expect("flow netlists are always simulable");
+/// println!("{result}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignEngine<'a> {
+    device: &'a Device,
+    routed: &'a RoutedDesign,
+    options: CampaignOptions,
+    shards: usize,
+}
+
+impl<'a> CampaignEngine<'a> {
+    /// Creates an engine with one shard per available CPU core.
+    pub fn new(device: &'a Device, routed: &'a RoutedDesign, options: CampaignOptions) -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self {
+            device,
+            routed,
+            options,
+            shards,
+        }
+    }
+
+    /// Sets an explicit shard count (clamped to at least 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Forces single-shard execution on the calling thread (the sequential
+    /// reference path).
+    #[must_use]
+    pub fn sequential(self) -> Self {
+        self.with_shards(1)
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The campaign options.
+    pub fn options(&self) -> &CampaignOptions {
+        &self.options
+    }
+
+    /// Runs the campaign and merges the per-shard outcomes in fault-list
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the netlist cannot be simulated (combinational
+    /// loop), which cannot happen for designs produced by the `tmr-synth`
+    /// flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (propagating the worker's panic).
+    pub fn run(&self) -> Result<CampaignResult, SimError> {
+        let netlist = self.routed.netlist();
+        // Shared immutable state, computed once for all shards.
+        let simulator = Simulator::new(netlist)?;
+        let stimulus = Stimulus::random(netlist, self.options.cycles, self.options.stimulus_seed);
+        let golden = simulator.run_stimulus(&stimulus, &FaultOverlay::none());
+        // Triplicated outputs are voted in the output logic block (at the
+        // pads), outside the reach of configuration upsets, before comparison.
+        let output_groups = OutputGroups::new(netlist);
+
+        let fault_list = FaultList::build(self.device, self.routed);
+        let sample = fault_list.sample(self.options.faults, self.options.sampling_seed);
+
+        let shard_count = self.shards.min(sample.len()).max(1);
+        let outcomes: Vec<FaultOutcome> = if shard_count == 1 {
+            run_shard(
+                self.device,
+                self.routed,
+                &simulator,
+                &stimulus,
+                &golden,
+                &output_groups,
+                &sample,
+            )
+        } else {
+            // Contiguous shards: chunk boundaries depend only on the sample
+            // length and shard count, and concatenating chunk results in
+            // chunk order reproduces fault-list order exactly.
+            let chunk = sample.len().div_ceil(shard_count);
+            let shard_results: Vec<Vec<FaultOutcome>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = sample
+                    .chunks(chunk)
+                    .map(|bits| {
+                        let worker = simulator.clone();
+                        let stimulus = &stimulus;
+                        let golden = &golden;
+                        let output_groups = &output_groups;
+                        scope.spawn(move || {
+                            run_shard(
+                                self.device,
+                                self.routed,
+                                &worker,
+                                stimulus,
+                                golden,
+                                output_groups,
+                                bits,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("campaign worker thread panicked"))
+                    .collect()
+            });
+            let mut merged = Vec::with_capacity(sample.len());
+            for mut shard in shard_results {
+                merged.append(&mut shard);
+            }
+            merged
+        };
+
+        Ok(CampaignResult {
+            design: netlist.name().to_string(),
+            fault_list_size: fault_list.len(),
+            outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_campaign;
+    use tmr_core::{apply_tmr, TmrConfig};
+    use tmr_designs::counter;
+    use tmr_pnr::place_and_route;
+    use tmr_synth::{lower, optimize, techmap};
+
+    fn routed_tmr_counter() -> (Device, RoutedDesign) {
+        let device = Device::small(8, 8);
+        let design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
+        let netlist = techmap(&optimize(&lower(&design).unwrap())).unwrap();
+        let routed = place_and_route(&device, &netlist, 5).unwrap();
+        (device, routed)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_any_shard_count() {
+        let (device, routed) = routed_tmr_counter();
+        let options = CampaignOptions {
+            faults: 300,
+            cycles: 10,
+            ..CampaignOptions::default()
+        };
+        let reference = run_campaign(&device, &routed, &options).unwrap();
+        for shards in [1, 2, 3, 8] {
+            let parallel = CampaignEngine::new(&device, &routed, options)
+                .with_shards(shards)
+                .run()
+                .unwrap();
+            assert_eq!(reference, parallel, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_reported() {
+        let (device, routed) = routed_tmr_counter();
+        let engine = CampaignEngine::new(&device, &routed, CampaignOptions::default());
+        assert!(engine.shards() >= 1);
+        assert_eq!(engine.clone().with_shards(0).shards(), 1);
+        assert_eq!(engine.clone().sequential().shards(), 1);
+        assert_eq!(engine.options().faults, CampaignOptions::default().faults);
+    }
+
+    #[test]
+    fn more_shards_than_faults_is_harmless() {
+        let (device, routed) = routed_tmr_counter();
+        let options = CampaignOptions {
+            faults: 5,
+            cycles: 4,
+            ..CampaignOptions::default()
+        };
+        let few = CampaignEngine::new(&device, &routed, options)
+            .with_shards(64)
+            .run()
+            .unwrap();
+        assert_eq!(few.injected(), 5);
+        assert_eq!(few, run_campaign(&device, &routed, &options).unwrap());
+    }
+}

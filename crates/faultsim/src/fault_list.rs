@@ -48,7 +48,10 @@ impl FaultList {
     }
 
     /// Number of eligible bits per configuration category.
-    pub fn counts_by_category(&self, device: &Device) -> std::collections::BTreeMap<BitCategory, usize> {
+    pub fn counts_by_category(
+        &self,
+        device: &Device,
+    ) -> std::collections::BTreeMap<BitCategory, usize> {
         let layout = device.config_layout();
         let mut counts = std::collections::BTreeMap::new();
         for &bit in &self.bits {

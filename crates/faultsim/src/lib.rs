@@ -12,7 +12,12 @@
 //!   faulty device against the golden reference with identical stimuli, and
 //!   classifies the outcome;
 //! * the classifier ([`FaultClass`]) reproduces the effect taxonomy of
-//!   Tables 1 and 4 of the paper.
+//!   Tables 1 and 4 of the paper;
+//! * the **campaign engine** ([`CampaignEngine`]) shards the sampled fault
+//!   list over worker threads — each with its own cloned simulator replaying
+//!   a shared stimulus against a shared golden trace — and merges outcomes in
+//!   fault-list order, bit-identical to the sequential path for any shard
+//!   count.
 //!
 //! Campaign results provide the *Wrong Answer* percentages of Table 3 and the
 //! per-effect breakdown of Table 4.
@@ -22,8 +27,10 @@
 
 mod campaign;
 mod effect;
+mod engine;
 mod fault_list;
 
 pub use campaign::{run_campaign, CampaignOptions, CampaignResult, FaultOutcome};
 pub use effect::{classify_bit, BitEffect, FaultClass};
+pub use engine::CampaignEngine;
 pub use fault_list::FaultList;

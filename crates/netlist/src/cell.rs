@@ -300,9 +300,14 @@ mod tests {
             let init = kind.truth_table().expect("combinational");
             let lut = CellKind::Lut { k, init };
             for assignment in 0..(1usize << k) {
-                let inputs: Vec<bool> =
-                    (0..k as usize).map(|bit| (assignment >> bit) & 1 == 1).collect();
-                assert_eq!(lut.eval(&inputs), kind.eval(&inputs), "{kind:?} {assignment}");
+                let inputs: Vec<bool> = (0..k as usize)
+                    .map(|bit| (assignment >> bit) & 1 == 1)
+                    .collect();
+                assert_eq!(
+                    lut.eval(&inputs),
+                    kind.eval(&inputs),
+                    "{kind:?} {assignment}"
+                );
             }
         }
     }
@@ -319,7 +324,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(CellKind::And2.to_string(), "AND2");
-        assert_eq!(CellKind::Lut { k: 4, init: 0x8000 }.to_string(), "LUT4(0x8000)");
+        assert_eq!(
+            CellKind::Lut { k: 4, init: 0x8000 }.to_string(),
+            "LUT4(0x8000)"
+        );
         assert_eq!(CellKind::Dff { init: true }.to_string(), "DFF(init=1)");
     }
 }

@@ -48,7 +48,11 @@ impl fmt::Display for NetlistError {
                 write!(f, "net {net} (`{name}`) already has a driver")
             }
             NetlistError::Invalid(violations) => {
-                write!(f, "netlist validation failed with {} violation(s): ", violations.len())?;
+                write!(
+                    f,
+                    "netlist validation failed with {} violation(s): ",
+                    violations.len()
+                )?;
                 f.write_str(&violations.join("; "))
             }
         }

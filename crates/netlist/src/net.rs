@@ -66,7 +66,13 @@ impl Net {
 
 impl fmt::Display for Net {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "net {} [{}] fanout={}", self.name, self.domain, self.fanout())
+        write!(
+            f,
+            "net {} [{}] fanout={}",
+            self.name,
+            self.domain,
+            self.fanout()
+        )
     }
 }
 

@@ -158,7 +158,9 @@ impl Netlist {
 
         let id = CellId::from_index(self.cells.len());
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nets[net.index()].sinks.push(NetSink::CellPin { cell: id, pin });
+            self.nets[net.index()]
+                .sinks
+                .push(NetSink::CellPin { cell: id, pin });
         }
         self.nets[output.index()].driver = Some(NetDriver::Cell(id));
         self.cells.push(Cell {
@@ -198,10 +200,12 @@ impl Netlist {
                 }
             }
         };
-        self.nets[old_net.index()]
+        self.nets[old_net.index()].sinks.retain(
+            |s| !matches!(s, NetSink::CellPin { cell: c, pin: p } if *c == cell && *p == pin),
+        );
+        self.nets[new_net.index()]
             .sinks
-            .retain(|s| !matches!(s, NetSink::CellPin { cell: c, pin: p } if *c == cell && *p == pin));
-        self.nets[new_net.index()].sinks.push(NetSink::CellPin { cell, pin });
+            .push(NetSink::CellPin { cell, pin });
         self.cells[cell.index()].inputs[pin] = new_net;
         Ok(())
     }
@@ -342,13 +346,13 @@ impl Netlist {
         let mut out = Netlist::new(self.name.clone());
         // Decide which nets survive: nets referenced by kept cells or ports.
         let mut net_map: HashMap<NetId, NetId> = HashMap::new();
-        let map_net = |old: NetId, this: &Netlist, out: &mut Netlist,
-                           net_map: &mut HashMap<NetId, NetId>| {
-            *net_map.entry(old).or_insert_with(|| {
-                let n = &this.nets[old.index()];
-                out.add_net_in_domain(n.name.clone(), n.domain)
-            })
-        };
+        let map_net =
+            |old: NetId, this: &Netlist, out: &mut Netlist, net_map: &mut HashMap<NetId, NetId>| {
+                *net_map.entry(old).or_insert_with(|| {
+                    let n = &this.nets[old.index()];
+                    out.add_net_in_domain(n.name.clone(), n.domain)
+                })
+            };
 
         // Ports first so that input drivers are re-established.
         for (_, port) in self.ports() {

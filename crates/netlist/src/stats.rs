@@ -48,9 +48,18 @@ impl fmt::Display for NetlistStats {
         writeln!(
             f,
             "cells={} (luts={}, ffs={}, gates={}, io={}, const={})",
-            self.cells, self.luts, self.flip_flops, self.generic_gates, self.io_buffers, self.constants
+            self.cells,
+            self.luts,
+            self.flip_flops,
+            self.generic_gates,
+            self.io_buffers,
+            self.constants
         )?;
-        writeln!(f, "nets={} inputs={} outputs={}", self.nets, self.inputs, self.outputs)?;
+        writeln!(
+            f,
+            "nets={} inputs={} outputs={}",
+            self.nets, self.inputs, self.outputs
+        )?;
         write!(f, "domains: ")?;
         for (domain, count) in &self.cells_per_domain {
             write!(f, "{domain}={count} ")?;
@@ -80,7 +89,10 @@ impl Netlist {
             if cell.domain == Domain::Voter {
                 stats.voter_cells += 1;
             }
-            *stats.kind_histogram.entry(cell.kind.mnemonic()).or_insert(0) += 1;
+            *stats
+                .kind_histogram
+                .entry(cell.kind.mnemonic())
+                .or_insert(0) += 1;
             *stats.cells_per_domain.entry(cell.domain).or_insert(0) += 1;
         }
         for (_, net) in self.nets() {
@@ -92,7 +104,7 @@ impl Netlist {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{CellKind, Domain, Netlist};
 
     #[test]

@@ -99,7 +99,11 @@ impl Netlist {
         }
 
         let depth = level.iter().copied().max().unwrap_or(0);
-        Ok(Levelization { order, level, depth })
+        Ok(Levelization {
+            order,
+            level,
+            depth,
+        })
     }
 
     /// Returns the transitive fanin cone of `net`: every cell whose output can
@@ -203,7 +207,7 @@ fn is_source_kind(kind: CellKind) -> bool {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{CellKind, Netlist};
 
     /// y = (a & b) ^ c, with a register on the output.
@@ -215,8 +219,10 @@ mod tests {
         let ab = nl.add_net("ab");
         let y = nl.add_net("y");
         let q = nl.add_net("q");
-        nl.add_cell("u_and", CellKind::And2, vec![a, b], ab).unwrap();
-        nl.add_cell("u_xor", CellKind::Xor2, vec![ab, c], y).unwrap();
+        nl.add_cell("u_and", CellKind::And2, vec![a, b], ab)
+            .unwrap();
+        nl.add_cell("u_xor", CellKind::Xor2, vec![ab, c], y)
+            .unwrap();
         nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![y], q)
             .unwrap();
         nl.add_output("q", q);
@@ -263,7 +269,8 @@ mod tests {
         let a = nl.add_input("a");
         let sum = nl.add_net("sum");
         let q = nl.add_net("q");
-        nl.add_cell("u_add", CellKind::Xor2, vec![a, q], sum).unwrap();
+        nl.add_cell("u_add", CellKind::Xor2, vec![a, q], sum)
+            .unwrap();
         nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![sum], q)
             .unwrap();
         nl.add_output("q", q);

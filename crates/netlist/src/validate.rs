@@ -102,9 +102,10 @@ impl Netlist {
                 }
             }
             if net.driver.is_some() && net.sinks.is_empty() {
-                report
-                    .warnings
-                    .push(format!("net {id} `{}` is dangling (driven, never read)", net.name));
+                report.warnings.push(format!(
+                    "net {id} `{}` is dangling (driven, never read)",
+                    net.name
+                ));
             }
         }
 
@@ -144,7 +145,7 @@ impl Netlist {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{CellKind, Netlist};
 
     #[test]

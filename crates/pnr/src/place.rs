@@ -294,7 +294,8 @@ mod tests {
         let a = nl.add_input("a");
         let b = nl.add_input("b");
         let y = nl.add_net("y");
-        nl.add_cell("u", tmr_netlist::CellKind::And2, vec![a, b], y).unwrap();
+        nl.add_cell("u", tmr_netlist::CellKind::And2, vec![a, b], y)
+            .unwrap();
         nl.add_output("y", y);
         let err = place(&device, &nl, &PlacerOptions::default()).unwrap_err();
         assert!(matches!(err, PnrError::UnplaceableCell { .. }));

@@ -24,10 +24,15 @@ pub struct RouterOptions {
 
 impl Default for RouterOptions {
     fn default() -> Self {
+        // The growth factor must stay gentle: with an aggressive schedule
+        // (e.g. 1.8 per iteration) the present-congestion penalty explodes
+        // after a few dozen iterations, the router degenerates into pure
+        // avoidance of any occupied node and negotiation oscillates instead
+        // of converging — overuse *increases* with more iterations.
         Self {
-            max_iterations: 80,
+            max_iterations: 250,
             present_factor: 0.6,
-            present_factor_growth: 1.8,
+            present_factor_growth: 1.2,
             history_increment: 1.0,
             astar_weight: 1.25,
         }
@@ -146,7 +151,9 @@ pub fn route(
                 history[node] += (options.history_increment * f64::from(occ - 1)) as f32;
             }
         }
-        present_factor *= options.present_factor_growth;
+        // Cap the penalty so costs stay well inside f32 range; beyond this
+        // point only the accumulated history can (and should) break ties.
+        present_factor = (present_factor * options.present_factor_growth).min(1e6);
     }
     unreachable!("the loop either returns success or exhausts its iterations");
 }
@@ -297,10 +304,7 @@ fn route_net(
         if !reached {
             return Err(PnrError::NoPath {
                 net: netlist.net(terminals.net).name.clone(),
-                sink: format!(
-                    "pin {sink_pin} of cell `{}`",
-                    netlist.cell(sink_cell).name
-                ),
+                sink: format!("pin {sink_pin} of cell `{}`", netlist.cell(sink_cell).name),
             });
         }
 
@@ -365,8 +369,7 @@ mod tests {
         for tree in routes.values() {
             // Every PIP's source must already be reachable (tree property) and
             // every sink must be in the node set.
-            let mut reachable: std::collections::HashSet<NodeId> =
-                std::collections::HashSet::new();
+            let mut reachable: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
             reachable.insert(tree.source);
             let mut pips_left: Vec<PipId> = tree.pips.clone();
             let mut progress = true;

@@ -2,9 +2,7 @@
 
 use crate::{place, route, Placement, PlacerOptions, PnrError, RouterOptions};
 use std::collections::HashMap;
-use tmr_arch::{
-    BitCategory, Bitstream, ConfigResource, Device, NodeId, PipId, SiteKind,
-};
+use tmr_arch::{BitCategory, Bitstream, ConfigResource, Device, NodeId, PipId, SiteKind};
 use tmr_netlist::{CellId, CellKind, NetId, Netlist};
 
 /// The routing tree of one net: the set of routing-graph nodes and enabled
@@ -299,7 +297,10 @@ mod tests {
                 assert_eq!(routed.net_of_pip(pip), Some(net));
             }
         }
-        assert_eq!(routed.net_of_node(NodeId::from_index(usize::MAX as u32 as usize - 1)), None);
+        assert_eq!(
+            routed.net_of_node(NodeId::from_index(usize::MAX as u32 as usize - 1)),
+            None
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl OutputGroups {
         let mut groups: Vec<(String, u32, Vec<usize>)> = Vec::new();
         for (index, (_, port)) in netlist.output_ports().enumerate() {
             let (base, bit) = port_key(&port.name);
-            match groups.iter_mut().find(|(b, bt, _)| *b == base && *bt == bit) {
+            match groups
+                .iter_mut()
+                .find(|(b, bt, _)| *b == base && *bt == bit)
+            {
                 Some((_, _, members)) => members.push(index),
                 None => groups.push((base, bit, vec![index])),
             }
@@ -118,7 +121,8 @@ mod tests {
         for d in 0..3 {
             let a = nl.add_input(format!("x_tr{d}_0"));
             let y = nl.add_net(format!("y{d}"));
-            nl.add_cell(format!("b{d}"), CellKind::Buf, vec![a], y).unwrap();
+            nl.add_cell(format!("b{d}"), CellKind::Buf, vec![a], y)
+                .unwrap();
             nl.add_output(format!("y_tr{d}_0"), y);
         }
         nl

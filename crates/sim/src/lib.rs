@@ -49,5 +49,5 @@ mod value;
 pub use compare::{majority, OutputGroups};
 pub use fault::{FaultOverlay, SinkRef};
 pub use netsim::{SimError, SimTrace, Simulator};
-pub use stimulus::{random_vectors, word_vectors};
+pub use stimulus::{random_vectors, word_vectors, Stimulus};
 pub use value::Trit;

@@ -20,7 +20,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::CombinationalLoop { cells } => {
-                write!(f, "netlist contains a combinational loop through {cells} cell(s)")
+                write!(
+                    f,
+                    "netlist contains a combinational loop through {cells} cell(s)"
+                )
             }
         }
     }
@@ -61,7 +64,11 @@ impl SimTrace {
 ///
 /// Construction levelizes the netlist once; each [`Simulator::run`] call then
 /// evaluates the design cycle by cycle under an optional [`FaultOverlay`].
-#[derive(Debug)]
+///
+/// The compiled state is immutable, so a simulator can be `Clone`d cheaply
+/// (the levelization is reused, not recomputed) — the parallel campaign
+/// engine hands each worker thread its own copy.
+#[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
     order: Vec<CellId>,
@@ -80,7 +87,9 @@ impl<'a> Simulator<'a> {
     pub fn new(netlist: &'a Netlist) -> Result<Self, SimError> {
         let levelization = netlist
             .levelize()
-            .map_err(|l| SimError::CombinationalLoop { cells: l.cells.len() })?;
+            .map_err(|l| SimError::CombinationalLoop {
+                cells: l.cells.len(),
+            })?;
         Ok(Self {
             netlist,
             order: levelization.order,
@@ -108,6 +117,12 @@ impl<'a> Simulator<'a> {
             .collect()
     }
 
+    /// Runs the simulation replaying a prepared [`crate::Stimulus`] under
+    /// `overlay`.
+    pub fn run_stimulus(&self, stimulus: &crate::Stimulus, overlay: &FaultOverlay) -> SimTrace {
+        self.run(stimulus.vectors(), overlay)
+    }
+
     /// Runs the simulation for `vectors.len()` cycles under `overlay`.
     ///
     /// `vectors[cycle][i]` is the value driven on the `i`-th input port (in
@@ -121,7 +136,8 @@ impl<'a> Simulator<'a> {
         let mut net_values = vec![Trit::X; netlist.net_count()];
 
         // Flip-flop state, with init overrides applied.
-        let ff_override: HashMap<CellId, bool> = overlay.ff_init_overrides.iter().copied().collect();
+        let ff_override: HashMap<CellId, bool> =
+            overlay.ff_init_overrides.iter().copied().collect();
         let lut_override: HashMap<CellId, u64> = overlay.lut_overrides.iter().copied().collect();
         let mut ff_state: Vec<Trit> = self
             .sequential
@@ -183,7 +199,11 @@ impl<'a> Simulator<'a> {
             // netlist; shorts can couple later values back into earlier logic,
             // so iterate a few passes and fall back to `X` on the shorted nets
             // if values still oscillate.
-            let max_passes = if overlay.shorted_nets.is_empty() { 1 } else { 4 };
+            let max_passes = if overlay.shorted_nets.is_empty() {
+                1
+            } else {
+                4
+            };
             for pass in 0..max_passes {
                 let mut changed = false;
                 for &cell_id in &self.order {
@@ -295,9 +315,17 @@ mod tests {
         let ab = nl.add_net("ab");
         let y = nl.add_net("y");
         let q = nl.add_net("q");
-        nl.add_cell("u_and", CellKind::Lut { k: 2, init: 0b1000 }, vec![a, b], ab).unwrap();
-        nl.add_cell("u_or", CellKind::Lut { k: 2, init: 0b1110 }, vec![ab, c], y).unwrap();
-        nl.add_cell("u_ff", CellKind::Dff { init: false }, vec![y], q).unwrap();
+        nl.add_cell(
+            "u_and",
+            CellKind::Lut { k: 2, init: 0b1000 },
+            vec![a, b],
+            ab,
+        )
+        .unwrap();
+        nl.add_cell("u_or", CellKind::Lut { k: 2, init: 0b1110 }, vec![ab, c], y)
+            .unwrap();
+        nl.add_cell("u_ff", CellKind::Dff { init: false }, vec![y], q)
+            .unwrap();
         nl.add_output("y", y);
         nl.add_output("q", q);
         nl
@@ -311,7 +339,10 @@ mod tests {
     fn evaluates_combinational_and_sequential_logic() {
         let nl = and_or_netlist();
         let sim = Simulator::new(&nl).unwrap();
-        let trace = sim.run(&[v(&[1, 1, 0]), v(&[0, 0, 0]), v(&[0, 0, 1])], &FaultOverlay::none());
+        let trace = sim.run(
+            &[v(&[1, 1, 0]), v(&[0, 0, 0]), v(&[0, 0, 1])],
+            &FaultOverlay::none(),
+        );
         // Cycle 0: y = 1, q = init 0.
         assert_eq!(trace.outputs[0], vec![Trit::One, Trit::Zero]);
         // Cycle 1: y = 0, q = previous y = 1.
@@ -361,7 +392,10 @@ mod tests {
         let sim = Simulator::new(&nl).unwrap();
         let or_cell = nl.find_cell("u_or").unwrap().0;
         let overlay = FaultOverlay {
-            opened_sinks: vec![SinkRef::CellPin { cell: or_cell, pin: 1 }],
+            opened_sinks: vec![SinkRef::CellPin {
+                cell: or_cell,
+                pin: 1,
+            }],
             ..FaultOverlay::none()
         };
         // With c opened (X) and a&b = 0, the OR output is X.
@@ -376,8 +410,16 @@ mod tests {
     fn shorted_nets_resolve_values() {
         let nl = and_or_netlist();
         let sim = Simulator::new(&nl).unwrap();
-        let a_net = nl.find_port("a", tmr_netlist::PortDir::Input).unwrap().1.net;
-        let c_net = nl.find_port("c", tmr_netlist::PortDir::Input).unwrap().1.net;
+        let a_net = nl
+            .find_port("a", tmr_netlist::PortDir::Input)
+            .unwrap()
+            .1
+            .net;
+        let c_net = nl
+            .find_port("c", tmr_netlist::PortDir::Input)
+            .unwrap()
+            .1
+            .net;
         let overlay = FaultOverlay {
             shorted_nets: vec![(a_net, c_net)],
             ..FaultOverlay::none()

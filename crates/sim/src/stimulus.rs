@@ -25,7 +25,9 @@ pub(crate) fn port_key(port_name: &str) -> (String, u32) {
         None => (port_name, 0),
     };
     let base = match prefix.rsplit_once("_tr") {
-        Some((base, domain)) if domain.chars().all(|c| c.is_ascii_digit()) && !domain.is_empty() => {
+        Some((base, domain))
+            if domain.chars().all(|c| c.is_ascii_digit()) && !domain.is_empty() =>
+        {
             base
         }
         _ => prefix,
@@ -33,15 +35,58 @@ pub(crate) fn port_key(port_name: &str) -> (String, u32) {
     (base.to_string(), bit)
 }
 
+/// A reusable input-stimulus sequence.
+///
+/// A fault-injection campaign replays the *same* input patterns for the
+/// golden run and for every injected fault, so the vectors are generated once
+/// and shared — across faults and, in the parallel campaign engine, across
+/// worker threads (the type is immutable after construction and therefore
+/// `Sync`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stimulus {
+    vectors: Vec<Vec<Trit>>,
+}
+
+impl Stimulus {
+    /// Wraps explicit per-cycle input vectors.
+    pub fn from_vectors(vectors: Vec<Vec<Trit>>) -> Self {
+        Self { vectors }
+    }
+
+    /// Generates `cycles` pseudo-random vectors for `netlist`; see
+    /// [`random_vectors`].
+    pub fn random(netlist: &Netlist, cycles: usize, seed: u64) -> Self {
+        Self::from_vectors(random_vectors(netlist, cycles, seed))
+    }
+
+    /// Expands word-level samples onto the lowered bit ports; see
+    /// [`word_vectors`].
+    pub fn from_words(netlist: &Netlist, samples: &[HashMap<String, i64>]) -> Self {
+        Self::from_vectors(word_vectors(netlist, samples))
+    }
+
+    /// The per-cycle input vectors, in simulator input-port order.
+    pub fn vectors(&self) -> &[Vec<Trit>] {
+        &self.vectors
+    }
+
+    /// Number of stimulus cycles.
+    pub fn cycles(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` if the stimulus drives no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
 /// Generates `cycles` pseudo-random input vectors for `netlist`, in the input
 /// port order of [`crate::Simulator::input_ports`] (which is the netlist's
 /// port creation order). Triplicated TMR input copies receive identical
 /// values; repeated calls with the same seed produce identical stimuli.
 pub fn random_vectors(netlist: &Netlist, cycles: usize, seed: u64) -> Vec<Vec<Trit>> {
-    let ports: Vec<String> = netlist
-        .input_ports()
-        .map(|(_, p)| p.name.clone())
-        .collect();
+    let ports: Vec<String> = netlist.input_ports().map(|(_, p)| p.name.clone()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut vectors = Vec::with_capacity(cycles);
     for _ in 0..cycles {
@@ -64,10 +109,7 @@ pub fn random_vectors(netlist: &Netlist, cycles: usize, seed: u64) -> Vec<Vec<Tr
 /// input name (e.g. `"x"`) to a signed value, which is expanded onto the
 /// lowered bit ports (`x_3`, `x_tr1_3`, …) in two's complement.
 pub fn word_vectors(netlist: &Netlist, samples: &[HashMap<String, i64>]) -> Vec<Vec<Trit>> {
-    let ports: Vec<String> = netlist
-        .input_ports()
-        .map(|(_, p)| p.name.clone())
-        .collect();
+    let ports: Vec<String> = netlist.input_ports().map(|(_, p)| p.name.clone()).collect();
     samples
         .iter()
         .map(|cycle| {
@@ -120,6 +162,20 @@ mod tests {
                 assert_eq!(vector[bit], vector[8 + bit]);
             }
         }
+    }
+
+    #[test]
+    fn stimulus_replays_the_same_vectors() {
+        let nl = tmr_ports_netlist();
+        let stimulus = Stimulus::random(&nl, 8, 7);
+        assert_eq!(stimulus.cycles(), 8);
+        assert!(!stimulus.is_empty());
+        assert_eq!(stimulus.vectors(), &random_vectors(&nl, 8, 7)[..]);
+        // Word-level construction goes through the same expansion.
+        let mut cycle = HashMap::new();
+        cycle.insert("x".to_string(), 5i64);
+        let words = Stimulus::from_words(&nl, &[cycle.clone()]);
+        assert_eq!(words.vectors(), &word_vectors(&nl, &[cycle])[..]);
     }
 
     #[test]

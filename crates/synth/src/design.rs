@@ -500,10 +500,16 @@ impl Design {
     ///
     /// Panics if the width is outside 1..=32.
     pub fn add_const(&mut self, name: impl Into<String>, value: i64, width: u8) -> SignalId {
-        self.add_node_in_domain(name, WordOp::Const { value }, vec![], Some(width), Domain::None)
-            .expect("constant construction cannot fail for valid widths")
-            .1
-            .expect("constants produce a signal")
+        self.add_node_in_domain(
+            name,
+            WordOp::Const { value },
+            vec![],
+            Some(width),
+            Domain::None,
+        )
+        .expect("constant construction cannot fail for valid widths")
+        .1
+        .expect("constants produce a signal")
     }
 
     /// Adds a signed adder `a + b` with the given output width.
@@ -511,7 +517,13 @@ impl Design {
     /// # Panics
     ///
     /// Panics if the width is outside 1..=32 or a signal id is unknown.
-    pub fn add_add(&mut self, name: impl Into<String>, a: SignalId, b: SignalId, width: u8) -> SignalId {
+    pub fn add_add(
+        &mut self,
+        name: impl Into<String>,
+        a: SignalId,
+        b: SignalId,
+        width: u8,
+    ) -> SignalId {
         self.add_node_in_domain(name, WordOp::Add, vec![a, b], Some(width), Domain::None)
             .expect("adder construction failed")
             .1
@@ -523,7 +535,13 @@ impl Design {
     /// # Panics
     ///
     /// Panics if the width is outside 1..=32 or a signal id is unknown.
-    pub fn add_sub(&mut self, name: impl Into<String>, a: SignalId, b: SignalId, width: u8) -> SignalId {
+    pub fn add_sub(
+        &mut self,
+        name: impl Into<String>,
+        a: SignalId,
+        b: SignalId,
+        width: u8,
+    ) -> SignalId {
         self.add_node_in_domain(name, WordOp::Sub, vec![a, b], Some(width), Domain::None)
             .expect("subtractor construction failed")
             .1
@@ -560,10 +578,16 @@ impl Design {
     ///
     /// Panics if the signal id is unknown.
     pub fn add_register(&mut self, name: impl Into<String>, input: SignalId) -> SignalId {
-        self.add_node_in_domain(name, WordOp::Register { init: 0 }, vec![input], None, Domain::None)
-            .expect("register construction failed")
-            .1
-            .expect("registers produce a signal")
+        self.add_node_in_domain(
+            name,
+            WordOp::Register { init: 0 },
+            vec![input],
+            None,
+            Domain::None,
+        )
+        .expect("register construction failed")
+        .1
+        .expect("registers produce a signal")
     }
 
     /// Adds a bitwise majority voter over three equal-width buses.
@@ -696,7 +720,9 @@ impl Design {
             .nodes()
             .filter_map(|(id, n)| match n.op {
                 WordOp::Register { init } => {
-                    let width = self.signal(n.output.expect("registers drive a signal")).width;
+                    let width = self
+                        .signal(n.output.expect("registers drive a signal"))
+                        .width;
                     Some((id, truncate(init, width)))
                 }
                 _ => None,
@@ -761,7 +787,9 @@ impl Design {
             // Clock edge: registers capture their inputs.
             for (node, state) in register_state.iter_mut() {
                 let n = self.node(*node);
-                let width = self.signal(n.output.expect("registers drive a signal")).width;
+                let width = self
+                    .signal(n.output.expect("registers drive a signal"))
+                    .width;
                 *state = truncate(values[n.inputs[0].index()], width);
             }
         }
@@ -800,9 +828,7 @@ impl Design {
 
         let mut queue: Vec<WordNodeId> = self
             .nodes()
-            .filter(|(id, n)| {
-                !matches!(n.op, WordOp::Register { .. }) && indegree[id.index()] == 0
-            })
+            .filter(|(id, n)| !matches!(n.op, WordOp::Register { .. }) && indegree[id.index()] == 0)
             .map(|(id, _)| id)
             .collect();
         let mut order = Vec::with_capacity(self.nodes.len());
@@ -854,7 +880,7 @@ impl fmt::Display for Design {
 
 /// Truncates a value to `width` bits and sign-extends back to i64.
 pub(crate) fn truncate(value: i64, width: u8) -> i64 {
-    debug_assert!(width >= 1 && width <= MAX_WIDTH);
+    debug_assert!((1..=MAX_WIDTH).contains(&width));
     let shift = 64 - u32::from(width);
     (value << shift) >> shift
 }

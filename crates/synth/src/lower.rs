@@ -118,7 +118,13 @@ impl<'a> Lowering<'a> {
             .netlist
             .add_net_in_domain(format!("gnd_{domain}"), domain);
         self.netlist
-            .add_cell_in_domain(format!("u_gnd_{domain}"), CellKind::Gnd, vec![], net, domain)
+            .add_cell_in_domain(
+                format!("u_gnd_{domain}"),
+                CellKind::Gnd,
+                vec![],
+                net,
+                domain,
+            )
             .expect("constant cell construction cannot fail");
         self.gnd.insert(domain, net);
         net
@@ -132,7 +138,13 @@ impl<'a> Lowering<'a> {
             .netlist
             .add_net_in_domain(format!("vcc_{domain}"), domain);
         self.netlist
-            .add_cell_in_domain(format!("u_vcc_{domain}"), CellKind::Vcc, vec![], net, domain)
+            .add_cell_in_domain(
+                format!("u_vcc_{domain}"),
+                CellKind::Vcc,
+                vec![],
+                net,
+                domain,
+            )
             .expect("constant cell construction cannot fail");
         self.vcc.insert(domain, net);
         net
@@ -190,6 +202,7 @@ impl<'a> Lowering<'a> {
     /// Inputs are sign-extended to the output width. Each bit costs one
     /// 3-input parity LUT (sum) and one majority gate (carry); the final carry
     /// is not generated.
+    #[allow(clippy::too_many_arguments)]
     fn ripple(
         &mut self,
         prefix: &str,
@@ -224,7 +237,10 @@ impl<'a> Lowering<'a> {
             let inputs = vec![a[i], b[i], carry];
             self.cell_into(
                 &format!("{prefix}_sum{i}"),
-                CellKind::Lut { k: 3, init: sum_init },
+                CellKind::Lut {
+                    k: 3,
+                    init: sum_init,
+                },
                 inputs.clone(),
                 out_bit,
                 domain,
@@ -232,7 +248,10 @@ impl<'a> Lowering<'a> {
             if i + 1 < width {
                 carry = self.cell(
                     &format!("{prefix}_carry{i}"),
-                    CellKind::Lut { k: 3, init: carry_init },
+                    CellKind::Lut {
+                        k: 3,
+                        init: carry_init,
+                    },
                     inputs,
                     domain,
                 )?;
@@ -242,6 +261,7 @@ impl<'a> Lowering<'a> {
     }
 
     /// Same as [`Lowering::ripple`], but allocating fresh output nets.
+    #[allow(clippy::too_many_arguments)]
     fn ripple_fresh(
         &mut self,
         prefix: &str,
@@ -293,7 +313,13 @@ impl<'a> Lowering<'a> {
     ) -> Result<(), LowerError> {
         let bits = self.extend(bits, out.len());
         for (i, (&src, &dst)) in bits.iter().zip(out.iter()).enumerate() {
-            self.cell_into(&format!("{prefix}_buf{i}"), CellKind::Buf, vec![src], dst, domain)?;
+            self.cell_into(
+                &format!("{prefix}_buf{i}"),
+                CellKind::Buf,
+                vec![src],
+                dst,
+                domain,
+            )?;
         }
         Ok(())
     }
@@ -302,11 +328,9 @@ impl<'a> Lowering<'a> {
         // Pass 1: create the bit nets of every signal. Input signals become
         // top-level ports; constants map to the shared GND/VCC nets.
         for (sig_id, signal) in self.design.signals() {
-            let driver = signal
-                .driver
-                .ok_or_else(|| LowerError::UndrivenSignal {
-                    signal: signal.name.clone(),
-                })?;
+            let driver = signal.driver.ok_or_else(|| LowerError::UndrivenSignal {
+                signal: signal.name.clone(),
+            })?;
             let driver_op = &self.design.node(driver).op;
             let nets: Vec<NetId> = match driver_op {
                 WordOp::Input => (0..signal.width)
@@ -435,10 +459,26 @@ impl<'a> Lowering<'a> {
                         let gnd = self.gnd(domain);
                         let zero = vec![gnd; 1];
                         if last {
-                            self.ripple(&format!("{prefix}_neg"), &zero, &term, true, true, out, domain)?;
+                            self.ripple(
+                                &format!("{prefix}_neg"),
+                                &zero,
+                                &term,
+                                true,
+                                true,
+                                out,
+                                domain,
+                            )?;
                             return Ok(());
                         }
-                        self.ripple_fresh(&format!("{prefix}_neg"), &zero, &term, true, true, width, domain)?
+                        self.ripple_fresh(
+                            &format!("{prefix}_neg"),
+                            &zero,
+                            &term,
+                            true,
+                            true,
+                            width,
+                            domain,
+                        )?
                     } else if last {
                         // Result is a pure shift of the input.
                         self.buffer_into(prefix, &term, out, domain)?;
@@ -488,7 +528,9 @@ mod tests {
 
     #[test]
     fn csd_decomposition_reconstructs_value() {
-        for value in [-120i64, -73, -9, -6, -1, 0, 1, 3, 6, 9, 73, 120, 255, -255, 1023] {
+        for value in [
+            -120i64, -73, -9, -6, -1, 0, 1, 3, 6, 9, 73, 120, 255, -255, 1023,
+        ] {
             let terms = csd_terms(value);
             let sum: i64 = terms
                 .iter()
@@ -522,9 +564,16 @@ mod tests {
     fn eval_design_and_netlist(design: &Design, stimuli: &[Map<String, i64>]) {
         let expected = design.evaluate(stimuli);
         let netlist = lower(design).expect("lowering succeeds");
-        netlist.validate().expect("lowered netlist is structurally valid");
+        netlist
+            .validate()
+            .expect("lowered netlist is structurally valid");
         let actual = crate::test_util::simulate_netlist(&netlist, design, stimuli);
-        assert_eq!(expected, actual, "gate-level mismatch for `{}`", design.name());
+        assert_eq!(
+            expected,
+            actual,
+            "gate-level mismatch for `{}`",
+            design.name()
+        );
     }
 
     #[test]

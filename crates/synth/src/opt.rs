@@ -41,9 +41,12 @@ mod tests {
         let live = nl.add_net("live");
         let dead = nl.add_net("dead");
         let dead2 = nl.add_net("dead2");
-        nl.add_cell("u_live", CellKind::And2, vec![a, b], live).unwrap();
-        nl.add_cell("u_dead", CellKind::Or2, vec![a, b], dead).unwrap();
-        nl.add_cell("u_dead2", CellKind::Not, vec![dead], dead2).unwrap();
+        nl.add_cell("u_live", CellKind::And2, vec![a, b], live)
+            .unwrap();
+        nl.add_cell("u_dead", CellKind::Or2, vec![a, b], dead)
+            .unwrap();
+        nl.add_cell("u_dead2", CellKind::Not, vec![dead], dead2)
+            .unwrap();
         nl.add_output("y", live);
 
         let optimized = optimize(&nl);
@@ -60,8 +63,10 @@ mod tests {
         let a = nl.add_input("a");
         let sum = nl.add_net("sum");
         let q = nl.add_net("q");
-        nl.add_cell("u_add", CellKind::Xor2, vec![a, q], sum).unwrap();
-        nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![sum], q).unwrap();
+        nl.add_cell("u_add", CellKind::Xor2, vec![a, q], sum)
+            .unwrap();
+        nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![sum], q)
+            .unwrap();
         nl.add_output("y", q);
         let optimized = optimize(&nl);
         assert_eq!(optimized.cell_count(), 2);
@@ -73,7 +78,8 @@ mod tests {
         let a = nl.add_input("a");
         let q = nl.add_net("q");
         let y = nl.add_net("y");
-        nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![a], q).unwrap();
+        nl.add_cell("u_reg", CellKind::Dff { init: false }, vec![a], q)
+            .unwrap();
         nl.add_cell("u_buf", CellKind::Buf, vec![a], y).unwrap();
         nl.add_output("y", y);
         let optimized = optimize(&nl);

@@ -33,10 +33,16 @@ impl fmt::Display for TechmapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TechmapError::TooManyInputs { cell, inputs } => {
-                write!(f, "cell `{cell}` has {inputs} inputs, more than a LUT4 provides")
+                write!(
+                    f,
+                    "cell `{cell}` has {inputs} inputs, more than a LUT4 provides"
+                )
             }
             TechmapError::AlreadyMapped { cell } => {
-                write!(f, "cell `{cell}` is an I/O buffer; the netlist is already mapped")
+                write!(
+                    f,
+                    "cell `{cell}` is an I/O buffer; the netlist is already mapped"
+                )
             }
             TechmapError::Netlist(err) => write!(f, "netlist construction failed: {err}"),
         }

@@ -9,13 +9,14 @@
 
 use tmr_fpga::arch::Device;
 use tmr_fpga::designs::FirFilter;
-use tmr_fpga::faultsim::{run_campaign, CampaignOptions, FaultClass};
+use tmr_fpga::faultsim::{CampaignOptions, FaultClass};
 use tmr_fpga::flow;
 use tmr_fpga::tmr::paper_variants;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = FirFilter::small_filter().to_design();
-    let device = Device::small(20, 20);
+    // 24x24 = 1152 LUT sites: tmr_p1, the largest variant, needs 957.
+    let device = Device::small(24, 24);
     let options = CampaignOptions {
         faults: 1500,
         cycles: 16,
@@ -28,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (name, design) in paper_variants(&base)? {
         let routed = flow::implement(&device, &design, 1)?;
-        let result = run_campaign(&device, &routed, &options)?;
+        // Sharded over all CPU cores; bit-identical to the sequential path.
+        let result = flow::run_campaign_parallel(&device, &routed, &options, None)?;
         println!(
             "{:<10} {:>10} {:>12} {:>14.2} {:>15.0}%",
             name,

@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("base design: {base}\n");
     println!(
         "{:<10} {:>14} {:>12} {:>16} {:>20} {:>22}",
-        "variant", "fabric voters", "partitions", "max partition", "mean partition", "cross-domain pairs"
+        "variant",
+        "fabric voters",
+        "partitions",
+        "max partition",
+        "mean partition",
+        "cross-domain pairs"
     );
     for config in TmrConfig::paper_presets() {
         let tmr = apply_tmr(&base, &config)?;

@@ -6,10 +6,10 @@
 //! ```
 
 use tmr_fpga::arch::Device;
-use tmr_fpga::faultsim::{run_campaign, CampaignOptions};
+use tmr_fpga::faultsim::CampaignOptions;
 use tmr_fpga::flow;
-use tmr_fpga::tmr::{apply_tmr, TmrConfig};
 use tmr_fpga::synth::Design;
+use tmr_fpga::tmr::{apply_tmr, TmrConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Capture a small word-level design: y = register(a*5 + b).
@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cycles: 16,
         ..CampaignOptions::default()
     };
-    let plain_result = run_campaign(&device, &plain, &options)?;
-    let tmr_result = run_campaign(&device, &tmr, &options)?;
+    let plain_result = flow::run_campaign_parallel(&device, &plain, &options, None)?;
+    let tmr_result = flow::run_campaign_parallel(&device, &tmr, &options, None)?;
     println!("{plain_result}");
     println!("{tmr_result}");
     println!(

@@ -38,8 +38,10 @@ pub mod flow {
     use std::error::Error;
     use std::fmt;
     use tmr_arch::Device;
+    use tmr_faultsim::{CampaignEngine, CampaignOptions, CampaignResult};
     use tmr_netlist::Netlist;
     use tmr_pnr::{place_and_route, PnrError, RoutedDesign};
+    use tmr_sim::SimError;
     use tmr_synth::{lower, optimize, techmap, Design, LowerError, TechmapError};
 
     /// Errors of the combined flow.
@@ -97,8 +99,34 @@ pub mod flow {
     /// # Errors
     ///
     /// Propagates synthesis and place-and-route errors.
-    pub fn implement(device: &Device, design: &Design, seed: u64) -> Result<RoutedDesign, FlowError> {
+    pub fn implement(
+        device: &Device,
+        design: &Design,
+        seed: u64,
+    ) -> Result<RoutedDesign, FlowError> {
         let netlist = synthesize(design)?;
         Ok(place_and_route(device, &netlist, seed)?)
+    }
+
+    /// Runs a fault-injection campaign sharded over worker threads (one per
+    /// CPU core when `shards` is `None`). The result is bit-identical to the
+    /// sequential [`tmr_faultsim::run_campaign`] for any shard count — see
+    /// [`CampaignEngine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the netlist cannot be simulated (combinational
+    /// loop), which cannot happen for designs produced by [`implement`].
+    pub fn run_campaign_parallel(
+        device: &Device,
+        routed: &RoutedDesign,
+        options: &CampaignOptions,
+        shards: Option<usize>,
+    ) -> Result<CampaignResult, SimError> {
+        let mut engine = CampaignEngine::new(device, routed, *options);
+        if let Some(shards) = shards {
+            engine = engine.with_shards(shards);
+        }
+        engine.run()
     }
 }

@@ -22,13 +22,21 @@ fn x_samples(values: &[i64]) -> Vec<HashMap<String, i64>> {
 }
 
 /// Reads back the voted word-level output `y` of a trace, given the grouping.
-fn decode_y(netlist: &tmr_fpga::netlist::Netlist, groups: &OutputGroups, trace: &tmr_fpga::sim::SimTrace) -> Vec<i64> {
+fn decode_y(
+    netlist: &tmr_fpga::netlist::Netlist,
+    groups: &OutputGroups,
+    trace: &tmr_fpga::sim::SimTrace,
+) -> Vec<i64> {
     let voted = groups.vote(trace);
     let descriptors: Vec<(String, u32)> = groups
         .descriptors()
         .map(|(base, bit, _)| (base.to_string(), bit))
         .collect();
-    let width = descriptors.iter().map(|&(_, bit)| bit + 1).max().unwrap_or(0);
+    let width = descriptors
+        .iter()
+        .map(|&(_, bit)| bit + 1)
+        .max()
+        .unwrap_or(0);
     let _ = netlist;
     voted
         .iter()
@@ -84,7 +92,9 @@ fn routed_tmr_fir_matches_the_reference_response() {
 #[test]
 fn all_five_variants_implement_and_tmr_beats_unprotected() {
     let base = FirFilter::small_filter().to_design();
-    let device = Device::small(20, 20);
+    // 24x24 = 1152 LUT sites: large enough for tmr_p1, the largest variant
+    // (957 LUTs — a 20x20 grid holds only 800).
+    let device = Device::small(24, 24);
     let options = CampaignOptions {
         faults: 700,
         cycles: 12,
@@ -116,12 +126,44 @@ fn all_five_variants_implement_and_tmr_beats_unprotected() {
     for (name, result) in &results {
         if name != "standard" {
             assert_eq!(
-                result.error_classification().get(&FaultClass::Lut).copied().unwrap_or(0),
+                result
+                    .error_classification()
+                    .get(&FaultClass::Lut)
+                    .copied()
+                    .unwrap_or(0),
                 0,
                 "{name}: a LUT upset in one domain must be voted out"
             );
         }
     }
+}
+
+#[test]
+fn parallel_campaign_is_bit_identical_to_sequential() {
+    // The sharded engine must produce the exact same CampaignResult as the
+    // sequential path for any shard count — Table 3/4 reproductions may
+    // never depend on the thread schedule.
+    let design = apply_tmr(
+        &FirFilter::small_filter().to_design(),
+        &TmrConfig::paper_p2(),
+    )
+    .expect("tmr");
+    let device = Device::small(20, 20);
+    let routed = flow::implement(&device, &design, 1).expect("implementation");
+    let options = CampaignOptions {
+        faults: 300,
+        cycles: 10,
+        ..CampaignOptions::default()
+    };
+    let sequential = run_campaign(&device, &routed, &options).expect("campaign");
+    for shards in [1usize, 2, 8] {
+        let parallel = flow::run_campaign_parallel(&device, &routed, &options, Some(shards))
+            .expect("campaign");
+        assert_eq!(sequential, parallel, "shard count {shards}");
+    }
+    // The default (per-core) sharding is covered too.
+    let auto = flow::run_campaign_parallel(&device, &routed, &options, None).expect("campaign");
+    assert_eq!(sequential, auto);
 }
 
 #[test]
@@ -154,8 +196,12 @@ fn moving_sum_campaign_orders_partitions_sensibly() {
     .expect("campaign");
     let p2 = run_campaign(
         &device,
-        &flow::implement(&device, &apply_tmr(&base, &TmrConfig::paper_p2()).expect("tmr"), 1)
-            .expect("implementation"),
+        &flow::implement(
+            &device,
+            &apply_tmr(&base, &TmrConfig::paper_p2()).expect("tmr"),
+            1,
+        )
+        .expect("implementation"),
         &options,
     )
     .expect("campaign");

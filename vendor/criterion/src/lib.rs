@@ -1,0 +1,306 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! The workspace builds fully offline, so the real `criterion` crate cannot be
+//! fetched. This stand-in keeps the familiar surface — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`Throughput`], [`criterion_group!`], [`criterion_main!`] — and implements
+//! a simple wall-clock measurement loop: per benchmark it warms up briefly,
+//! then collects samples until either the sample budget or the measurement
+//! time budget is exhausted, and reports min/mean/max per iteration plus
+//! throughput (elements or bytes per second) when configured.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SAMPLE_SIZE` — override the per-benchmark sample budget;
+//! * `CRITERION_MEASURE_MS` — override the per-benchmark time budget (ms).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in always runs one
+/// setup per routine invocation, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream; one per call here.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Throughput annotation: scales the per-iteration time into a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per routine call.
+    Elements(u64),
+    /// Bytes processed per routine call.
+    Bytes(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_budget: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    fn new(sample_budget: usize, time_budget: Duration) -> Self {
+        Self {
+            samples: Vec::new(),
+            sample_budget,
+            time_budget,
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.sample_budget && started.elapsed() < self.time_budget {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Measures `routine` with a fresh `setup` product per call; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.sample_budget && started.elapsed() < self.time_budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1_000_000.0 {
+        format!("{:.2} M{unit}/s", per_second / 1_000_000.0)
+    } else if per_second >= 1_000.0 {
+        format!("{:.2} K{unit}/s", per_second / 1_000.0)
+    } else {
+        format!("{per_second:.2} {unit}/s")
+    }
+}
+
+fn run_one(
+    id: &str,
+    sample_size: usize,
+    measure_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let sample_size = env_usize("CRITERION_SAMPLE_SIZE").unwrap_or(sample_size);
+    let measure_time = env_usize("CRITERION_MEASURE_MS")
+        .map(|ms| Duration::from_millis(ms as u64))
+        .unwrap_or(measure_time);
+    let mut bencher = Bencher::new(sample_size.max(1), measure_time);
+    f(&mut bencher);
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<48} no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let mut line = format!(
+        "{id:<48} time: [{} {} {}]  ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        samples.len()
+    );
+    if let Some(throughput) = throughput {
+        let seconds = mean.as_secs_f64();
+        if seconds > 0.0 {
+            let (count, unit) = match throughput {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let _ = write!(
+                line,
+                "  thrpt: {}",
+                format_rate(count as f64 / seconds, unit)
+            );
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measure_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(
+            &id,
+            self.sample_size,
+            self.measure_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (separator line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measure_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, for API parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, self.measure_time, None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            measure_time: self.measure_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5, Duration::from_secs(1));
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut b = Bencher::new(3, Duration::from_secs(1));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn formatting_is_human_readable() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(format_rate(2_500_000.0, "elem").starts_with("2.50 M"));
+    }
+}
