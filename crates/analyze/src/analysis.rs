@@ -1,0 +1,279 @@
+//! The whole-bitstream static criticality analysis.
+
+use crate::{CriticalityReport, Verdict};
+use std::collections::BTreeMap;
+use tmr_arch::Device;
+use tmr_faultsim::{classify_bit, FaultClass};
+use tmr_netlist::{Domain, Netlist};
+use tmr_pnr::RoutedDesign;
+use tmr_sim::OutputGroups;
+
+/// The result of statically analyzing every configuration bit of a routed
+/// design.
+///
+/// [`StaticAnalysis::run`] walks the complete configuration space — not a
+/// random sample — and classifies each bit with `tmr-faultsim`'s structural
+/// effect machinery ([`classify_bit`]) used *purely structurally*: the derived
+/// fault overlay is never simulated, only the TMR domains of the affected
+/// nets and sinks are inspected. This gives exhaustive coverage of the
+/// domain-crossing bits (the paper's voter-defeating upsets) at a cost of
+/// microseconds per bit, where the dynamic campaign pays a full multi-cycle
+/// simulation per sampled bit.
+///
+/// # Soundness preconditions
+///
+/// A fault confined to one *redundant* domain is only guaranteed maskable
+/// when the design is structurally a voted TMR circuit. `run` checks two
+/// conditions and records the conjunction as [`StaticAnalysis::voted_tmr`]:
+///
+/// 1. **pad-voted outputs** — every word-level output bit is a triple whose
+///    members carry all three redundant domains (the paper's "voters in the
+///    output logic block"), and
+/// 2. **voter-confined merging** — every cell that reads a net of a redundant
+///    domain different from its own output's domain is tagged
+///    [`Domain::Voter`] (majority voters are the only cross-domain readers
+///    the TMR transformation produces).
+///
+/// When either check fails the analysis degrades conservatively: single-
+/// domain faults are treated as observable, so pruning never skips a
+/// simulation it cannot justify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticAnalysis {
+    design: String,
+    verdicts: Vec<Verdict>,
+    design_related: usize,
+    voted_tmr: bool,
+    observable: Vec<usize>,
+}
+
+impl StaticAnalysis {
+    /// Analyzes every configuration bit of `routed` on `device`.
+    pub fn run(device: &Device, routed: &RoutedDesign) -> Self {
+        let netlist = routed.netlist();
+        let voted_tmr = outputs_fully_voted(netlist) && merging_confined_to_voters(netlist);
+        let layout = device.config_layout();
+
+        let mut verdicts = Vec::with_capacity(layout.bit_count());
+        let mut observable = Vec::new();
+        let mut design_related = 0;
+        for bit in 0..layout.bit_count() {
+            let resource = layout.resource_at(bit).expect("bit in range");
+            if routed.resource_is_design_related(device, &resource) {
+                design_related += 1;
+            }
+            let effect = classify_bit(device, routed, bit);
+            let affected = effect.affected_domains(routed);
+            let verdict = Verdict::from_affected_domains(&affected, effect.class);
+            if verdict.possibly_observable(voted_tmr) {
+                observable.push(bit);
+            }
+            verdicts.push(verdict);
+        }
+
+        Self {
+            design: netlist.name().to_string(),
+            verdicts,
+            design_related,
+            voted_tmr,
+            observable,
+        }
+    }
+
+    /// Name of the analyzed design.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Number of analyzed configuration bits (the whole configuration space).
+    pub fn bit_count(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Number of design-related bits (the dynamic campaign's fault list).
+    pub fn design_related(&self) -> usize {
+        self.design_related
+    }
+
+    /// Whether the design satisfied the structural TMR preconditions (see the
+    /// type-level documentation); only then are single-redundant-domain
+    /// faults excluded from the observable set.
+    pub fn voted_tmr(&self) -> bool {
+        self.voted_tmr
+    }
+
+    /// The verdict of one configuration bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the configuration space.
+    pub fn verdict(&self, bit: usize) -> Verdict {
+        self.verdicts[bit]
+    }
+
+    /// All verdicts, indexed by bit.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// The sorted list of statically-possibly-observable bits — the
+    /// simulation allow-list handed to
+    /// [`tmr_faultsim::CampaignOptions::restrict_to`] (see
+    /// [`crate::PruneWith`]).
+    pub fn observable_bits(&self) -> &[usize] {
+        &self.observable
+    }
+
+    /// Iterates over the TMR-defeating bits: every bit whose verdict is
+    /// [`Verdict::DomainCrossing`], in configuration-memory order.
+    pub fn critical_bits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.may_defeat_tmr())
+            .map(|(bit, _)| bit)
+    }
+
+    /// Aggregates the verdict map into a [`CriticalityReport`].
+    pub fn report(&self) -> CriticalityReport {
+        let mut benign = 0;
+        let mut single_domain: BTreeMap<Domain, usize> = BTreeMap::new();
+        let mut crossing: BTreeMap<(Domain, Domain), BTreeMap<FaultClass, usize>> = BTreeMap::new();
+        let mut defeating_bits = Vec::new();
+        for (bit, verdict) in self.verdicts.iter().enumerate() {
+            match *verdict {
+                Verdict::Benign => benign += 1,
+                Verdict::SingleDomain(domain) => {
+                    *single_domain.entry(domain).or_insert(0) += 1;
+                }
+                Verdict::DomainCrossing { domains, class } => {
+                    *crossing
+                        .entry(domains)
+                        .or_default()
+                        .entry(class)
+                        .or_insert(0) += 1;
+                    defeating_bits.push(bit);
+                }
+            }
+        }
+        CriticalityReport {
+            design: self.design.clone(),
+            total_bits: self.verdicts.len(),
+            design_related: self.design_related,
+            observable: self.observable.len(),
+            voted_tmr: self.voted_tmr,
+            benign,
+            single_domain,
+            crossing,
+            defeating_bits,
+        }
+    }
+}
+
+/// Checks that every word-level output bit is a pad-voted triple covering all
+/// three redundant domains.
+fn outputs_fully_voted(netlist: &Netlist) -> bool {
+    let port_domains: Vec<Domain> = netlist
+        .output_ports()
+        .map(|(_, port)| netlist.net(port.net).domain)
+        .collect();
+    if port_domains.is_empty() {
+        return false;
+    }
+    let groups = OutputGroups::new(netlist);
+    let fully_voted = groups.groups().all(|(_, _, members)| {
+        members.len() == 3
+            && members
+                .iter()
+                .filter_map(|&member| port_domains[member].redundant_index())
+                .fold([false; 3], |mut seen, index| {
+                    seen[index] = true;
+                    seen
+                })
+                .iter()
+                .all(|&s| s)
+    });
+    fully_voted
+}
+
+/// Checks that every cross-domain reader of a redundant-domain net is a
+/// majority voter.
+fn merging_confined_to_voters(netlist: &Netlist) -> bool {
+    netlist.cells().all(|(_, cell)| {
+        let output_domain = netlist.net(cell.output).domain;
+        cell.inputs.iter().all(|&input| {
+            let domain = netlist.net(input).domain;
+            !domain.is_redundant() || domain == output_domain || cell.domain == Domain::Voter
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_core::{apply_tmr, TmrConfig};
+    use tmr_designs::counter;
+    use tmr_pnr::place_and_route;
+    use tmr_synth::{lower, optimize, techmap, Design};
+
+    fn implement(design: &Design, device: &Device, seed: u64) -> RoutedDesign {
+        let netlist = techmap(&optimize(&lower(design).unwrap())).unwrap();
+        place_and_route(device, &netlist, seed).unwrap()
+    }
+
+    #[test]
+    fn tmr_counter_satisfies_the_structural_preconditions() {
+        let device = Device::small(8, 8);
+        let design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
+        let routed = implement(&design, &device, 5);
+        let analysis = StaticAnalysis::run(&device, &routed);
+        assert!(analysis.voted_tmr());
+        assert_eq!(analysis.bit_count(), device.config_layout().bit_count());
+        assert!(analysis.design_related() > 0);
+        assert!(analysis.design_related() < analysis.bit_count());
+        // The observable set is a strict subset of the design-related bits:
+        // single-redundant-domain faults are voted out.
+        assert!(analysis.observable_bits().len() < analysis.design_related());
+        assert!(analysis.critical_bits().count() > 0);
+        assert!(analysis.design().contains("counter"));
+    }
+
+    #[test]
+    fn unprotected_counter_is_not_a_voted_tmr_design() {
+        let device = Device::small(5, 5);
+        let routed = implement(&counter(4), &device, 5);
+        let analysis = StaticAnalysis::run(&device, &routed);
+        assert!(!analysis.voted_tmr());
+        // Without the preconditions every non-benign bit stays observable and
+        // no bit crosses domains (there is only one domain).
+        assert_eq!(analysis.critical_bits().count(), 0);
+        for &bit in analysis.observable_bits() {
+            assert_ne!(analysis.verdict(bit), Verdict::Benign);
+        }
+    }
+
+    #[test]
+    fn critical_bits_are_exactly_the_domain_crossing_verdicts() {
+        let device = Device::small(8, 8);
+        let design = apply_tmr(&counter(4), &TmrConfig::paper_p3()).unwrap();
+        let routed = implement(&design, &device, 5);
+        let analysis = StaticAnalysis::run(&device, &routed);
+        for bit in analysis.critical_bits() {
+            assert!(analysis.verdict(bit).may_defeat_tmr());
+            assert!(
+                analysis.observable_bits().binary_search(&bit).is_ok(),
+                "critical bits are always observable"
+            );
+        }
+        let report = analysis.report();
+        assert_eq!(
+            report.defeating_bits.len(),
+            analysis.critical_bits().count()
+        );
+        assert_eq!(
+            report.benign
+                + report.single_domain.values().sum::<usize>()
+                + report.defeating_bits.len(),
+            report.total_bits
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal, dependency-free JSON document builder.
+//!
+//! The workspace builds fully offline, so reports that want machine-readable
+//! output (the [`crate::CriticalityReport`], the `table3`/`table4`/
+//! `table_critical` bench binaries with `--json`) share this writer instead
+//! of pulling in `serde`. Only what the reports need is implemented:
+//! objects, arrays, strings with escaping, integers, floats, booleans and
+//! null, rendered deterministically in insertion order.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (serialized with enough precision to round-trip; non-finite
+    /// values degrade to `null`, as JSON has no representation for them).
+    Float(f64),
+    /// A string (escaped on serialization).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(values: impl IntoIterator<Item = Json>) -> Self {
+        Json::Array(values.into_iter().collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(value: impl Into<String>) -> Self {
+        Json::Str(value.into())
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl From<usize> for Json {
+    fn from(value: usize) -> Self {
+        Json::Int(value as i64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(value: bool) -> Self {
+        Json::Bool(value)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(value: f64) -> Self {
+        Json::Float(value)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(value: &str) -> Self {
+        Json::Str(value.to_string())
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Float(_) => f.write_str("null"),
+            Json::Str(s) => escape_into(f, s),
+            Json::Array(values) => {
+                f.write_str("[")?;
+                for (i, value) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{value}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::object([
+            ("name", Json::str("tmr_p2")),
+            ("bits", Json::from(42usize)),
+            ("fraction", Json::from(0.5)),
+            ("ok", Json::from(true)),
+            ("rows", Json::array([Json::from(1usize), Json::Null])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"tmr_p2","bits":42,"fraction":0.5,"ok":true,"rows":[1,null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te\u{1}").render(),
+            r#""a\"b\\c\nd\te\u0001""#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Float(2.25).render(), "2.25");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::array([]).render(), "[]");
+        assert_eq!(Json::object::<String>([]).render(), "{}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Campaign pruning: restricting the dynamic campaign to the statically
+//! observable bits.
+
+use crate::StaticAnalysis;
+use tmr_faultsim::CampaignOptions;
+
+/// Extension trait wiring a [`StaticAnalysis`] into
+/// [`tmr_faultsim::CampaignOptions`].
+///
+/// `tmr-faultsim` cannot depend on `tmr-analyze` (the analyzer is built on
+/// top of it), so the pruning entry point lives here: `prune_with` hands the
+/// analyzer's observable set to [`CampaignOptions::restrict_to`].
+pub trait PruneWith {
+    /// Restricts simulation to the statically-possibly-observable bits of
+    /// `analysis`.
+    ///
+    /// The sampled fault population is unchanged — the same bits are drawn,
+    /// classified and recorded — but only bits the static analysis cannot
+    /// rule out are simulated. For a sound analysis the pruned campaign's
+    /// outcomes are *identical* to the unpruned ones (the skipped simulations
+    /// would all have reported no mismatch), which the integration tests
+    /// assert on the paper designs.
+    #[must_use]
+    fn prune_with(self, analysis: &StaticAnalysis) -> Self;
+}
+
+impl PruneWith for CampaignOptions {
+    fn prune_with(self, analysis: &StaticAnalysis) -> Self {
+        self.restrict_to(analysis.observable_bits().iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmr_arch::Device;
+    use tmr_core::{apply_tmr, TmrConfig};
+    use tmr_designs::counter;
+    use tmr_faultsim::run_campaign;
+    use tmr_pnr::place_and_route;
+    use tmr_synth::{lower, optimize, techmap};
+
+    #[test]
+    fn pruned_campaign_matches_unpruned_outcomes_and_simulates_less() {
+        let device = Device::small(8, 8);
+        let design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
+        let netlist = techmap(&optimize(&lower(&design).unwrap())).unwrap();
+        let routed = place_and_route(&device, &netlist, 5).unwrap();
+
+        let analysis = StaticAnalysis::run(&device, &routed);
+        assert!(analysis.voted_tmr());
+
+        let options = CampaignOptions {
+            faults: 600,
+            cycles: 10,
+            ..CampaignOptions::default()
+        };
+        let unpruned = run_campaign(&device, &routed, &options).unwrap();
+        let pruned =
+            run_campaign(&device, &routed, &options.clone().prune_with(&analysis)).unwrap();
+
+        // Same sampled bits, same classifications, same observed failures.
+        assert_eq!(pruned.outcomes, unpruned.outcomes);
+        assert!(
+            pruned.simulated < unpruned.simulated,
+            "pruning must skip simulations ({} vs {})",
+            pruned.simulated,
+            unpruned.simulated
+        );
+        assert!(pruned.simulated <= analysis.observable_bits().len());
+    }
+}

@@ -1,0 +1,217 @@
+//! Aggregated criticality reports with text and JSON rendering.
+
+use crate::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+use tmr_faultsim::FaultClass;
+use tmr_netlist::Domain;
+
+/// The aggregate of a [`crate::StaticAnalysis`]: verdict counts, the
+/// per-domain-pair × per-effect-class breakdown of the domain-crossing bits,
+/// and the TMR-defeating bit set itself.
+///
+/// This is the static counterpart of the paper's Table 4: where the dynamic
+/// campaign classifies the *sampled error-causing* upsets, the report
+/// classifies **every** voter-defeating candidate in the bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalityReport {
+    /// Name of the analyzed design.
+    pub design: String,
+    /// Total configuration bits analyzed (the whole configuration space).
+    pub total_bits: usize,
+    /// Design-related bits (the dynamic campaign's fault-list size).
+    pub design_related: usize,
+    /// Statically-possibly-observable bits (the campaign-pruning allow-list).
+    pub observable: usize,
+    /// Whether the design satisfied the structural TMR preconditions.
+    pub voted_tmr: bool,
+    /// Bits that cannot change the configured circuit's behaviour.
+    pub benign: usize,
+    /// Bits whose fault stays confined to one domain, per domain.
+    pub single_domain: BTreeMap<Domain, usize>,
+    /// Domain-crossing bits per coupled domain pair and effect class.
+    pub crossing: BTreeMap<(Domain, Domain), BTreeMap<FaultClass, usize>>,
+    /// The TMR-defeating bits (verdict [`crate::Verdict::DomainCrossing`]),
+    /// in configuration-memory order.
+    pub defeating_bits: Vec<usize>,
+}
+
+impl CriticalityReport {
+    /// Maximum number of defeating bits embedded in the JSON rendering; the
+    /// exact total is always present as `defeating_bits_total`.
+    pub const JSON_BIT_SAMPLE: usize = 256;
+
+    /// Total domain-crossing bits.
+    pub fn crossing_total(&self) -> usize {
+        self.defeating_bits.len()
+    }
+
+    /// Domain-crossing bits per effect class, summed over domain pairs (the
+    /// static analogue of one column of the paper's Table 4).
+    pub fn crossing_by_class(&self) -> BTreeMap<FaultClass, usize> {
+        let mut counts = BTreeMap::new();
+        for per_class in self.crossing.values() {
+            for (&class, &count) in per_class {
+                *counts.entry(class).or_insert(0) += count;
+            }
+        }
+        counts
+    }
+
+    /// Fraction of the design-related bits that the static analysis prunes
+    /// from simulation (0 when nothing is pruned).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.design_related == 0 {
+            return 0.0;
+        }
+        1.0 - (self.observable.min(self.design_related) as f64 / self.design_related as f64)
+    }
+
+    /// Renders the report as a JSON document (no external dependencies; see
+    /// [`Json`]).
+    pub fn to_json(&self) -> Json {
+        let single_domain = Json::object(
+            self.single_domain
+                .iter()
+                .map(|(domain, &count)| (domain.label(), Json::from(count))),
+        );
+        let crossing = Json::array(self.crossing.iter().map(|((a, b), per_class)| {
+            Json::object([
+                ("domains", Json::str(format!("{a}x{b}"))),
+                (
+                    "classes",
+                    Json::object(
+                        per_class
+                            .iter()
+                            .map(|(class, &count)| (class.label(), Json::from(count))),
+                    ),
+                ),
+            ])
+        }));
+        Json::object([
+            ("design", Json::str(self.design.clone())),
+            ("total_bits", Json::from(self.total_bits)),
+            ("design_related", Json::from(self.design_related)),
+            ("observable", Json::from(self.observable)),
+            ("voted_tmr", Json::from(self.voted_tmr)),
+            ("benign", Json::from(self.benign)),
+            ("single_domain", single_domain),
+            ("crossing", crossing),
+            ("crossing_total", Json::from(self.crossing_total())),
+            ("pruned_fraction", Json::from(self.pruned_fraction())),
+            // The full set can run to tens of thousands of bits; the JSON
+            // carries a bounded prefix plus the exact total so documents stay
+            // tractable (the complete set is available programmatically via
+            // `defeating_bits`).
+            (
+                "defeating_bits_total",
+                Json::from(self.defeating_bits.len()),
+            ),
+            (
+                "defeating_bits_sample",
+                Json::array(
+                    self.defeating_bits
+                        .iter()
+                        .take(Self::JSON_BIT_SAMPLE)
+                        .map(|&bit| Json::from(bit)),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for CriticalityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} config bits, {} design-related, {} observable ({:.0} % pruned), voted TMR: {}",
+            self.design,
+            self.total_bits,
+            self.design_related,
+            self.observable,
+            100.0 * self.pruned_fraction(),
+            self.voted_tmr,
+        )?;
+        writeln!(f, "  benign: {}", self.benign)?;
+        for (domain, count) in &self.single_domain {
+            writeln!(f, "  single-domain {domain}: {count}")?;
+        }
+        for ((a, b), per_class) in &self.crossing {
+            let total: usize = per_class.values().sum();
+            write!(f, "  crossing {a}x{b}: {total} (")?;
+            for (i, (class, count)) in per_class.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{class} {count}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        write!(f, "  TMR-defeating bits: {}", self.crossing_total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CriticalityReport {
+        let mut crossing: BTreeMap<(Domain, Domain), BTreeMap<FaultClass, usize>> = BTreeMap::new();
+        crossing
+            .entry((Domain::Tr0, Domain::Tr1))
+            .or_default()
+            .insert(FaultClass::Bridge, 2);
+        crossing
+            .entry((Domain::Tr1, Domain::Tr2))
+            .or_default()
+            .insert(FaultClass::Conflict, 1);
+        CriticalityReport {
+            design: "demo".to_string(),
+            total_bits: 100,
+            design_related: 40,
+            observable: 10,
+            voted_tmr: true,
+            benign: 87,
+            single_domain: BTreeMap::from([(Domain::Tr0, 10)]),
+            crossing,
+            defeating_bits: vec![3, 17, 59],
+        }
+    }
+
+    #[test]
+    fn totals_and_class_rollup() {
+        let report = sample_report();
+        assert_eq!(report.crossing_total(), 3);
+        let by_class = report.crossing_by_class();
+        assert_eq!(by_class[&FaultClass::Bridge], 2);
+        assert_eq!(by_class[&FaultClass::Conflict], 1);
+        assert!((report.pruned_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_names_the_parts() {
+        let text = sample_report().to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("benign: 87"));
+        assert!(text.contains("crossing tr0xtr1: 2"));
+        assert!(text.contains("TMR-defeating bits: 3"));
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_complete() {
+        let json = sample_report().to_json().render();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""design":"demo""#));
+        assert!(json.contains(r#""crossing_total":3"#));
+        assert!(json.contains(r#""domains":"tr0xtr1""#));
+        assert!(json.contains(r#""defeating_bits_total":3"#));
+        assert!(json.contains(r#""defeating_bits_sample":[3,17,59]"#));
+    }
+
+    #[test]
+    fn empty_design_related_has_zero_pruned_fraction() {
+        let mut report = sample_report();
+        report.design_related = 0;
+        assert_eq!(report.pruned_fraction(), 0.0);
+    }
+}

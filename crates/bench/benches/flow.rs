@@ -15,6 +15,7 @@
 //! on a 4-core machine).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tmr_analyze::{PruneWith, StaticAnalysis};
 use tmr_arch::Device;
 use tmr_core::{apply_tmr, estimate_resources, partition_report, TmrConfig};
 use tmr_designs::FirFilter;
@@ -127,7 +128,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(FAULTS as u64));
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            CampaignEngine::new(&device, &routed, options)
+            CampaignEngine::new(&device, &routed, options.clone())
                 .sequential()
                 .run()
                 .expect("campaign")
@@ -136,13 +137,67 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     for shards in [2usize, 4, 8] {
         group.bench_function(format!("parallel_{shards}_shards"), |b| {
             b.iter(|| {
-                CampaignEngine::new(&device, &routed, options)
+                CampaignEngine::new(&device, &routed, options.clone())
                     .with_shards(shards)
                     .run()
                     .expect("campaign")
             })
         });
     }
+
+    // Statically pruned campaign: the same sampled faults, but only the
+    // statically-possibly-observable bits are simulated. The eprintln records
+    // the reduction so bench logs document the pruning factor alongside the
+    // throughput numbers.
+    let analysis = StaticAnalysis::run(&device, &routed);
+    let pruned_options = options.clone().prune_with(&analysis);
+    let unpruned = CampaignEngine::new(&device, &routed, options.clone())
+        .sequential()
+        .run()
+        .expect("campaign");
+    let pruned = CampaignEngine::new(&device, &routed, pruned_options.clone())
+        .sequential()
+        .run()
+        .expect("campaign");
+    assert_eq!(
+        pruned.outcomes, unpruned.outcomes,
+        "static pruning must not change campaign outcomes"
+    );
+    eprintln!(
+        "campaign_throughput/pruned: {} of {} sampled faults simulated \
+         (unpruned simulates {}; {} observable of {} design-related bits)",
+        pruned.simulated,
+        pruned.injected(),
+        unpruned.simulated,
+        analysis.observable_bits().len(),
+        analysis.design_related(),
+    );
+    group.bench_function("pruned_sequential", |b| {
+        b.iter(|| {
+            CampaignEngine::new(&device, &routed, pruned_options.clone())
+                .sequential()
+                .run()
+                .expect("campaign")
+        })
+    });
+    group.finish();
+}
+
+/// Static-analysis throughput (configuration bits/second): the whole-
+/// bitstream criticality classification of `tmr-analyze` on the FIR `TMR_p2`
+/// design.
+fn bench_analyze_throughput(c: &mut Criterion) {
+    let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
+    let device = Device::small(20, 20);
+    let routed = place_and_route(&device, &netlist, 1).expect("place and route");
+    let bits = device.config_layout().bit_count();
+
+    let mut group = c.benchmark_group("analyze_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(bits as u64));
+    group.bench_function("static_analysis_full_bitstream", |b| {
+        b.iter(|| StaticAnalysis::run(&device, &routed))
+    });
     group.finish();
 }
 
@@ -151,6 +206,7 @@ criterion_group!(
     bench_transform,
     bench_implementation,
     bench_fault_injection,
-    bench_campaign_throughput
+    bench_campaign_throughput,
+    bench_analyze_throughput
 );
 criterion_main!(benches);

@@ -11,16 +11,48 @@
 //! ```text
 //! TMR_FAULTS=4000 cargo run --release -p tmr-bench --bin table3
 //! ```
+//!
+//! With `--json` the campaign results are emitted as a single JSON document
+//! (shared serializer with `tmr-analyze`'s `CriticalityReport`) instead of
+//! markdown.
 
+use tmr_analyze::Json;
 use tmr_bench::{
-    campaign, cycles_from_env, faults_from_env, implement_fir_variants, markdown_table,
+    campaign, campaign_json, cycles_from_env, faults_from_env, implement_fir_variants,
+    json_requested, markdown_table,
 };
 
 fn main() {
     let faults = faults_from_env();
     let cycles = cycles_from_env();
+    let json = json_requested();
     let start = std::time::Instant::now();
     let (device, implementations) = implement_fir_variants(1);
+
+    if json {
+        let mut designs = Vec::new();
+        for implementation in &implementations {
+            let result = campaign(&device, implementation, faults, cycles);
+            designs.push(campaign_json(&implementation.name, &result));
+            eprintln!(
+                "  {} done ({:.1} s elapsed)",
+                implementation.name,
+                start.elapsed().as_secs_f64()
+            );
+        }
+        let document = Json::object([
+            ("table", Json::str("table3")),
+            ("faults", Json::from(faults)),
+            ("cycles", Json::from(cycles)),
+            (
+                "device",
+                Json::str(format!("{}x{}", device.cols(), device.rows())),
+            ),
+            ("designs", Json::array(designs)),
+        ]);
+        println!("{document}");
+        return;
+    }
 
     println!("# Table 3 — Fault injection campaign results");
     println!(

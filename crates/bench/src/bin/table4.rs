@@ -10,16 +10,39 @@
 //! ```text
 //! cargo run --release -p tmr-bench --bin table4
 //! ```
+//!
+//! With `--json` the per-design error classifications are emitted as a single
+//! JSON document (shared serializer with `tmr-analyze`'s
+//! `CriticalityReport`) instead of markdown.
 
+use tmr_analyze::Json;
 use tmr_bench::{
-    campaign, cycles_from_env, faults_from_env, implement_fir_variants, markdown_table,
+    campaign, campaign_json, cycles_from_env, faults_from_env, implement_fir_variants,
+    json_requested, markdown_table,
 };
 use tmr_faultsim::FaultClass;
 
 fn main() {
     let faults = faults_from_env();
     let cycles = cycles_from_env();
+    let json = json_requested();
     let (device, implementations) = implement_fir_variants(1);
+
+    if json {
+        let mut designs = Vec::new();
+        for implementation in &implementations {
+            let result = campaign(&device, implementation, faults, cycles);
+            designs.push(campaign_json(&implementation.name, &result));
+        }
+        let document = Json::object([
+            ("table", Json::str("table4")),
+            ("faults", Json::from(faults)),
+            ("cycles", Json::from(cycles)),
+            ("designs", Json::array(designs)),
+        ]);
+        println!("{document}");
+        return;
+    }
 
     println!("# Table 4 — Effects induced by the injected upsets that caused an error");
     println!("({faults} faults per design, {cycles} stimulus cycles per fault)\n");

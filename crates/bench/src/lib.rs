@@ -175,6 +175,42 @@ pub fn cycles_from_env() -> usize {
         .unwrap_or(24)
 }
 
+/// Returns `true` if `--json` was passed on the command line: the table
+/// binaries then emit a machine-readable document (rendered with the
+/// dependency-free serializer shared with `tmr-analyze`'s
+/// `CriticalityReport`) instead of markdown.
+pub fn json_requested() -> bool {
+    std::env::args().any(|arg| arg == "--json")
+}
+
+/// Serializes one campaign result to the shared JSON form used by the
+/// `--json` mode of the table binaries.
+pub fn campaign_json(name: &str, result: &CampaignResult) -> tmr_analyze::Json {
+    use tmr_analyze::Json;
+    let classification = Json::object(
+        result
+            .error_classification()
+            .iter()
+            .map(|(class, &count)| (class.label(), Json::from(count))),
+    );
+    Json::object([
+        ("design", Json::str(name)),
+        ("fault_list_size", Json::from(result.fault_list_size)),
+        ("injected", Json::from(result.injected())),
+        ("simulated", Json::from(result.simulated)),
+        ("wrong_answers", Json::from(result.wrong_answers())),
+        (
+            "wrong_answer_percent",
+            Json::from(result.wrong_answer_percent()),
+        ),
+        (
+            "cross_domain_error_fraction",
+            Json::from(result.cross_domain_error_fraction()),
+        ),
+        ("error_classification", classification),
+    ])
+}
+
 /// Formats a markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -212,6 +248,29 @@ mod tests {
         assert!(table.contains("| a | b |"));
         assert!(table.contains("|---|---|"));
         assert!(table.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn campaign_json_includes_the_table_columns() {
+        use tmr_faultsim::FaultOutcome;
+        let result = CampaignResult {
+            design: "demo".to_string(),
+            fault_list_size: 10,
+            simulated: 2,
+            outcomes: vec![FaultOutcome {
+                bit: 3,
+                class: tmr_faultsim::FaultClass::Bridge,
+                wrong_answer: true,
+                first_error_cycle: Some(1),
+                crosses_domains: true,
+            }],
+        };
+        let json = campaign_json("demo", &result).render();
+        assert!(json.contains(r#""design":"demo""#));
+        assert!(json.contains(r#""injected":1"#));
+        assert!(json.contains(r#""simulated":2"#));
+        assert!(json.contains(r#""wrong_answers":1"#));
+        assert!(json.contains(r#""Bridge":1"#));
     }
 
     #[test]

@@ -3,12 +3,13 @@
 use crate::{classify_bit, CampaignEngine, FaultClass};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_pnr::RoutedDesign;
 use tmr_sim::{OutputGroups, SimError, SimTrace, Simulator, Stimulus};
 
 /// Options of a fault-injection campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignOptions {
     /// Number of faults to inject (drawn randomly from the fault list; the
     /// paper injected roughly 10 % of the configuration memory).
@@ -19,6 +20,18 @@ pub struct CampaignOptions {
     pub stimulus_seed: u64,
     /// Seed of the fault-sampling shuffle.
     pub sampling_seed: u64,
+    /// When set, only sampled bits contained in this sorted list are actually
+    /// simulated; the remaining sampled bits are still classified and
+    /// recorded (with `wrong_answer == false`), but their simulation is
+    /// skipped.
+    ///
+    /// This is the campaign-pruning hook of the static criticality analyzer
+    /// (`tmr-analyze`): the list holds the statically-possibly-observable
+    /// bits, so the sampled population — and therefore every outcome of a
+    /// sound pruning — is unchanged while the expensive simulations shrink to
+    /// the bits that can matter. [`CampaignResult::simulated`] counts the
+    /// simulations actually run.
+    pub simulate_only: Option<Arc<[usize]>>,
 }
 
 impl Default for CampaignOptions {
@@ -28,7 +41,22 @@ impl Default for CampaignOptions {
             cycles: 24,
             stimulus_seed: 20050307, // DATE 2005 conference date
             sampling_seed: 1,
+            simulate_only: None,
         }
+    }
+}
+
+impl CampaignOptions {
+    /// Restricts simulation to the given bits (sorted and deduplicated
+    /// internally); see [`CampaignOptions::simulate_only`]. The static
+    /// analyzer's `prune_with` (in `tmr-analyze`) is the usual caller.
+    #[must_use]
+    pub fn restrict_to(mut self, bits: impl IntoIterator<Item = usize>) -> Self {
+        let mut bits: Vec<usize> = bits.into_iter().collect();
+        bits.sort_unstable();
+        bits.dedup();
+        self.simulate_only = Some(bits.into());
+        self
     }
 }
 
@@ -55,6 +83,11 @@ pub struct CampaignResult {
     pub design: String,
     /// Size of the full fault list (all design-related bits).
     pub fault_list_size: usize,
+    /// Number of faults whose behaviour was actually simulated. Without
+    /// pruning this counts the sampled bits with a non-empty structural
+    /// overlay; with [`CampaignOptions::simulate_only`] it shrinks further to
+    /// the statically-possibly-observable bits.
+    pub simulated: usize,
     /// Per-fault outcomes, in injection order.
     pub outcomes: Vec<FaultOutcome>,
 }
@@ -141,35 +174,50 @@ pub fn run_campaign(
     routed: &RoutedDesign,
     options: &CampaignOptions,
 ) -> Result<CampaignResult, SimError> {
-    CampaignEngine::new(device, routed, *options)
+    CampaignEngine::new(device, routed, options.clone())
         .sequential()
         .run()
 }
 
+/// The immutable per-worker state of one campaign shard: the design under
+/// test, a (cloned) compiled simulator and the shared stimulus/golden/voting
+/// references.
+pub(crate) struct ShardContext<'a> {
+    pub device: &'a Device,
+    pub routed: &'a RoutedDesign,
+    pub simulator: Simulator<'a>,
+    pub stimulus: &'a Stimulus,
+    pub golden: &'a SimTrace,
+    pub output_groups: &'a OutputGroups,
+    /// Sorted allow-list of [`CampaignOptions::simulate_only`]: sampled bits
+    /// outside it are classified but not simulated.
+    pub simulate_only: Option<&'a [usize]>,
+}
+
 /// Injects the faults of one shard (any contiguous slice of the sampled fault
-/// list) and returns their outcomes, in slice order.
+/// list) and returns their outcomes, in slice order, plus the number of
+/// faults whose behaviour was actually simulated.
 ///
 /// This is the single per-fault code path shared by the sequential and the
 /// parallel campaign engines: for a given `(bit, stimulus, golden)` triple
 /// the outcome is a pure function, which is what makes sharded campaigns
 /// bit-identical to sequential ones.
-pub(crate) fn run_shard(
-    device: &Device,
-    routed: &RoutedDesign,
-    simulator: &Simulator<'_>,
-    stimulus: &Stimulus,
-    golden: &SimTrace,
-    output_groups: &OutputGroups,
-    bits: &[usize],
-) -> Vec<FaultOutcome> {
-    bits.iter()
+pub(crate) fn run_shard(ctx: &ShardContext<'_>, bits: &[usize]) -> (Vec<FaultOutcome>, usize) {
+    let mut simulated = 0;
+    let outcomes = bits
+        .iter()
         .map(|&bit| {
-            let effect = classify_bit(device, routed, bit);
-            let (wrong_answer, first_error_cycle) = if effect.overlay.is_empty() {
+            let effect = classify_bit(ctx.device, ctx.routed, bit);
+            let skip = effect.overlay.is_empty()
+                || ctx
+                    .simulate_only
+                    .is_some_and(|allowed| allowed.binary_search(&bit).is_err());
+            let (wrong_answer, first_error_cycle) = if skip {
                 (false, None)
             } else {
-                let trace = simulator.run_stimulus(stimulus, &effect.overlay);
-                match output_groups.first_voted_mismatch(golden, &trace) {
+                simulated += 1;
+                let trace = ctx.simulator.run_stimulus(ctx.stimulus, &effect.overlay);
+                match ctx.output_groups.first_voted_mismatch(ctx.golden, &trace) {
                     Some(cycle) => (true, Some(cycle)),
                     None => (false, None),
                 }
@@ -182,7 +230,8 @@ pub(crate) fn run_shard(
                 crosses_domains: effect.crosses_domains,
             }
         })
-        .collect()
+        .collect();
+    (outcomes, simulated)
 }
 
 #[cfg(test)]

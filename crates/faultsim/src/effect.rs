@@ -1,7 +1,7 @@
 //! Translation of a flipped configuration bit into its fault class and its
 //! structural effect on the routed design.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use tmr_arch::{ConfigResource, Device, NodeId, PipId, RouteNode};
 use tmr_netlist::{CellKind, Domain, NetId};
@@ -85,6 +85,57 @@ pub struct BitEffect {
     /// Whether the fault couples two *distinct* redundant TMR domains — the
     /// mechanism the paper identifies as able to defeat TMR.
     pub crosses_domains: bool,
+}
+
+impl BitEffect {
+    /// The set of TMR domains whose signal copies this fault can corrupt,
+    /// derived purely from the structural overlay — no simulation.
+    ///
+    /// The corruption entry points are the nets named by the overlay: a LUT or
+    /// FF override corrupts the cell's output net (and is attributed to the
+    /// cell's own domain too, so an upset inside a voter LUT is never mistaken
+    /// for a plain redundant-domain fault), an open corrupts the opened net as
+    /// seen by the disconnected sink, and bridges/antennas corrupt the shorted
+    /// or victim nets. Readers in *other* domains are not listed here: the
+    /// static analyzer separately verifies that cross-domain readers are
+    /// majority voters (see `tmr-analyze`), which is what makes this set a
+    /// sound basis for criticality verdicts.
+    ///
+    /// An empty set means the flip cannot change the configured circuit's
+    /// behaviour.
+    pub fn affected_domains(&self, routed: &RoutedDesign) -> BTreeSet<Domain> {
+        let netlist = routed.netlist();
+        let mut domains = BTreeSet::new();
+        for &(cell, _) in &self.overlay.lut_overrides {
+            let cell = netlist.cell(cell);
+            domains.insert(cell.domain);
+            domains.insert(routed.net_domain(cell.output));
+        }
+        for &(cell, _) in &self.overlay.ff_init_overrides {
+            let cell = netlist.cell(cell);
+            domains.insert(cell.domain);
+            domains.insert(routed.net_domain(cell.output));
+        }
+        for &sink in &self.overlay.opened_sinks {
+            match sink {
+                SinkRef::CellPin { cell, pin } => {
+                    let net = netlist.cell(cell).inputs[pin];
+                    domains.insert(routed.net_domain(net));
+                }
+                SinkRef::OutputPort(port) => {
+                    domains.insert(routed.net_domain(netlist.port(port).net));
+                }
+            }
+        }
+        for &(a, b) in &self.overlay.shorted_nets {
+            domains.insert(routed.net_domain(a));
+            domains.insert(routed.net_domain(b));
+        }
+        for &net in &self.overlay.corrupted_nets {
+            domains.insert(routed.net_domain(net));
+        }
+        domains
+    }
 }
 
 /// Classifies a configuration bit flip and derives its structural effect.
@@ -193,7 +244,7 @@ fn classify_pip_flip(
             } else {
                 FaultClass::Bridge
             };
-            let crosses = net_domain(routed, a).crosses(net_domain(routed, b));
+            let crosses = routed.net_domain(a).crosses(routed.net_domain(b));
             BitEffect {
                 bit,
                 class: class_for(class),
@@ -224,10 +275,6 @@ fn classify_pip_flip(
             crosses_domains: false,
         },
     }
-}
-
-fn net_domain(routed: &RoutedDesign, net: NetId) -> Domain {
-    routed.netlist().net(net).domain
 }
 
 /// Builds the overlay of an *Open*: every sink of `net` that is no longer
@@ -392,5 +439,107 @@ mod tests {
         assert!(is_clb_mux_category(PipCategory::InputMux));
         assert!(!is_clb_mux_category(PipCategory::Switchbox));
         assert!(!is_clb_mux_category(PipCategory::LongInput));
+    }
+
+    /// Golden census over the whole configuration space of the routed
+    /// 4-bit counter: every one of the eight `FaultClass` variants appears,
+    /// and each class obeys its defining structural invariant.
+    #[test]
+    fn classify_bit_covers_all_eight_classes_with_their_invariants() {
+        let (device, routed) = routed_counter();
+        let layout = device.config_layout();
+        let mut seen: std::collections::BTreeMap<FaultClass, usize> =
+            std::collections::BTreeMap::new();
+        for bit in 0..layout.bit_count() {
+            let effect = classify_bit(&device, &routed, bit);
+            assert_eq!(effect.bit, bit);
+            *seen.entry(effect.class).or_insert(0) += 1;
+            match effect.class {
+                FaultClass::Lut => {
+                    // Only the truth table may change.
+                    assert!(effect.overlay.shorted_nets.is_empty());
+                    assert!(effect.overlay.opened_sinks.is_empty());
+                    assert!(effect.overlay.corrupted_nets.is_empty());
+                    assert!(effect.overlay.ff_init_overrides.is_empty());
+                }
+                FaultClass::Initialization => {
+                    // Only a flip-flop power-up value may change, and it must
+                    // be inverted, not copied.
+                    assert!(effect.overlay.lut_overrides.is_empty());
+                    assert!(effect.overlay.shorted_nets.is_empty());
+                    for &(cell, init) in &effect.overlay.ff_init_overrides {
+                        match routed.netlist().cell(cell).kind {
+                            CellKind::Dff { init: original } => assert_eq!(init, !original),
+                            _ => panic!("FF init override must target a flip-flop"),
+                        }
+                    }
+                }
+                FaultClass::Open => {
+                    // A set general-routing PIP opened: sinks may float, but
+                    // nothing is shorted or corrupted.
+                    assert!(routed.bitstream().get(bit), "opens come from set bits");
+                    assert!(effect.overlay.shorted_nets.is_empty());
+                    assert!(effect.overlay.corrupted_nets.is_empty());
+                }
+                FaultClass::Bridge | FaultClass::Conflict => {
+                    // A new PIP couples two used, distinct nets (when both
+                    // endpoints are routed; a bridge candidate with an unused
+                    // destination has an empty overlay).
+                    assert!(!routed.bitstream().get(bit));
+                    for &(a, b) in &effect.overlay.shorted_nets {
+                        assert_ne!(a, b);
+                    }
+                }
+                FaultClass::InputAntenna => {
+                    // A floating aggressor corrupts exactly one victim net.
+                    assert!(!routed.bitstream().get(bit));
+                    assert_eq!(effect.overlay.corrupted_nets.len(), 1);
+                    assert!(effect.overlay.shorted_nets.is_empty());
+                }
+                FaultClass::Mux | FaultClass::Others => {}
+            }
+            // The unprotected counter has one domain, so nothing can cross.
+            assert!(!effect.crosses_domains);
+            assert!(effect.affected_domains(&routed).len() <= 1);
+        }
+        for class in FaultClass::ALL {
+            assert!(
+                seen.get(&class).copied().unwrap_or(0) > 0,
+                "class {class} must appear in the census: {seen:?}"
+            );
+        }
+    }
+
+    /// On a TMR design the affected-domain sets drive the static verdicts:
+    /// dynamic `crosses_domains` must coincide with two distinct redundant
+    /// domains in the structural set.
+    #[test]
+    fn affected_domains_match_the_crossing_flag_on_a_tmr_design() {
+        use tmr_core::{apply_tmr, TmrConfig};
+        let device = Device::small(8, 8);
+        let design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
+        let netlist = techmap(&optimize(&lower(&design).unwrap())).unwrap();
+        let routed = place_and_route(&device, &netlist, 5).unwrap();
+        let layout = device.config_layout();
+        let mut crossing = 0;
+        for bit in 0..layout.bit_count() {
+            let effect = classify_bit(&device, &routed, bit);
+            let domains = effect.affected_domains(&routed);
+            let redundant = domains.iter().filter(|d| d.is_redundant()).count();
+            if effect.crosses_domains {
+                crossing += 1;
+                assert!(
+                    redundant >= 2,
+                    "bit {bit}: dynamic crossing must show two redundant domains, got {domains:?}"
+                );
+            }
+            if effect.overlay.is_empty() {
+                assert!(
+                    domains.is_empty(),
+                    "bit {bit}: empty overlays affect nothing"
+                );
+            }
+        }
+        assert!(crossing > 0, "a routed TMR design has crossing candidates");
     }
 }

@@ -23,7 +23,7 @@
 //! must attribute differences to the design variant, never to the thread
 //! schedule.
 
-use crate::campaign::run_shard;
+use crate::campaign::{run_shard, ShardContext};
 use crate::{CampaignOptions, CampaignResult, FaultList, FaultOutcome};
 use std::num::NonZeroUsize;
 use tmr_arch::Device;
@@ -115,42 +115,39 @@ impl<'a> CampaignEngine<'a> {
 
         let fault_list = FaultList::build(self.device, self.routed);
         let sample = fault_list.sample(self.options.faults, self.options.sampling_seed);
+        let simulate_only = self.options.simulate_only.as_deref();
 
         let shard_count = self.shards.min(sample.len()).max(1);
-        let outcomes: Vec<FaultOutcome> = if shard_count == 1 {
-            run_shard(
-                self.device,
-                self.routed,
-                &simulator,
-                &stimulus,
-                &golden,
-                &output_groups,
-                &sample,
-            )
+        let (outcomes, simulated): (Vec<FaultOutcome>, usize) = if shard_count == 1 {
+            let ctx = ShardContext {
+                device: self.device,
+                routed: self.routed,
+                simulator,
+                stimulus: &stimulus,
+                golden: &golden,
+                output_groups: &output_groups,
+                simulate_only,
+            };
+            run_shard(&ctx, &sample)
         } else {
             // Contiguous shards: chunk boundaries depend only on the sample
             // length and shard count, and concatenating chunk results in
             // chunk order reproduces fault-list order exactly.
             let chunk = sample.len().div_ceil(shard_count);
-            let shard_results: Vec<Vec<FaultOutcome>> = std::thread::scope(|scope| {
+            let shard_results: Vec<(Vec<FaultOutcome>, usize)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = sample
                     .chunks(chunk)
                     .map(|bits| {
-                        let worker = simulator.clone();
-                        let stimulus = &stimulus;
-                        let golden = &golden;
-                        let output_groups = &output_groups;
-                        scope.spawn(move || {
-                            run_shard(
-                                self.device,
-                                self.routed,
-                                &worker,
-                                stimulus,
-                                golden,
-                                output_groups,
-                                bits,
-                            )
-                        })
+                        let ctx = ShardContext {
+                            device: self.device,
+                            routed: self.routed,
+                            simulator: simulator.clone(),
+                            stimulus: &stimulus,
+                            golden: &golden,
+                            output_groups: &output_groups,
+                            simulate_only,
+                        };
+                        scope.spawn(move || run_shard(&ctx, bits))
                     })
                     .collect();
                 handles
@@ -159,15 +156,18 @@ impl<'a> CampaignEngine<'a> {
                     .collect()
             });
             let mut merged = Vec::with_capacity(sample.len());
-            for mut shard in shard_results {
+            let mut simulated = 0;
+            for (mut shard, shard_simulated) in shard_results {
                 merged.append(&mut shard);
+                simulated += shard_simulated;
             }
-            merged
+            (merged, simulated)
         };
 
         Ok(CampaignResult {
             design: netlist.name().to_string(),
             fault_list_size: fault_list.len(),
+            simulated,
             outcomes,
         })
     }
@@ -200,7 +200,7 @@ mod tests {
         };
         let reference = run_campaign(&device, &routed, &options).unwrap();
         for shards in [1, 2, 3, 8] {
-            let parallel = CampaignEngine::new(&device, &routed, options)
+            let parallel = CampaignEngine::new(&device, &routed, options.clone())
                 .with_shards(shards)
                 .run()
                 .unwrap();
@@ -226,7 +226,7 @@ mod tests {
             cycles: 4,
             ..CampaignOptions::default()
         };
-        let few = CampaignEngine::new(&device, &routed, options)
+        let few = CampaignEngine::new(&device, &routed, options.clone())
             .with_shards(64)
             .run()
             .unwrap();

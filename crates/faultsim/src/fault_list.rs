@@ -60,6 +60,25 @@ impl FaultList {
         counts
     }
 
+    /// Returns the fault list restricted to the bits contained in `allowed`
+    /// (a sorted slice, e.g. the statically-possibly-observable set of
+    /// `tmr-analyze`). The relative configuration-memory order is preserved.
+    #[must_use]
+    pub fn restricted(&self, allowed: &[usize]) -> Self {
+        debug_assert!(
+            allowed.windows(2).all(|pair| pair[0] < pair[1]),
+            "`allowed` must be sorted and deduplicated for the binary search"
+        );
+        Self {
+            bits: self
+                .bits
+                .iter()
+                .copied()
+                .filter(|bit| allowed.binary_search(bit).is_ok())
+                .collect(),
+        }
+    }
+
     /// Draws `count` distinct bits uniformly at random (or every bit if
     /// `count` exceeds the list size), reproducibly for a given seed. The
     /// paper injected roughly 10 % of the configuration memory, selected
@@ -119,6 +138,17 @@ mod tests {
         let mut dedup = a.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), a.len());
+    }
+
+    #[test]
+    fn restricted_keeps_only_allowed_bits_in_order() {
+        let (device, routed) = routed_counter();
+        let list = FaultList::build(&device, &routed);
+        let allowed: Vec<usize> = list.bits().iter().copied().step_by(3).collect();
+        let restricted = list.restricted(&allowed);
+        assert_eq!(restricted.bits(), allowed.as_slice());
+        assert!(list.restricted(&[]).is_empty());
+        assert_eq!(list.restricted(list.bits()), list);
     }
 
     #[test]

@@ -17,7 +17,13 @@
 //!   list over worker threads — each with its own cloned simulator replaying
 //!   a shared stimulus against a shared golden trace — and merges outcomes in
 //!   fault-list order, bit-identical to the sequential path for any shard
-//!   count.
+//!   count;
+//! * the structural machinery is exposed for reuse without simulation:
+//!   [`classify_bit`] and [`BitEffect::affected_domains`] power the static
+//!   criticality analyzer (`tmr-analyze`), and
+//!   [`CampaignOptions::restrict_to`] lets it prune campaigns down to the
+//!   statically-possibly-observable bits ([`CampaignResult::simulated`]
+//!   counts the simulations actually run).
 //!
 //! Campaign results provide the *Wrong Answer* percentages of Table 3 and the
 //! per-effect breakdown of Table 4.

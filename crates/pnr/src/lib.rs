@@ -12,9 +12,9 @@
 //!    style) A* maze router over the device's routing graph; every routing
 //!    node has capacity one, and congestion is resolved across iterations
 //!    through present- and historical-cost penalties.
-//! 3. [`RoutedDesign::generate_bitstream`] turns the placed-and-routed design
-//!    into configuration bits: one bit per enabled PIP, sixteen truth-table
-//!    bits per used LUT, one initialisation bit per used flip-flop.
+//! 3. [`place_and_route`] turns the placed-and-routed design into
+//!    configuration bits: one bit per enabled PIP, sixteen truth-table bits
+//!    per used LUT, one initialisation bit per used flip-flop.
 //!
 //! The output [`RoutedDesign`] also exposes which routing node and PIP belongs
 //! to which logical net — the information the paper's fault classifier uses to

@@ -3,7 +3,7 @@
 use crate::{place, route, Placement, PlacerOptions, PnrError, RouterOptions};
 use std::collections::HashMap;
 use tmr_arch::{BitCategory, Bitstream, ConfigResource, Device, NodeId, PipId, SiteKind};
-use tmr_netlist::{CellId, CellKind, NetId, Netlist};
+use tmr_netlist::{CellId, CellKind, Domain, NetId, Netlist};
 
 /// The routing tree of one net: the set of routing-graph nodes and enabled
 /// PIPs that connect the net's source pin to all of its sink pins.
@@ -96,6 +96,27 @@ impl RoutedDesign {
     /// The net whose tree enables a PIP, if any.
     pub fn net_of_pip(&self, pip: PipId) -> Option<NetId> {
         self.pip_net.get(&pip).copied()
+    }
+
+    /// The TMR domain of the signal carried by a net.
+    pub fn net_domain(&self, net: NetId) -> Domain {
+        self.netlist.net(net).domain
+    }
+
+    /// The TMR domain of the net occupying a routing node, if the node is
+    /// used by the design.
+    pub fn node_domain(&self, node: NodeId) -> Option<Domain> {
+        self.net_of_node(node).map(|net| self.net_domain(net))
+    }
+
+    /// The TMR domains at the two endpoints of a PIP: `(source, destination)`.
+    /// Each endpoint is `None` when no routed net uses that node. This is the
+    /// domain view of the wires a new PIP would connect — a
+    /// `(Some(a), Some(b))` pair with `a.crosses(b)` is a domain-crossing
+    /// bridge candidate.
+    pub fn pip_domains(&self, device: &Device, pip: PipId) -> (Option<Domain>, Option<Domain>) {
+        let pip = device.pip(pip);
+        (self.node_domain(pip.src), self.node_domain(pip.dst))
     }
 
     /// Counts the design-related configuration bits per category: every PIP
@@ -317,6 +338,40 @@ mod tests {
             report.routing_fraction()
         );
         assert_eq!(report.lut_bits % 16, 0, "16 bits per used LUT");
+    }
+
+    #[test]
+    fn domain_lookups_follow_the_netlist_tags() {
+        use tmr_core::{apply_tmr, TmrConfig};
+        use tmr_designs::counter;
+        let device = Device::small(8, 8);
+        let design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
+        let netlist = mapped(&design);
+        let routed = place_and_route(&device, &netlist, 5).unwrap();
+
+        let mut redundant_nets = 0;
+        for (net, tree) in routed.routes() {
+            let domain = routed.net_domain(net);
+            if domain.is_redundant() {
+                redundant_nets += 1;
+            }
+            for &node in &tree.nodes {
+                assert_eq!(routed.node_domain(node), Some(domain));
+            }
+            for &pip in &tree.pips {
+                let (src, dst) = routed.pip_domains(&device, pip);
+                assert_eq!(src, Some(domain));
+                assert_eq!(dst, Some(domain));
+            }
+        }
+        assert!(
+            redundant_nets > 0,
+            "TMR designs route redundant-domain nets"
+        );
+        assert_eq!(
+            routed.node_domain(NodeId::from_index(usize::MAX as u32 as usize - 1)),
+            None
+        );
     }
 
     #[test]

@@ -72,6 +72,16 @@ impl OutputGroups {
             .map(|(base, bit, members)| (base.as_str(), *bit, members.len()))
     }
 
+    /// The full groups: base name, bit index and the member indices into the
+    /// netlist's output-port order. The static criticality analyzer uses this
+    /// to check that every word-level output bit is a pad-voted triple before
+    /// it trusts single-domain masking.
+    pub fn groups(&self) -> impl Iterator<Item = (&str, u32, &[usize])> {
+        self.groups
+            .iter()
+            .map(|(base, bit, members)| (base.as_str(), *bit, members.as_slice()))
+    }
+
     /// Reduces a raw trace to one majority-voted value per group per cycle.
     pub fn vote(&self, trace: &SimTrace) -> Vec<Vec<Trit>> {
         trace

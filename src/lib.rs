@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use tmr_analyze as analyze;
 pub use tmr_arch as arch;
 pub use tmr_core as tmr;
 pub use tmr_designs as designs;
@@ -37,6 +38,7 @@ pub use tmr_synth as synth;
 pub mod flow {
     use std::error::Error;
     use std::fmt;
+    use tmr_analyze::StaticAnalysis;
     use tmr_arch::Device;
     use tmr_faultsim::{CampaignEngine, CampaignOptions, CampaignResult};
     use tmr_netlist::Netlist;
@@ -123,10 +125,19 @@ pub mod flow {
         options: &CampaignOptions,
         shards: Option<usize>,
     ) -> Result<CampaignResult, SimError> {
-        let mut engine = CampaignEngine::new(device, routed, *options);
+        let mut engine = CampaignEngine::new(device, routed, options.clone());
         if let Some(shards) = shards {
             engine = engine.with_shards(shards);
         }
         engine.run()
+    }
+
+    /// Statically classifies every configuration bit of a routed design into
+    /// a criticality [`Verdict`](tmr_analyze::Verdict) — benign,
+    /// single-domain or TMR-defeating domain-crossing — with no simulation.
+    /// The result can prune a dynamic campaign through
+    /// [`tmr_analyze::PruneWith::prune_with`].
+    pub fn analyze(device: &Device, routed: &RoutedDesign) -> StaticAnalysis {
+        StaticAnalysis::run(device, routed)
     }
 }

@@ -138,6 +138,60 @@ proptest! {
         }
     }
 
+    /// `flip` is an involution: flipping any bit twice restores the exact
+    /// bitstream (words and population count included), and the first flip's
+    /// return value is the inverse of the bit's prior value.
+    #[test]
+    fn bitstream_flip_is_an_involution(len in 1usize..2048, bits in prop::collection::vec(0usize..2048, 1..48)) {
+        let mut bitstream = Bitstream::zeros(len);
+        // Scatter a random prefix of the bit positions to start from an
+        // arbitrary configuration.
+        for &bit in bits.iter().take(bits.len() / 2).filter(|&&b| b < len) {
+            bitstream.set(bit, true);
+        }
+        let pristine = bitstream.clone();
+        for &bit in bits.iter().filter(|&&b| b < len) {
+            let before = bitstream.get(bit);
+            prop_assert_eq!(bitstream.flip(bit), !before);
+            prop_assert_eq!(bitstream.flip(bit), before);
+            prop_assert_eq!(&bitstream, &pristine, "double flip of {} must restore", bit);
+        }
+    }
+
+    /// `set`/`get` round-trip: the last write wins, other bits are untouched.
+    #[test]
+    fn bitstream_set_get_roundtrip(
+        len in 1usize..2048,
+        writes in prop::collection::vec((0usize..2048, prop::bool::ANY), 0..48)
+    ) {
+        let mut bitstream = Bitstream::zeros(len);
+        let mut reference = vec![false; len];
+        for &(bit, value) in writes.iter().filter(|&&(b, _)| b < len) {
+            bitstream.set(bit, value);
+            reference[bit] = value;
+            prop_assert_eq!(bitstream.get(bit), value);
+        }
+        for (bit, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(bitstream.get(bit), expected);
+        }
+        prop_assert_eq!(bitstream.len(), len);
+    }
+
+    /// `count_ones` stays consistent with `get`, `iter_ones` and `diff`
+    /// under arbitrary flip sequences.
+    #[test]
+    fn bitstream_count_ones_is_consistent_under_flips(len in 1usize..2048, bits in prop::collection::vec(0usize..2048, 0..48)) {
+        let mut bitstream = Bitstream::zeros(len);
+        let mut expected = 0usize;
+        for &bit in bits.iter().filter(|&&b| b < len) {
+            expected = if bitstream.flip(bit) { expected + 1 } else { expected - 1 };
+            prop_assert_eq!(bitstream.count_ones(), expected);
+        }
+        prop_assert_eq!(bitstream.iter_ones().count(), expected);
+        prop_assert!(bitstream.iter_ones().all(|bit| bitstream.get(bit)));
+        prop_assert_eq!(Bitstream::zeros(len).diff(&bitstream).len(), expected);
+    }
+
     /// Bitstream set/flip/diff behave like a bit vector.
     #[test]
     fn bitstream_flip_roundtrip(len in 1usize..2048, bits in prop::collection::vec(0usize..2048, 0..32)) {

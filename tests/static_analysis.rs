@@ -1,0 +1,130 @@
+//! Cross-validation of the static criticality analyzer against the dynamic
+//! fault-injection campaign on the paper TMR configurations.
+//!
+//! Two properties are asserted per design:
+//!
+//! 1. **Static soundness** — every fault the dynamic campaign reports with
+//!    `crosses_domains == true` has its bit flagged
+//!    [`Verdict::DomainCrossing`] by the static analysis (the analyzer never
+//!    misses a voter-defeating candidate), and more broadly every
+//!    dynamically observed wrong answer comes from a bit the analysis keeps
+//!    in its observable set.
+//! 2. **Pruning transparency** — the pruned campaign samples the same bits
+//!    and produces *identical* outcomes while simulating strictly fewer
+//!    faults.
+
+use tmr_fpga::analyze::{PruneWith, StaticAnalysis, Verdict};
+use tmr_fpga::arch::Device;
+use tmr_fpga::designs::FirFilter;
+use tmr_fpga::faultsim::{run_campaign, CampaignOptions};
+use tmr_fpga::flow;
+use tmr_fpga::tmr::{apply_tmr, TmrConfig};
+
+fn assert_static_soundness(config: TmrConfig, grid: u16, seed: u64) {
+    let label = config.label.clone();
+    let base = FirFilter::small_filter().to_design();
+    let design = apply_tmr(&base, &config).expect("tmr");
+    let device = Device::small(grid, grid);
+    let routed = flow::implement(&device, &design, seed).expect("implementation");
+
+    let analysis = flow::analyze(&device, &routed);
+    assert!(
+        analysis.voted_tmr(),
+        "{label}: the paper TMR configs are pad-voted designs"
+    );
+    assert_eq!(analysis.bit_count(), device.config_layout().bit_count());
+
+    let options = CampaignOptions {
+        faults: 700,
+        cycles: 12,
+        ..CampaignOptions::default()
+    };
+    let unpruned = run_campaign(&device, &routed, &options).expect("campaign");
+
+    // 1a. Dynamic domain crossings are contained in the static critical set.
+    let mut dynamic_crossings = 0;
+    for outcome in &unpruned.outcomes {
+        if outcome.crosses_domains {
+            dynamic_crossings += 1;
+            assert!(
+                matches!(
+                    analysis.verdict(outcome.bit),
+                    Verdict::DomainCrossing { .. }
+                ),
+                "{label}: bit {} crosses domains dynamically but is {} statically",
+                outcome.bit,
+                analysis.verdict(outcome.bit)
+            );
+        }
+    }
+    assert!(
+        dynamic_crossings > 0,
+        "{label}: the sample must contain domain-crossing candidates"
+    );
+
+    // 1b. Every observed failure comes from a statically observable bit.
+    for outcome in unpruned.outcomes.iter().filter(|o| o.wrong_answer) {
+        assert!(
+            analysis
+                .observable_bits()
+                .binary_search(&outcome.bit)
+                .is_ok(),
+            "{label}: bit {} caused a wrong answer but was statically pruned ({})",
+            outcome.bit,
+            analysis.verdict(outcome.bit)
+        );
+    }
+
+    // 2. The pruned campaign is bit-identical over the same sampled bits and
+    //    simulates strictly fewer faults.
+    let pruned =
+        run_campaign(&device, &routed, &options.clone().prune_with(&analysis)).expect("campaign");
+    assert_eq!(
+        pruned.outcomes, unpruned.outcomes,
+        "{label}: pruning must not change any outcome"
+    );
+    assert_eq!(pruned.fault_list_size, unpruned.fault_list_size);
+    assert!(
+        pruned.simulated < unpruned.simulated,
+        "{label}: pruning must reduce simulated faults ({} vs {})",
+        pruned.simulated,
+        unpruned.simulated
+    );
+}
+
+#[test]
+fn static_analysis_is_sound_for_paper_p1() {
+    // 24x24 = 1152 LUT sites: tmr_p1, the largest variant, needs 957.
+    assert_static_soundness(TmrConfig::paper_p1(), 24, 1);
+}
+
+#[test]
+fn static_analysis_is_sound_for_paper_p2() {
+    assert_static_soundness(TmrConfig::paper_p2(), 20, 1);
+}
+
+#[test]
+fn unprotected_designs_are_never_pruned() {
+    // Without voters nothing is maskable: the observable set must keep every
+    // bit whose overlay is non-empty, so pruning only skips what the engine
+    // skips anyway and campaign results are unchanged.
+    let base = FirFilter::small_filter().to_design();
+    let device = Device::small(14, 14);
+    let routed = flow::implement(&device, &base, 3).expect("implementation");
+    let analysis = StaticAnalysis::run(&device, &routed);
+    assert!(!analysis.voted_tmr());
+
+    let options = CampaignOptions {
+        faults: 300,
+        cycles: 8,
+        ..CampaignOptions::default()
+    };
+    let unpruned = run_campaign(&device, &routed, &options).expect("campaign");
+    let pruned =
+        run_campaign(&device, &routed, &options.clone().prune_with(&analysis)).expect("campaign");
+    assert_eq!(pruned.outcomes, unpruned.outcomes);
+    assert_eq!(
+        pruned.simulated, unpruned.simulated,
+        "an unprotected design offers nothing to prune"
+    );
+}
