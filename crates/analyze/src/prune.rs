@@ -2,10 +2,10 @@
 //! observable bits.
 
 use crate::StaticAnalysis;
-use tmr_faultsim::CampaignOptions;
+use tmr_faultsim::{CampaignBuilder, CampaignOptions};
 
 /// Extension trait wiring a [`StaticAnalysis`] into
-/// [`tmr_faultsim::CampaignOptions`].
+/// [`tmr_faultsim::CampaignOptions`] and [`tmr_faultsim::CampaignBuilder`].
 ///
 /// `tmr-faultsim` cannot depend on `tmr-analyze` (the analyzer is built on
 /// top of it), so the pruning entry point lives here: `prune_with` hands the
@@ -30,13 +30,18 @@ impl PruneWith for CampaignOptions {
     }
 }
 
+impl PruneWith for CampaignBuilder {
+    fn prune_with(self, analysis: &StaticAnalysis) -> Self {
+        self.restrict_to(analysis.observable_bits().iter().copied())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tmr_arch::Device;
     use tmr_core::{apply_tmr, TmrConfig};
     use tmr_designs::counter;
-    use tmr_faultsim::run_campaign;
     use tmr_pnr::place_and_route;
     use tmr_synth::{lower, optimize, techmap};
 
@@ -50,14 +55,12 @@ mod tests {
         let analysis = StaticAnalysis::run(&device, &routed);
         assert!(analysis.voted_tmr());
 
-        let options = CampaignOptions {
-            faults: 600,
-            cycles: 10,
-            ..CampaignOptions::default()
-        };
-        let unpruned = run_campaign(&device, &routed, &options).unwrap();
-        let pruned =
-            run_campaign(&device, &routed, &options.clone().prune_with(&analysis)).unwrap();
+        let campaign = CampaignBuilder::new().faults(600).cycles(10).sequential();
+        let unpruned = campaign.clone().run(&device, &routed).unwrap();
+        let pruned = campaign
+            .prune_with(&analysis)
+            .run(&device, &routed)
+            .unwrap();
 
         // Same sampled bits, same classifications, same observed failures.
         assert_eq!(pruned.outcomes, unpruned.outcomes);

@@ -17,9 +17,11 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tmr_analyze::{PruneWith, StaticAnalysis};
 use tmr_arch::Device;
+use tmr_core::pipeline::ArtifactCache;
 use tmr_core::{apply_tmr, estimate_resources, partition_report, TmrConfig};
 use tmr_designs::FirFilter;
-use tmr_faultsim::{classify_bit, CampaignEngine, CampaignOptions, FaultList};
+use tmr_faultsim::{classify_bit, CampaignBuilder, FaultList};
+use tmr_fpga::Sweep;
 use tmr_pnr::{place, place_and_route, route, PlacerOptions, RoutedDesign, RouterOptions};
 use tmr_sim::{FaultOverlay, Simulator, Stimulus};
 
@@ -117,29 +119,27 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
     let device = Device::small(20, 20);
     let routed: RoutedDesign = place_and_route(&device, &netlist, 1).expect("place and route");
-    let options = CampaignOptions {
-        faults: FAULTS,
-        cycles: 12,
-        ..CampaignOptions::default()
-    };
+    let campaign = CampaignBuilder::new().faults(FAULTS).cycles(12);
 
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(FAULTS as u64));
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            CampaignEngine::new(&device, &routed, options.clone())
+            campaign
+                .clone()
                 .sequential()
-                .run()
+                .run(&device, &routed)
                 .expect("campaign")
         })
     });
     for shards in [2usize, 4, 8] {
         group.bench_function(format!("parallel_{shards}_shards"), |b| {
             b.iter(|| {
-                CampaignEngine::new(&device, &routed, options.clone())
-                    .with_shards(shards)
-                    .run()
+                campaign
+                    .clone()
+                    .shards(shards)
+                    .run(&device, &routed)
                     .expect("campaign")
             })
         });
@@ -150,15 +150,12 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     // the reduction so bench logs document the pruning factor alongside the
     // throughput numbers.
     let analysis = StaticAnalysis::run(&device, &routed);
-    let pruned_options = options.clone().prune_with(&analysis);
-    let unpruned = CampaignEngine::new(&device, &routed, options.clone())
+    let pruned_campaign = campaign.clone().sequential().prune_with(&analysis);
+    let unpruned = campaign
         .sequential()
-        .run()
+        .run(&device, &routed)
         .expect("campaign");
-    let pruned = CampaignEngine::new(&device, &routed, pruned_options.clone())
-        .sequential()
-        .run()
-        .expect("campaign");
+    let pruned = pruned_campaign.run(&device, &routed).expect("campaign");
     assert_eq!(
         pruned.outcomes, unpruned.outcomes,
         "static pruning must not change campaign outcomes"
@@ -173,13 +170,52 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         analysis.design_related(),
     );
     group.bench_function("pruned_sequential", |b| {
+        b.iter(|| pruned_campaign.run(&device, &routed).expect("campaign"))
+    });
+    group.finish();
+}
+
+/// Sweep throughput: the staged pipeline over two variants of the reduced
+/// FIR, cold (fresh artifact cache every iteration) against warm (shared
+/// cache primed once) — the warm row documents what the cache saves on
+/// repeated sweeps, and the eprintln records the hit counters for the CI
+/// bench log.
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let base = FirFilter::small_filter().to_design();
+    let device = Device::small(20, 20); // 800 LUT sites; small TMR_p2 needs 777
+    let campaign = CampaignBuilder::new().faults(150).cycles(8);
+    let sweep = Sweep::new(&base)
+        .variant("standard", None)
+        .variant("tmr_p2", Some(TmrConfig::paper_p2()))
+        .on_device(&device)
+        .campaign(campaign);
+
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
         b.iter(|| {
-            CampaignEngine::new(&device, &routed, pruned_options.clone())
-                .sequential()
+            sweep
+                .clone()
+                .cache(ArtifactCache::shared())
                 .run()
-                .expect("campaign")
+                .expect("sweep")
         })
     });
+
+    let warm_cache = ArtifactCache::shared();
+    let warm_sweep = sweep.cache(warm_cache.clone());
+    let primed = warm_sweep.run().expect("sweep");
+    assert!(
+        primed.cache.misses > 0,
+        "the priming run must compute artifacts"
+    );
+    group.bench_function("warm", |b| b.iter(|| warm_sweep.run().expect("sweep")));
+    let stats = warm_cache.stats();
+    assert!(
+        stats.hits > stats.misses,
+        "repeated sweeps must be served from the cache ({stats})"
+    );
+    eprintln!("sweep_throughput/warm artifact cache: {stats}");
     group.finish();
 }
 
@@ -207,6 +243,7 @@ criterion_group!(
     bench_implementation,
     bench_fault_injection,
     bench_campaign_throughput,
+    bench_sweep_throughput,
     bench_analyze_throughput
 );
 criterion_main!(benches);

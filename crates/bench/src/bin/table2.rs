@@ -5,11 +5,14 @@
 //! cargo run --release -p tmr-bench --bin table2
 //! ```
 
-use tmr_bench::{implement_fir_variants, markdown_table};
+use tmr_bench::{markdown_table, paper_sweep};
 
 fn main() {
     let start = std::time::Instant::now();
-    let (device, implementations) = implement_fir_variants(1);
+    let report = paper_sweep(1)
+        .run()
+        .expect("the paper variants implement on the auto-sized device");
+    let device = &report.device;
     println!(
         "# Table 2 — TMR partitioned FIR designs on a {}x{} {}-track island FPGA",
         device.cols(),
@@ -23,18 +26,19 @@ fn main() {
         start.elapsed().as_secs_f64()
     );
 
-    let rows: Vec<Vec<String>> = implementations
+    let rows: Vec<Vec<String>> = report
+        .variants
         .iter()
-        .map(|imp| {
+        .map(|variant| {
             vec![
-                imp.name.clone(),
-                imp.resources.slices.to_string(),
-                imp.bits.routing_bits.to_string(),
-                imp.bits.clb_mux_bits.to_string(),
-                imp.bits.lut_bits.to_string(),
-                imp.bits.ff_bits.to_string(),
-                format!("{:.0} MHz", imp.resources.fmax_mhz),
-                format!("{:.1} %", 100.0 * imp.bits.routing_fraction()),
+                variant.name.clone(),
+                variant.resources.slices.to_string(),
+                variant.bits.routing_bits.to_string(),
+                variant.bits.clb_mux_bits.to_string(),
+                variant.bits.lut_bits.to_string(),
+                variant.bits.ff_bits.to_string(),
+                format!("{:.0} MHz", variant.resources.fmax_mhz),
+                format!("{:.1} %", 100.0 * variant.bits.routing_fraction()),
             ]
         })
         .collect();

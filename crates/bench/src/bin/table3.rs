@@ -1,55 +1,54 @@
 //! Regenerates Table 3 of the paper: the fault-injection campaign results
 //! (injected faults, wrong answers, wrong-answer percentage) for the five FIR
-//! variants.
+//! variants — one [`Sweep`](tmr_fpga::Sweep) call over the staged pipeline.
 //!
 //! The number of injected faults per design is controlled by the `TMR_FAULTS`
-//! environment variable (default 4000) and the stimulus length by
-//! `TMR_CYCLES` (default 24). Campaigns run on the sharded parallel engine
-//! (one shard per CPU core; override with `TMR_SHARDS`); results are
-//! bit-identical to the sequential path for any shard count.
+//! environment variable (default 4000), the stimulus length by `TMR_CYCLES`
+//! (default 24) and the worker shards by `TMR_SHARDS` (default: one per CPU
+//! core; results are bit-identical for any shard count). Setting `TMR_CI`
+//! (e.g. `0.005`) stops each campaign early once the wrong-answer rate's
+//! 95 % confidence half-width is below that bound.
 //!
 //! ```text
 //! TMR_FAULTS=4000 cargo run --release -p tmr-bench --bin table3
 //! ```
 //!
 //! With `--json` the campaign results are emitted as a single JSON document
-//! (shared serializer with `tmr-analyze`'s `CriticalityReport`) instead of
-//! markdown.
+//! (shared serializer in `tmr_bench::report`) instead of markdown; either
+//! way the artifact-cache counters are reported, documenting the work the
+//! sweep reused across variants.
 
 use tmr_analyze::Json;
-use tmr_bench::{
-    campaign, campaign_json, cycles_from_env, faults_from_env, implement_fir_variants,
-    json_requested, markdown_table,
-};
+use tmr_bench::report::{cache_summary, markdown_table, sweep_campaign_document};
+use tmr_bench::{campaign_from_env, cycles_from_env, faults_from_env, json_requested, paper_sweep};
 
 fn main() {
     let faults = faults_from_env();
     let cycles = cycles_from_env();
     let json = json_requested();
     let start = std::time::Instant::now();
-    let (device, implementations) = implement_fir_variants(1);
+
+    // One sweep call: implement all five variants (shared artifacts) and run
+    // the campaign on each.
+    let report = paper_sweep(1)
+        .campaign(campaign_from_env())
+        .run()
+        .expect("the paper variants implement on the auto-sized device");
+    eprintln!(
+        "  sweep done in {:.1} s; {}",
+        start.elapsed().as_secs_f64(),
+        cache_summary(&report)
+    );
 
     if json {
-        let mut designs = Vec::new();
-        for implementation in &implementations {
-            let result = campaign(&device, implementation, faults, cycles);
-            designs.push(campaign_json(&implementation.name, &result));
-            eprintln!(
-                "  {} done ({:.1} s elapsed)",
-                implementation.name,
-                start.elapsed().as_secs_f64()
-            );
-        }
-        let document = Json::object([
-            ("table", Json::str("table3")),
-            ("faults", Json::from(faults)),
-            ("cycles", Json::from(cycles)),
-            (
-                "device",
-                Json::str(format!("{}x{}", device.cols(), device.rows())),
-            ),
-            ("designs", Json::array(designs)),
-        ]);
+        let document = sweep_campaign_document(
+            "table3",
+            &report,
+            vec![
+                ("faults", Json::from(faults)),
+                ("cycles", Json::from(cycles)),
+            ],
+        );
         println!("{document}");
         return;
     }
@@ -59,27 +58,23 @@ fn main() {
         "({} faults per design, {} stimulus cycles per fault, device {}x{})\n",
         faults,
         cycles,
-        device.cols(),
-        device.rows()
+        report.device.cols(),
+        report.device.rows()
     );
 
-    let mut rows = Vec::new();
-    for implementation in &implementations {
-        let result = campaign(&device, implementation, faults, cycles);
-        rows.push(vec![
-            implementation.name.clone(),
-            result.fault_list_size.to_string(),
-            result.injected().to_string(),
-            result.wrong_answers().to_string(),
-            format!("{:.2}", result.wrong_answer_percent()),
-            format!("{:.0} %", 100.0 * result.cross_domain_error_fraction()),
-        ]);
-        eprintln!(
-            "  {} done ({:.1} s elapsed)",
-            implementation.name,
-            start.elapsed().as_secs_f64()
-        );
-    }
+    let rows: Vec<Vec<String>> = report
+        .campaigns()
+        .map(|(name, result)| {
+            vec![
+                name.to_string(),
+                result.fault_list_size.to_string(),
+                result.injected().to_string(),
+                result.wrong_answers().to_string(),
+                format!("{:.2}", result.wrong_answer_percent()),
+                format!("{:.0} %", 100.0 * result.cross_domain_error_fraction()),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         markdown_table(

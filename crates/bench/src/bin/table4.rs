@@ -1,45 +1,45 @@
 //! Regenerates Table 4 of the paper: classification of the injected upsets
 //! that caused an error in each design, using the effect taxonomy
 //! (LUT / MUX / Initialization / Open / Bridge / Input-Antenna / Conflict /
-//! Others).
+//! Others) — one [`Sweep`](tmr_fpga::Sweep) call over the staged pipeline.
 //!
-//! Fault count and stimulus length are controlled by `TMR_FAULTS` and
-//! `TMR_CYCLES`, and the campaign shard count by `TMR_SHARDS`, as for
-//! `table3` (campaigns run on the sharded parallel engine).
+//! Fault count, stimulus length, shard count and early stopping are
+//! controlled by `TMR_FAULTS`, `TMR_CYCLES`, `TMR_SHARDS` and `TMR_CI`, as
+//! for `table3`.
 //!
 //! ```text
 //! cargo run --release -p tmr-bench --bin table4
 //! ```
 //!
 //! With `--json` the per-design error classifications are emitted as a single
-//! JSON document (shared serializer with `tmr-analyze`'s
-//! `CriticalityReport`) instead of markdown.
+//! JSON document (shared serializer in `tmr_bench::report`) instead of
+//! markdown.
 
 use tmr_analyze::Json;
-use tmr_bench::{
-    campaign, campaign_json, cycles_from_env, faults_from_env, implement_fir_variants,
-    json_requested, markdown_table,
-};
+use tmr_bench::report::{cache_summary, markdown_table, sweep_campaign_document};
+use tmr_bench::{campaign_from_env, cycles_from_env, faults_from_env, json_requested, paper_sweep};
 use tmr_faultsim::FaultClass;
 
 fn main() {
     let faults = faults_from_env();
     let cycles = cycles_from_env();
     let json = json_requested();
-    let (device, implementations) = implement_fir_variants(1);
+
+    let report = paper_sweep(1)
+        .campaign(campaign_from_env())
+        .run()
+        .expect("the paper variants implement on the auto-sized device");
+    eprintln!("  {}", cache_summary(&report));
 
     if json {
-        let mut designs = Vec::new();
-        for implementation in &implementations {
-            let result = campaign(&device, implementation, faults, cycles);
-            designs.push(campaign_json(&implementation.name, &result));
-        }
-        let document = Json::object([
-            ("table", Json::str("table4")),
-            ("faults", Json::from(faults)),
-            ("cycles", Json::from(cycles)),
-            ("designs", Json::array(designs)),
-        ]);
+        let document = sweep_campaign_document(
+            "table4",
+            &report,
+            vec![
+                ("faults", Json::from(faults)),
+                ("cycles", Json::from(cycles)),
+            ],
+        );
         println!("{document}");
         return;
     }
@@ -49,10 +49,9 @@ fn main() {
 
     let mut headers: Vec<String> = vec!["Effect".to_string()];
     let mut columns = Vec::new();
-    for implementation in &implementations {
-        let result = campaign(&device, implementation, faults, cycles);
-        headers.push(format!("{} [#]", implementation.name));
-        headers.push(format!("{} [%]", implementation.name));
+    for (name, result) in report.campaigns() {
+        headers.push(format!("{name} [#]"));
+        headers.push(format!("{name} [%]"));
         columns.push(result.error_classification());
     }
 

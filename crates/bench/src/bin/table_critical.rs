@@ -1,5 +1,6 @@
 //! The static counterpart of Tables 3/4: exhaustive criticality analysis of
-//! every configuration bit of the five FIR variants, with no simulation.
+//! every configuration bit of the five FIR variants, with no simulation —
+//! one [`Sweep`](tmr_fpga::Sweep) call with the analysis stage enabled.
 //!
 //! Where `table3`/`table4` sample faults and simulate them, this binary runs
 //! `tmr-analyze`'s `StaticAnalysis` over the **whole** configuration space of
@@ -12,35 +13,33 @@
 //! cargo run --release -p tmr-bench --bin table_critical -- --json
 //! ```
 
-use tmr_analyze::{Json, StaticAnalysis};
-use tmr_bench::{implement_fir_variants, json_requested, markdown_table};
+use tmr_bench::report::{cache_summary, markdown_table, sweep_criticality_document};
+use tmr_bench::{json_requested, paper_sweep};
 use tmr_faultsim::FaultClass;
 
 fn main() {
     let json = json_requested();
-    let (device, implementations) = implement_fir_variants(1);
 
-    let reports: Vec<(String, tmr_analyze::CriticalityReport)> = implementations
+    let sweep_report = paper_sweep(1)
+        .analyze(true)
+        .run()
+        .expect("the paper variants implement on the auto-sized device");
+    eprintln!("  {}", cache_summary(&sweep_report));
+
+    let reports: Vec<(&str, tmr_analyze::CriticalityReport)> = sweep_report
+        .variants
         .iter()
-        .map(|implementation| {
-            let analysis = StaticAnalysis::run(&device, &implementation.routed);
-            (implementation.name.clone(), analysis.report())
+        .map(|variant| {
+            let analysis = variant.analysis.as_ref().expect("analysis enabled");
+            (variant.name.as_str(), analysis.report())
         })
         .collect();
 
     if json {
-        let document = Json::object([
-            ("table", Json::str("table_critical")),
-            (
-                "device",
-                Json::str(format!("{}x{}", device.cols(), device.rows())),
-            ),
-            (
-                "designs",
-                Json::array(reports.iter().map(|(_, report)| report.to_json())),
-            ),
-        ]);
-        println!("{document}");
+        println!(
+            "{}",
+            sweep_criticality_document("table_critical", &sweep_report)
+        );
         return;
     }
 
@@ -48,7 +47,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, report) in &reports {
         rows.push(vec![
-            name.clone(),
+            name.to_string(),
             report.design_related.to_string(),
             report.observable.to_string(),
             format!("{:.0}", 100.0 * report.pruned_fraction()),
@@ -82,7 +81,7 @@ fn main() {
         class_rows.push(row);
     }
     let mut headers = vec!["Effect"];
-    let names: Vec<&str> = reports.iter().map(|(name, _)| name.as_str()).collect();
+    let names: Vec<&str> = reports.iter().map(|(name, _)| *name).collect();
     headers.extend(names);
     println!("{}", markdown_table(&headers, &class_rows));
 

@@ -2,23 +2,32 @@
 //!
 //! The benchmark harness reproducing the tables and figures of the DATE 2005
 //! paper. The `src/bin` targets regenerate the paper's tables
-//! (`table1`–`table4`, `figures`); the Criterion benches under `benches/`
-//! measure the performance of the individual flow stages on reduced designs.
+//! (`table1`–`table4`, `table_critical`, `figures`); the Criterion benches
+//! under `benches/` measure the performance of the individual flow stages on
+//! reduced designs.
 //!
-//! Shared helpers live here: building the five FIR variants, choosing a
-//! device large enough to hold them, implementing them, running campaigns and
-//! formatting markdown tables.
+//! The table binaries are thin views over one [`Sweep`] of the five paper
+//! FIR variants: [`paper_sweep`] builds it (device auto-sizing included) and
+//! [`campaign_from_env`] wires the environment knobs (`TMR_FAULTS`,
+//! `TMR_CYCLES`, `TMR_SHARDS`, `TMR_CI`) into a
+//! [`CampaignBuilder`]. Rendering glue shared by the binaries lives in
+//! [`report`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use tmr_arch::{Device, DeviceParams};
-use tmr_core::{estimate_resources, paper_variants, ResourceEstimate};
+use tmr_core::paper_variants;
 use tmr_designs::FirFilter;
-use tmr_faultsim::{CampaignEngine, CampaignOptions, CampaignResult};
+use tmr_faultsim::{CampaignBuilder, EarlyStop};
+use tmr_fpga::flow::device_for;
+use tmr_fpga::Sweep;
 use tmr_netlist::Netlist;
-use tmr_pnr::{place_and_route, BitReport, RoutedDesign};
 use tmr_synth::{lower, optimize, techmap, Design};
+
+pub mod report;
+
+pub use report::{campaign_json, markdown_table};
 
 /// The five FIR filter designs evaluated in the paper, in Table 3 order:
 /// `standard`, `tmr_p1`, `tmr_p2`, `tmr_p3`, `tmr_p3_nv`.
@@ -38,113 +47,38 @@ pub fn synthesize(design: &Design) -> Netlist {
 /// to the smallest square grid that keeps LUT and FF utilisation below 50 %
 /// (our mapping has no carry chains, so designs are larger than Xilinx ISE's).
 pub fn paper_device(netlists: &[&Netlist]) -> Device {
-    let mut params = DeviceParams::xc2s200e_like();
-    let max_luts = netlists
-        .iter()
-        .map(|n| {
-            let s = n.stats();
-            s.luts + s.constants
-        })
-        .max()
-        .unwrap_or(0);
-    let max_ffs = netlists
-        .iter()
-        .map(|n| n.stats().flip_flops)
-        .max()
-        .unwrap_or(0);
-    let max_iobs = netlists
-        .iter()
-        .map(|n| n.stats().io_buffers)
-        .max()
-        .unwrap_or(0);
-
-    let fits = |params: &DeviceParams| {
-        let tiles = usize::from(params.cols) * usize::from(params.rows);
-        let luts = tiles * params.luts_per_tile();
-        let ffs = tiles * params.ffs_per_tile();
-        let perimeter = 2 * (usize::from(params.cols) + usize::from(params.rows)) - 4;
-        let iobs = perimeter * usize::from(params.iobs_per_perimeter_tile);
-        (max_luts as f64) < luts as f64 * 0.50
-            && (max_ffs as f64) < ffs as f64 * 0.50
-            && max_iobs <= iobs
-    };
-
-    while !fits(&params) {
-        params.cols += 4;
-        params.rows += 4;
-    }
-    Device::new(params)
+    device_for(DeviceParams::xc2s200e_like(), netlists, 0.50)
 }
 
-/// One fully implemented design plus its reports.
-pub struct ImplementedDesign {
-    /// Variant name (`standard`, `tmr_p1`, …).
-    pub name: String,
-    /// The word-level design.
-    pub design: Design,
-    /// The routed implementation.
-    pub routed: RoutedDesign,
-    /// Area / timing estimate (Table 2 left columns).
-    pub resources: ResourceEstimate,
-    /// Design-related configuration bit counts (Table 2 right columns).
-    pub bits: BitReport,
-}
-
-/// Implements every FIR variant on a common device and returns the device and
-/// the implementations. This is the expensive shared step behind Tables 2–4.
-pub fn implement_fir_variants(seed: u64) -> (Device, Vec<ImplementedDesign>) {
-    let variants = fir_variants();
-    let netlists: Vec<(String, Design, Netlist)> = variants
-        .into_iter()
-        .map(|(name, design)| {
-            let netlist = synthesize(&design);
-            (name, design, netlist)
-        })
-        .collect();
-    let device = paper_device(&netlists.iter().map(|(_, _, n)| n).collect::<Vec<_>>());
-
-    let implementations = netlists
-        .into_iter()
-        .map(|(name, design, netlist)| {
-            let routed = place_and_route(&device, &netlist, seed)
-                .unwrap_or_else(|e| panic!("place-and-route of `{name}` failed: {e}"));
-            let resources = estimate_resources(routed.netlist());
-            let bits = routed.bit_report(&device);
-            ImplementedDesign {
-                name,
-                design,
-                routed,
-                resources,
-                bits,
-            }
-        })
-        .collect();
-    (device, implementations)
-}
-
-/// Runs the fault-injection campaign of one implemented design through the
-/// sharded [`CampaignEngine`] (one shard per CPU core, or `TMR_SHARDS` when
-/// set; results are bit-identical to the sequential path for any shard
-/// count).
-pub fn campaign(
-    device: &Device,
-    implemented: &ImplementedDesign,
-    faults: usize,
-    cycles: usize,
-) -> CampaignResult {
-    let mut engine = CampaignEngine::new(
-        device,
-        &implemented.routed,
-        CampaignOptions {
-            faults,
-            cycles,
-            ..CampaignOptions::default()
-        },
-    );
+/// The sweep behind every table binary: the paper's 11-tap FIR through the
+/// five variants on an auto-sized XC2S200E-like device. Attach a campaign
+/// with [`Sweep::campaign`] (Tables 3/4) or enable the static analysis with
+/// [`Sweep::analyze`] (`table_critical`), then call [`Sweep::run`] once.
+pub fn paper_sweep(seed: u64) -> Sweep {
+    let base = FirFilter::paper_filter().to_design();
+    let mut sweep = Sweep::paper(&base).seed(seed);
     if let Some(shards) = shards_from_env() {
-        engine = engine.with_shards(shards);
+        sweep = sweep.shards(shards);
     }
-    engine.run().expect("flow netlists are always simulable")
+    sweep
+}
+
+/// The campaign configuration of the table binaries, from the environment:
+/// `TMR_FAULTS` faults per design, `TMR_CYCLES` stimulus cycles per fault,
+/// `TMR_SHARDS` worker shards and — when `TMR_CI` is set — statistical
+/// early stop at that wrong-answer-rate confidence half-width (e.g.
+/// `TMR_CI=0.005` stops once the 95 % interval is within ±0.5 %).
+pub fn campaign_from_env() -> CampaignBuilder {
+    let mut campaign = CampaignBuilder::new()
+        .faults(faults_from_env())
+        .cycles(cycles_from_env());
+    if let Some(shards) = shards_from_env() {
+        campaign = campaign.shards(shards);
+    }
+    if let Some(half_width) = ci_from_env() {
+        campaign = campaign.early_stop(EarlyStop::at_half_width(half_width));
+    }
+    campaign
 }
 
 /// Explicit shard count for campaigns, configurable through the `TMR_SHARDS`
@@ -175,58 +109,18 @@ pub fn cycles_from_env() -> usize {
         .unwrap_or(24)
 }
 
+/// Early-stop confidence half-width from `TMR_CI` (a rate in `[0, 1]`, e.g.
+/// `0.01` = ±1 %); unset disables early stopping.
+pub fn ci_from_env() -> Option<f64> {
+    std::env::var("TMR_CI").ok().and_then(|v| v.parse().ok())
+}
+
 /// Returns `true` if `--json` was passed on the command line: the table
 /// binaries then emit a machine-readable document (rendered with the
 /// dependency-free serializer shared with `tmr-analyze`'s
 /// `CriticalityReport`) instead of markdown.
 pub fn json_requested() -> bool {
     std::env::args().any(|arg| arg == "--json")
-}
-
-/// Serializes one campaign result to the shared JSON form used by the
-/// `--json` mode of the table binaries.
-pub fn campaign_json(name: &str, result: &CampaignResult) -> tmr_analyze::Json {
-    use tmr_analyze::Json;
-    let classification = Json::object(
-        result
-            .error_classification()
-            .iter()
-            .map(|(class, &count)| (class.label(), Json::from(count))),
-    );
-    Json::object([
-        ("design", Json::str(name)),
-        ("fault_list_size", Json::from(result.fault_list_size)),
-        ("injected", Json::from(result.injected())),
-        ("simulated", Json::from(result.simulated)),
-        ("wrong_answers", Json::from(result.wrong_answers())),
-        (
-            "wrong_answer_percent",
-            Json::from(result.wrong_answer_percent()),
-        ),
-        (
-            "cross_domain_error_fraction",
-            Json::from(result.cross_domain_error_fraction()),
-        ),
-        ("error_classification", classification),
-    ])
-}
-
-/// Formats a markdown table.
-pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = String::new();
-    out.push_str("| ");
-    out.push_str(&headers.join(" | "));
-    out.push_str(" |\n|");
-    for _ in headers {
-        out.push_str("---|");
-    }
-    out.push('\n');
-    for row in rows {
-        out.push_str("| ");
-        out.push_str(&row.join(" | "));
-        out.push_str(" |\n");
-    }
-    out
 }
 
 #[cfg(test)]
@@ -243,37 +137,6 @@ mod tests {
     }
 
     #[test]
-    fn markdown_table_has_header_separator_and_rows() {
-        let table = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
-        assert!(table.contains("| a | b |"));
-        assert!(table.contains("|---|---|"));
-        assert!(table.contains("| 1 | 2 |"));
-    }
-
-    #[test]
-    fn campaign_json_includes_the_table_columns() {
-        use tmr_faultsim::FaultOutcome;
-        let result = CampaignResult {
-            design: "demo".to_string(),
-            fault_list_size: 10,
-            simulated: 2,
-            outcomes: vec![FaultOutcome {
-                bit: 3,
-                class: tmr_faultsim::FaultClass::Bridge,
-                wrong_answer: true,
-                first_error_cycle: Some(1),
-                crosses_domains: true,
-            }],
-        };
-        let json = campaign_json("demo", &result).render();
-        assert!(json.contains(r#""design":"demo""#));
-        assert!(json.contains(r#""injected":1"#));
-        assert!(json.contains(r#""simulated":2"#));
-        assert!(json.contains(r#""wrong_answers":1"#));
-        assert!(json.contains(r#""Bridge":1"#));
-    }
-
-    #[test]
     fn device_scales_until_designs_fit() {
         // A netlist bigger than the XC2S200E forces the grid to grow.
         let variants = fir_variants();
@@ -282,5 +145,14 @@ mod tests {
         let capacity = device.lut_sites().len();
         let stats = tmr_p1.stats();
         assert!((stats.luts + stats.constants) as f64 / capacity as f64 <= 0.50);
+    }
+
+    #[test]
+    fn env_campaign_uses_the_documented_defaults() {
+        // The defaults apply when the environment variables are unset (the
+        // test runner does not set them).
+        let campaign = campaign_from_env();
+        assert_eq!(campaign.options().faults(), faults_from_env());
+        assert_eq!(campaign.options().cycles(), cycles_from_env());
     }
 }

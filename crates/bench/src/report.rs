@@ -1,0 +1,156 @@
+//! Shared rendering glue for the table binaries: markdown tables and the
+//! dependency-free JSON serialization of sweep results.
+//!
+//! `table3`, `table4` and `table_critical` all consume a
+//! [`SweepReport`] and emit either markdown or a `--json` document; the
+//! near-identical serializers they used to carry individually live here
+//! once.
+
+use tmr_analyze::Json;
+use tmr_faultsim::CampaignResult;
+use tmr_fpga::SweepReport;
+
+/// Formats a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Serializes one campaign result to the shared JSON form used by the
+/// `--json` mode of the table binaries.
+pub fn campaign_json(name: &str, result: &CampaignResult) -> Json {
+    let classification = Json::object(
+        result
+            .error_classification()
+            .iter()
+            .map(|(class, &count)| (class.label(), Json::from(count))),
+    );
+    Json::object([
+        ("design", Json::str(name)),
+        ("fault_list_size", Json::from(result.fault_list_size)),
+        ("injected", Json::from(result.injected())),
+        ("simulated", Json::from(result.simulated)),
+        ("wrong_answers", Json::from(result.wrong_answers())),
+        (
+            "wrong_answer_percent",
+            Json::from(result.wrong_answer_percent()),
+        ),
+        (
+            "cross_domain_error_fraction",
+            Json::from(result.cross_domain_error_fraction()),
+        ),
+        ("error_classification", classification),
+    ])
+}
+
+/// The `device` field shared by every sweep document (`"28x28"`).
+pub fn device_json(report: &SweepReport) -> Json {
+    Json::str(format!("{}x{}", report.device.cols(), report.device.rows()))
+}
+
+/// The `cache` field of a sweep document: artifact-cache effectiveness
+/// counters, so JSON consumers (and the CI bench log) can verify reuse.
+pub fn cache_json(report: &SweepReport) -> Json {
+    Json::object([
+        ("hits", Json::from(report.cache.hits as usize)),
+        ("misses", Json::from(report.cache.misses as usize)),
+        ("entries", Json::from(report.cache.entries)),
+    ])
+}
+
+/// Builds the complete `--json` document of a campaign table (`table3`,
+/// `table4`): table name, any extra scalar fields, the shared device/cache
+/// fields and one [`campaign_json`] entry per swept design.
+pub fn sweep_campaign_document(
+    table: &str,
+    report: &SweepReport,
+    extras: Vec<(&str, Json)>,
+) -> Json {
+    let mut fields = vec![("table", Json::str(table))];
+    fields.extend(extras);
+    fields.push(("device", device_json(report)));
+    fields.push(("cache", cache_json(report)));
+    fields.push((
+        "designs",
+        Json::array(
+            report
+                .campaigns()
+                .map(|(name, result)| campaign_json(name, result)),
+        ),
+    ));
+    Json::object(fields)
+}
+
+/// Builds the complete `--json` document of the static-criticality table:
+/// one `CriticalityReport` JSON entry per swept design plus the shared
+/// device/cache fields.
+pub fn sweep_criticality_document(table: &str, report: &SweepReport) -> Json {
+    Json::object([
+        ("table", Json::str(table)),
+        ("device", device_json(report)),
+        ("cache", cache_json(report)),
+        (
+            "designs",
+            Json::array(
+                report
+                    .variants
+                    .iter()
+                    .filter_map(|variant| Some(variant.analysis.as_ref()?.report().to_json())),
+            ),
+        ),
+    ])
+}
+
+/// One line summarising sweep cache effectiveness, for the table binaries'
+/// stderr and the CI bench log.
+pub fn cache_summary(report: &SweepReport) -> String {
+    format!("sweep artifact cache: {}", report.cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_has_header_separator_and_rows() {
+        let table = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(table.contains("| a | b |"));
+        assert!(table.contains("|---|---|"));
+        assert!(table.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn campaign_json_includes_the_table_columns() {
+        use tmr_faultsim::FaultOutcome;
+        let result = CampaignResult {
+            design: "demo".to_string(),
+            fault_list_size: 10,
+            simulated: 2,
+            outcomes: vec![FaultOutcome {
+                bit: 3,
+                class: tmr_faultsim::FaultClass::Bridge,
+                wrong_answer: true,
+                first_error_cycle: Some(1),
+                crosses_domains: true,
+            }],
+        };
+        let json = campaign_json("demo", &result).render();
+        assert!(json.contains(r#""design":"demo""#));
+        assert!(json.contains(r#""injected":1"#));
+        assert!(json.contains(r#""simulated":2"#));
+        assert!(json.contains(r#""wrong_answers":1"#));
+        assert!(json.contains(r#""Bridge":1"#));
+    }
+}

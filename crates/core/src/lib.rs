@@ -56,6 +56,7 @@
 mod analysis;
 mod area;
 mod error;
+pub mod pipeline;
 mod transform;
 
 pub use analysis::{partition_report, redundant_signal_fraction, PartitionInfo, PartitionReport};

@@ -1,0 +1,249 @@
+//! The campaign builder: the one documented way to configure fault-injection
+//! campaigns.
+//!
+//! [`CampaignBuilder`] replaces the field-mutation construction style of
+//! [`CampaignOptions`] (whose fields are no longer public) with a fluent
+//! builder that also carries the execution knobs the options struct never
+//! could: shard count, streaming batch size, statistical early stop and a
+//! precomputed golden run for cross-campaign trace reuse.
+
+use crate::{CampaignEngine, CampaignOptions, CampaignResult, CampaignSession, EarlyStop};
+use std::sync::Arc;
+use tmr_arch::Device;
+use tmr_pnr::RoutedDesign;
+use tmr_sim::{GoldenRun, SimError};
+
+/// Fluent configuration for fault-injection campaigns.
+///
+/// ```no_run
+/// use tmr_arch::Device;
+/// # fn routed() -> tmr_pnr::RoutedDesign { unimplemented!() }
+/// use tmr_faultsim::{CampaignBuilder, EarlyStop};
+///
+/// let device = Device::small(8, 8);
+/// let routed = routed();
+/// let result = CampaignBuilder::new()
+///     .faults(4000)
+///     .cycles(24)
+///     .shards(4)
+///     .early_stop(EarlyStop::at_half_width(0.01))
+///     .run(&device, &routed)
+///     .expect("flow netlists are always simulable");
+/// println!("{result}");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CampaignBuilder {
+    options: CampaignOptions,
+    shards: Option<usize>,
+    batch_size: Option<usize>,
+    early_stop: Option<EarlyStop>,
+    golden: Option<Arc<GoldenRun>>,
+}
+
+impl CampaignBuilder {
+    /// Starts from the default options (2000 faults, 24 cycles, the paper
+    /// seeds).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from existing options (migration path for code still holding a
+    /// [`CampaignOptions`]).
+    pub fn from_options(options: CampaignOptions) -> Self {
+        Self {
+            options,
+            ..Self::default()
+        }
+    }
+
+    /// Number of faults to inject (drawn randomly from the fault list).
+    #[must_use]
+    pub fn faults(mut self, faults: usize) -> Self {
+        self.options.faults = faults;
+        self
+    }
+
+    /// Number of clock cycles of stimulus applied per fault.
+    #[must_use]
+    pub fn cycles(mut self, cycles: usize) -> Self {
+        self.options.cycles = cycles;
+        self
+    }
+
+    /// Seed of the pseudo-random input stimulus.
+    #[must_use]
+    pub fn stimulus_seed(mut self, seed: u64) -> Self {
+        self.options.stimulus_seed = seed;
+        self
+    }
+
+    /// Seed of the fault-sampling shuffle.
+    #[must_use]
+    pub fn sampling_seed(mut self, seed: u64) -> Self {
+        self.options.sampling_seed = seed;
+        self
+    }
+
+    /// Restricts simulation to the given bits; see
+    /// [`CampaignOptions::simulate_only`].
+    #[must_use]
+    pub fn restrict_to(mut self, bits: impl IntoIterator<Item = usize>) -> Self {
+        self.options = self.options.restrict_to(bits);
+        self
+    }
+
+    /// Explicit worker-shard count (default: one shard per CPU core).
+    /// Results are bit-identical for any shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Forces single-shard execution on the calling thread (the sequential
+    /// reference path).
+    #[must_use]
+    pub fn sequential(self) -> Self {
+        self.shards(1)
+    }
+
+    /// Number of faults per streaming batch (default: the whole sample in
+    /// one batch). Smaller batches give finer progress reporting and
+    /// earlier stopping at the cost of more cross-batch synchronisation.
+    #[must_use]
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size.max(1));
+        self
+    }
+
+    /// Installs a statistical stopping rule, checked between batches; see
+    /// [`EarlyStop`]. Implies a default batch size of 128 when none is set
+    /// (a whole-sample batch would never get to stop early).
+    #[must_use]
+    pub fn early_stop(mut self, rule: EarlyStop) -> Self {
+        self.early_stop = Some(rule);
+        self
+    }
+
+    /// Reuses a precomputed golden run (stimulus, fault-free trace, output
+    /// voting) instead of recomputing it. The run must have been computed
+    /// with [`GoldenRun::compute`] on this design's netlist with the same
+    /// `cycles` and `stimulus_seed` as this campaign — the engine asserts
+    /// the cycle count matches.
+    #[must_use]
+    pub fn golden(mut self, golden: Arc<GoldenRun>) -> Self {
+        self.golden = Some(golden);
+        self
+    }
+
+    /// The accumulated campaign options.
+    pub fn options(&self) -> &CampaignOptions {
+        &self.options
+    }
+
+    /// The installed early-stop rule, if any.
+    pub fn early_stop_rule(&self) -> Option<&EarlyStop> {
+        self.early_stop.as_ref()
+    }
+
+    /// The configured streaming batch size, if any. Together with the
+    /// options and the early-stop rule this is everything that can change a
+    /// campaign's *outcomes* (an early stop lands on a batch boundary);
+    /// shard count and golden-run reuse never do.
+    pub fn batch_size_hint(&self) -> Option<usize> {
+        self.batch_size
+    }
+
+    /// Finishes the builder into plain [`CampaignOptions`] (dropping the
+    /// execution knobs: shards, batch size, early stop, golden run).
+    pub fn build(self) -> CampaignOptions {
+        self.options
+    }
+
+    /// Builds a batch [`CampaignEngine`] over one routed design.
+    pub fn engine<'a>(&self, device: &'a Device, routed: &'a RoutedDesign) -> CampaignEngine<'a> {
+        let mut engine = CampaignEngine::new(device, routed, self.options.clone());
+        if let Some(shards) = self.shards {
+            engine = engine.with_shards(shards);
+        }
+        if let Some(golden) = &self.golden {
+            engine = engine.with_golden(golden.clone());
+        }
+        engine
+    }
+
+    /// Builds a streaming [`CampaignSession`] over one routed design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the netlist cannot be simulated
+    /// (combinational loop), which cannot happen for designs produced by the
+    /// `tmr-synth` flow.
+    pub fn session<'a>(
+        &self,
+        device: &'a Device,
+        routed: &'a RoutedDesign,
+    ) -> Result<CampaignSession<'a>, SimError> {
+        let mut session = self.engine(device, routed).session()?;
+        if let Some(batch_size) = self.batch_size {
+            session = session.with_batch_size(batch_size);
+        } else if self.early_stop.is_some() {
+            session = session.with_batch_size(128);
+        }
+        if let Some(rule) = self.early_stop {
+            session = session.with_early_stop(rule);
+        }
+        Ok(session)
+    }
+
+    /// Runs the campaign to completion (or to the early-stop point) and
+    /// returns the result. Equivalent to draining
+    /// [`CampaignBuilder::session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the netlist cannot be simulated
+    /// (combinational loop).
+    pub fn run(&self, device: &Device, routed: &RoutedDesign) -> Result<CampaignResult, SimError> {
+        Ok(self.session(device, routed)?.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_options() {
+        let builder = CampaignBuilder::new()
+            .faults(9)
+            .cycles(5)
+            .stimulus_seed(2)
+            .sampling_seed(3)
+            .restrict_to([8, 1]);
+        let options = builder.clone().build();
+        assert_eq!(options.faults(), 9);
+        assert_eq!(options.cycles(), 5);
+        assert_eq!(options.stimulus_seed(), 2);
+        assert_eq!(options.sampling_seed(), 3);
+        assert_eq!(options.simulate_only(), Some(&[1, 8][..]));
+        assert_eq!(builder.options(), &options);
+    }
+
+    #[test]
+    fn from_options_round_trips() {
+        let options = CampaignOptions::default().with_faults(77);
+        assert_eq!(
+            CampaignBuilder::from_options(options.clone()).build(),
+            options
+        );
+    }
+
+    #[test]
+    fn early_stop_rule_is_exposed() {
+        let rule = EarlyStop::at_half_width(0.02);
+        let builder = CampaignBuilder::new().early_stop(rule);
+        assert_eq!(builder.early_stop_rule(), Some(&rule));
+        assert_eq!(CampaignBuilder::new().early_stop_rule(), None);
+    }
+}

@@ -1,37 +1,41 @@
-//! The Fault Injection Manager: campaign execution and result tables.
+//! The Fault Injection Manager: campaign options, outcomes and result tables.
 
-use crate::{classify_bit, CampaignEngine, FaultClass};
+use crate::{classify_bit, CampaignBuilder, FaultClass};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{OutputGroups, SimError, SimTrace, Simulator, Stimulus};
+use tmr_sim::{GoldenRun, SimError, Simulator};
 
 /// Options of a fault-injection campaign.
+///
+/// Construct through [`CampaignBuilder`] (or start from
+/// [`CampaignOptions::default`] and refine with the `with_*` methods); the
+/// fields are not public, so options can evolve without breaking every
+/// construction site.
+///
+/// ```
+/// use tmr_faultsim::CampaignBuilder;
+///
+/// let options = CampaignBuilder::new().faults(500).cycles(12).build();
+/// assert_eq!(options.faults(), 500);
+/// assert_eq!(options.cycles(), 12);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignOptions {
     /// Number of faults to inject (drawn randomly from the fault list; the
     /// paper injected roughly 10 % of the configuration memory).
-    pub faults: usize,
+    pub(crate) faults: usize,
     /// Number of clock cycles of stimulus applied per fault.
-    pub cycles: usize,
+    pub(crate) cycles: usize,
     /// Seed of the pseudo-random input stimulus.
-    pub stimulus_seed: u64,
+    pub(crate) stimulus_seed: u64,
     /// Seed of the fault-sampling shuffle.
-    pub sampling_seed: u64,
-    /// When set, only sampled bits contained in this sorted list are actually
-    /// simulated; the remaining sampled bits are still classified and
-    /// recorded (with `wrong_answer == false`), but their simulation is
-    /// skipped.
-    ///
-    /// This is the campaign-pruning hook of the static criticality analyzer
-    /// (`tmr-analyze`): the list holds the statically-possibly-observable
-    /// bits, so the sampled population — and therefore every outcome of a
-    /// sound pruning — is unchanged while the expensive simulations shrink to
-    /// the bits that can matter. [`CampaignResult::simulated`] counts the
-    /// simulations actually run.
-    pub simulate_only: Option<Arc<[usize]>>,
+    pub(crate) sampling_seed: u64,
+    /// Sorted allow-list of bits whose behaviour is actually simulated; see
+    /// [`CampaignOptions::simulate_only`].
+    pub(crate) simulate_only: Option<Arc<[usize]>>,
 }
 
 impl Default for CampaignOptions {
@@ -47,6 +51,41 @@ impl Default for CampaignOptions {
 }
 
 impl CampaignOptions {
+    /// Number of faults to inject.
+    pub fn faults(&self) -> usize {
+        self.faults
+    }
+
+    /// Number of clock cycles of stimulus applied per fault.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Seed of the pseudo-random input stimulus.
+    pub fn stimulus_seed(&self) -> u64 {
+        self.stimulus_seed
+    }
+
+    /// Seed of the fault-sampling shuffle.
+    pub fn sampling_seed(&self) -> u64 {
+        self.sampling_seed
+    }
+
+    /// When set, only sampled bits contained in this sorted list are actually
+    /// simulated; the remaining sampled bits are still classified and
+    /// recorded (with `wrong_answer == false`), but their simulation is
+    /// skipped.
+    ///
+    /// This is the campaign-pruning hook of the static criticality analyzer
+    /// (`tmr-analyze`): the list holds the statically-possibly-observable
+    /// bits, so the sampled population — and therefore every outcome of a
+    /// sound pruning — is unchanged while the expensive simulations shrink to
+    /// the bits that can matter. [`CampaignResult::simulated`] counts the
+    /// simulations actually run.
+    pub fn simulate_only(&self) -> Option<&[usize]> {
+        self.simulate_only.as_deref()
+    }
+
     /// Restricts simulation to the given bits (sorted and deduplicated
     /// internally); see [`CampaignOptions::simulate_only`]. The static
     /// analyzer's `prune_with` (in `tmr-analyze`) is the usual caller.
@@ -56,6 +95,34 @@ impl CampaignOptions {
         bits.sort_unstable();
         bits.dedup();
         self.simulate_only = Some(bits.into());
+        self
+    }
+
+    /// Returns the options with a different fault count.
+    #[must_use]
+    pub fn with_faults(mut self, faults: usize) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns the options with a different per-fault stimulus length.
+    #[must_use]
+    pub fn with_cycles(mut self, cycles: usize) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Returns the options with a different stimulus seed.
+    #[must_use]
+    pub fn with_stimulus_seed(mut self, seed: u64) -> Self {
+        self.stimulus_seed = seed;
+        self
+    }
+
+    /// Returns the options with a different fault-sampling seed.
+    #[must_use]
+    pub fn with_sampling_seed(mut self, seed: u64) -> Self {
+        self.sampling_seed = seed;
         self
     }
 }
@@ -169,26 +236,28 @@ impl fmt::Display for CampaignResult {
 ///
 /// Returns [`SimError`] if the netlist cannot be simulated (combinational
 /// loop), which cannot happen for designs produced by the `tmr-synth` flow.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `CampaignBuilder::new().sequential().run(device, routed)` instead"
+)]
 pub fn run_campaign(
     device: &Device,
     routed: &RoutedDesign,
     options: &CampaignOptions,
 ) -> Result<CampaignResult, SimError> {
-    CampaignEngine::new(device, routed, options.clone())
+    CampaignBuilder::from_options(options.clone())
         .sequential()
-        .run()
+        .run(device, routed)
 }
 
 /// The immutable per-worker state of one campaign shard: the design under
-/// test, a (cloned) compiled simulator and the shared stimulus/golden/voting
-/// references.
+/// test, a (cloned) compiled simulator and the shared golden reference
+/// (stimulus, fault-free trace and output voting).
 pub(crate) struct ShardContext<'a> {
     pub device: &'a Device,
     pub routed: &'a RoutedDesign,
     pub simulator: Simulator<'a>,
-    pub stimulus: &'a Stimulus,
-    pub golden: &'a SimTrace,
-    pub output_groups: &'a OutputGroups,
+    pub golden: &'a GoldenRun,
     /// Sorted allow-list of [`CampaignOptions::simulate_only`]: sampled bits
     /// outside it are classified but not simulated.
     pub simulate_only: Option<&'a [usize]>,
@@ -198,10 +267,11 @@ pub(crate) struct ShardContext<'a> {
 /// list) and returns their outcomes, in slice order, plus the number of
 /// faults whose behaviour was actually simulated.
 ///
-/// This is the single per-fault code path shared by the sequential and the
-/// parallel campaign engines: for a given `(bit, stimulus, golden)` triple
-/// the outcome is a pure function, which is what makes sharded campaigns
-/// bit-identical to sequential ones.
+/// This is the single per-fault code path shared by the streaming session and
+/// the batch campaign engine: for a given `(bit, golden run)` pair the
+/// outcome is a pure function, which is what makes sharded and early-stopped
+/// campaigns bit-identical to sequential full-length ones on the faults they
+/// simulate.
 pub(crate) fn run_shard(ctx: &ShardContext<'_>, bits: &[usize]) -> (Vec<FaultOutcome>, usize) {
     let mut simulated = 0;
     let outcomes = bits
@@ -216,8 +286,14 @@ pub(crate) fn run_shard(ctx: &ShardContext<'_>, bits: &[usize]) -> (Vec<FaultOut
                 (false, None)
             } else {
                 simulated += 1;
-                let trace = ctx.simulator.run_stimulus(ctx.stimulus, &effect.overlay);
-                match ctx.output_groups.first_voted_mismatch(ctx.golden, &trace) {
+                let trace = ctx
+                    .simulator
+                    .run_stimulus(ctx.golden.stimulus(), &effect.overlay);
+                match ctx
+                    .golden
+                    .groups()
+                    .first_voted_mismatch(ctx.golden.trace(), &trace)
+                {
                     Some(cycle) => (true, Some(cycle)),
                     None => (false, None),
                 }
@@ -251,16 +327,12 @@ mod tests {
     fn unprotected_design_is_vulnerable() {
         let device = Device::small(5, 5);
         let routed = implement(&counter(4), &device, 5);
-        let result = run_campaign(
-            &device,
-            &routed,
-            &CampaignOptions {
-                faults: 400,
-                cycles: 12,
-                ..CampaignOptions::default()
-            },
-        )
-        .unwrap();
+        let result = CampaignBuilder::new()
+            .faults(400)
+            .cycles(12)
+            .sequential()
+            .run(&device, &routed)
+            .unwrap();
         assert_eq!(result.injected(), 400.min(result.fault_list_size));
         assert!(
             result.wrong_answer_percent() > 10.0,
@@ -286,13 +358,9 @@ mod tests {
         let tmr_design = apply_tmr(&base, &TmrConfig::paper_p2()).unwrap();
         let tmr = implement(&tmr_design, &device, 5);
 
-        let options = CampaignOptions {
-            faults: 500,
-            cycles: 12,
-            ..CampaignOptions::default()
-        };
-        let plain_result = run_campaign(&device, &plain, &options).unwrap();
-        let tmr_result = run_campaign(&device, &tmr, &options).unwrap();
+        let campaign = CampaignBuilder::new().faults(500).cycles(12).sequential();
+        let plain_result = campaign.clone().run(&device, &plain).unwrap();
+        let tmr_result = campaign.run(&device, &tmr).unwrap();
         assert!(
             tmr_result.wrong_answer_percent() < plain_result.wrong_answer_percent() / 2.0,
             "TMR ({:.2}%) must be substantially more robust than the plain design ({:.2}%)",
@@ -306,16 +374,12 @@ mod tests {
         let device = Device::small(8, 8);
         let tmr_design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
         let tmr = implement(&tmr_design, &device, 5);
-        let result = run_campaign(
-            &device,
-            &tmr,
-            &CampaignOptions {
-                faults: 800,
-                cycles: 12,
-                ..CampaignOptions::default()
-            },
-        )
-        .unwrap();
+        let result = CampaignBuilder::new()
+            .faults(800)
+            .cycles(12)
+            .sequential()
+            .run(&device, &tmr)
+            .unwrap();
         let errors = result.error_classification();
         assert_eq!(
             errors.get(&FaultClass::Lut).copied().unwrap_or(0),
@@ -328,13 +392,38 @@ mod tests {
     fn campaigns_are_reproducible() {
         let device = Device::small(5, 5);
         let routed = implement(&counter(4), &device, 5);
-        let options = CampaignOptions {
-            faults: 100,
-            cycles: 8,
-            ..CampaignOptions::default()
-        };
-        let a = run_campaign(&device, &routed, &options).unwrap();
-        let b = run_campaign(&device, &routed, &options).unwrap();
+        let campaign = CampaignBuilder::new().faults(100).cycles(8).sequential();
+        let a = campaign.clone().run(&device, &routed).unwrap();
+        let b = campaign.run(&device, &routed).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deprecated_run_campaign_matches_the_builder_path() {
+        let device = Device::small(5, 5);
+        let routed = implement(&counter(4), &device, 5);
+        let options = CampaignBuilder::new().faults(60).cycles(6).build();
+        #[allow(deprecated)]
+        let legacy = run_campaign(&device, &routed, &options).unwrap();
+        let modern = CampaignBuilder::from_options(options)
+            .sequential()
+            .run(&device, &routed)
+            .unwrap();
+        assert_eq!(legacy, modern);
+    }
+
+    #[test]
+    fn options_accessors_and_with_setters_round_trip() {
+        let options = CampaignOptions::default()
+            .with_faults(7)
+            .with_cycles(3)
+            .with_stimulus_seed(11)
+            .with_sampling_seed(13)
+            .restrict_to([9, 4, 4]);
+        assert_eq!(options.faults(), 7);
+        assert_eq!(options.cycles(), 3);
+        assert_eq!(options.stimulus_seed(), 11);
+        assert_eq!(options.sampling_seed(), 13);
+        assert_eq!(options.simulate_only(), Some(&[4, 9][..]));
     }
 }

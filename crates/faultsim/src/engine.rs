@@ -6,14 +6,15 @@
 //! experiment depends on another. [`CampaignEngine`] exploits that:
 //!
 //! 1. the expensive shared state is computed **once** — the compiled
-//!    [`Simulator`], the replayable [`Stimulus`], the golden trace, the
-//!    output grouping and the sampled fault list;
+//!    [`Simulator`], the golden [`GoldenRun`] (replayable stimulus,
+//!    fault-free trace, output voting) and the sampled fault list; a golden
+//!    run computed elsewhere (e.g. by the facade's artifact cache) can be
+//!    injected with [`CampaignEngine::with_golden`] and skips even that;
 //! 2. the sampled fault list is split into deterministic contiguous
 //!    **shards**;
 //! 3. each shard runs on its own [`std::thread::scope`] worker thread with
 //!    its own `Simulator` clone (the levelization is reused, not recomputed)
-//!    while the routed design, stimulus and golden trace are shared
-//!    immutably;
+//!    while the routed design and golden run are shared immutably;
 //! 4. per-shard outcome vectors are concatenated in shard order, which *is*
 //!    fault-list order — so the merged [`CampaignResult`] is bit-identical
 //!    to the sequential one regardless of the shard count.
@@ -21,25 +22,28 @@
 //! Determinism is a hard requirement, not a nicety: Table 3/4 reproductions
 //! and the regression tests compare whole result tables, and partition sweeps
 //! must attribute differences to the design variant, never to the thread
-//! schedule.
+//! schedule. The engine's [`CampaignEngine::run`] is itself implemented as a
+//! single-batch [`CampaignSession`] drain, so the batch and streaming paths
+//! share one per-fault code path by construction.
 
-use crate::campaign::{run_shard, ShardContext};
-use crate::{CampaignOptions, CampaignResult, FaultList, FaultOutcome};
+use crate::{CampaignOptions, CampaignResult, CampaignSession, FaultList};
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{FaultOverlay, OutputGroups, SimError, Simulator, Stimulus};
+use tmr_sim::{GoldenRun, SimError, Simulator};
 
 /// A configured fault-injection campaign over one routed design.
 ///
 /// ```no_run
 /// use tmr_arch::Device;
 /// # fn routed() -> tmr_pnr::RoutedDesign { unimplemented!() }
-/// use tmr_faultsim::{CampaignEngine, CampaignOptions};
+/// use tmr_faultsim::{CampaignBuilder, CampaignEngine};
 ///
 /// let device = Device::small(8, 8);
 /// let routed = routed();
-/// let result = CampaignEngine::new(&device, &routed, CampaignOptions::default())
+/// let result = CampaignBuilder::new()
+///     .engine(&device, &routed)
 ///     .with_shards(4)
 ///     .run()
 ///     .expect("flow netlists are always simulable");
@@ -51,6 +55,7 @@ pub struct CampaignEngine<'a> {
     routed: &'a RoutedDesign,
     options: CampaignOptions,
     shards: usize,
+    golden: Option<Arc<GoldenRun>>,
 }
 
 impl<'a> CampaignEngine<'a> {
@@ -64,6 +69,7 @@ impl<'a> CampaignEngine<'a> {
             routed,
             options,
             shards,
+            golden: None,
         }
     }
 
@@ -81,6 +87,18 @@ impl<'a> CampaignEngine<'a> {
         self.with_shards(1)
     }
 
+    /// Reuses a precomputed golden run instead of recomputing the stimulus,
+    /// fault-free trace and output grouping. The run must belong to this
+    /// design's netlist and match the options' `cycles` and `stimulus_seed`
+    /// — both are asserted at session construction (the seed only for runs
+    /// built by [`GoldenRun::compute`], which records it; a
+    /// [`GoldenRun::from_parts`] stimulus has no seed to check).
+    #[must_use]
+    pub fn with_golden(mut self, golden: Arc<GoldenRun>) -> Self {
+        self.golden = Some(golden);
+        self
+    }
+
     /// The configured shard count.
     pub fn shards(&self) -> usize {
         self.shards
@@ -89,6 +107,58 @@ impl<'a> CampaignEngine<'a> {
     /// The campaign options.
     pub fn options(&self) -> &CampaignOptions {
         &self.options
+    }
+
+    /// Builds a streaming [`CampaignSession`] over the engine's
+    /// configuration: the shared state is computed here, then batches run on
+    /// demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the netlist cannot be simulated (combinational
+    /// loop), which cannot happen for designs produced by the `tmr-synth`
+    /// flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a golden run injected with [`CampaignEngine::with_golden`]
+    /// does not match the options' cycle count or stimulus seed.
+    pub fn session(&self) -> Result<CampaignSession<'a>, SimError> {
+        let netlist = self.routed.netlist();
+        let simulator = Simulator::new(netlist)?;
+        let golden = match &self.golden {
+            Some(golden) => {
+                assert_eq!(
+                    golden.cycles(),
+                    self.options.cycles,
+                    "injected golden run was computed for a different stimulus length"
+                );
+                if let Some(seed) = golden.stimulus_seed() {
+                    assert_eq!(
+                        seed, self.options.stimulus_seed,
+                        "injected golden run was computed for a different stimulus seed"
+                    );
+                }
+                golden.clone()
+            }
+            None => Arc::new(GoldenRun::compute(
+                netlist,
+                self.options.cycles,
+                self.options.stimulus_seed,
+            )?),
+        };
+        let fault_list = FaultList::build(self.device, self.routed);
+        let sample = fault_list.sample(self.options.faults, self.options.sampling_seed);
+        Ok(CampaignSession::new(
+            self.device,
+            self.routed,
+            simulator,
+            golden,
+            self.options.simulate_only.clone(),
+            fault_list.len(),
+            sample,
+            self.shards,
+        ))
     }
 
     /// Runs the campaign and merges the per-shard outcomes in fault-list
@@ -104,79 +174,14 @@ impl<'a> CampaignEngine<'a> {
     ///
     /// Panics if a worker thread panics (propagating the worker's panic).
     pub fn run(&self) -> Result<CampaignResult, SimError> {
-        let netlist = self.routed.netlist();
-        // Shared immutable state, computed once for all shards.
-        let simulator = Simulator::new(netlist)?;
-        let stimulus = Stimulus::random(netlist, self.options.cycles, self.options.stimulus_seed);
-        let golden = simulator.run_stimulus(&stimulus, &FaultOverlay::none());
-        // Triplicated outputs are voted in the output logic block (at the
-        // pads), outside the reach of configuration upsets, before comparison.
-        let output_groups = OutputGroups::new(netlist);
-
-        let fault_list = FaultList::build(self.device, self.routed);
-        let sample = fault_list.sample(self.options.faults, self.options.sampling_seed);
-        let simulate_only = self.options.simulate_only.as_deref();
-
-        let shard_count = self.shards.min(sample.len()).max(1);
-        let (outcomes, simulated): (Vec<FaultOutcome>, usize) = if shard_count == 1 {
-            let ctx = ShardContext {
-                device: self.device,
-                routed: self.routed,
-                simulator,
-                stimulus: &stimulus,
-                golden: &golden,
-                output_groups: &output_groups,
-                simulate_only,
-            };
-            run_shard(&ctx, &sample)
-        } else {
-            // Contiguous shards: chunk boundaries depend only on the sample
-            // length and shard count, and concatenating chunk results in
-            // chunk order reproduces fault-list order exactly.
-            let chunk = sample.len().div_ceil(shard_count);
-            let shard_results: Vec<(Vec<FaultOutcome>, usize)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = sample
-                    .chunks(chunk)
-                    .map(|bits| {
-                        let ctx = ShardContext {
-                            device: self.device,
-                            routed: self.routed,
-                            simulator: simulator.clone(),
-                            stimulus: &stimulus,
-                            golden: &golden,
-                            output_groups: &output_groups,
-                            simulate_only,
-                        };
-                        scope.spawn(move || run_shard(&ctx, bits))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("campaign worker thread panicked"))
-                    .collect()
-            });
-            let mut merged = Vec::with_capacity(sample.len());
-            let mut simulated = 0;
-            for (mut shard, shard_simulated) in shard_results {
-                merged.append(&mut shard);
-                simulated += shard_simulated;
-            }
-            (merged, simulated)
-        };
-
-        Ok(CampaignResult {
-            design: netlist.name().to_string(),
-            fault_list_size: fault_list.len(),
-            simulated,
-            outcomes,
-        })
+        Ok(self.session()?.run())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run_campaign;
+    use crate::CampaignBuilder;
     use tmr_core::{apply_tmr, TmrConfig};
     use tmr_designs::counter;
     use tmr_pnr::place_and_route;
@@ -193,14 +198,11 @@ mod tests {
     #[test]
     fn parallel_equals_sequential_for_any_shard_count() {
         let (device, routed) = routed_tmr_counter();
-        let options = CampaignOptions {
-            faults: 300,
-            cycles: 10,
-            ..CampaignOptions::default()
-        };
-        let reference = run_campaign(&device, &routed, &options).unwrap();
+        let campaign = CampaignBuilder::new().faults(300).cycles(10);
+        let reference = campaign.clone().sequential().run(&device, &routed).unwrap();
         for shards in [1, 2, 3, 8] {
-            let parallel = CampaignEngine::new(&device, &routed, options.clone())
+            let parallel = campaign
+                .engine(&device, &routed)
                 .with_shards(shards)
                 .run()
                 .unwrap();
@@ -215,22 +217,78 @@ mod tests {
         assert!(engine.shards() >= 1);
         assert_eq!(engine.clone().with_shards(0).shards(), 1);
         assert_eq!(engine.clone().sequential().shards(), 1);
-        assert_eq!(engine.options().faults, CampaignOptions::default().faults);
+        assert_eq!(
+            engine.options().faults(),
+            CampaignOptions::default().faults()
+        );
     }
 
     #[test]
     fn more_shards_than_faults_is_harmless() {
         let (device, routed) = routed_tmr_counter();
-        let options = CampaignOptions {
-            faults: 5,
-            cycles: 4,
-            ..CampaignOptions::default()
-        };
-        let few = CampaignEngine::new(&device, &routed, options.clone())
+        let campaign = CampaignBuilder::new().faults(5).cycles(4);
+        let few = campaign
+            .engine(&device, &routed)
             .with_shards(64)
             .run()
             .unwrap();
         assert_eq!(few.injected(), 5);
-        assert_eq!(few, run_campaign(&device, &routed, &options).unwrap());
+        assert_eq!(few, campaign.sequential().run(&device, &routed).unwrap());
+    }
+
+    #[test]
+    fn precomputed_golden_run_is_bit_identical() {
+        let (device, routed) = routed_tmr_counter();
+        let campaign = CampaignBuilder::new().faults(120).cycles(10);
+        let reference = campaign.clone().sequential().run(&device, &routed).unwrap();
+
+        let golden = Arc::new(
+            GoldenRun::compute(
+                routed.netlist(),
+                campaign.options().cycles(),
+                campaign.options().stimulus_seed(),
+            )
+            .unwrap(),
+        );
+        let reused = campaign
+            .clone()
+            .golden(golden.clone())
+            .sequential()
+            .run(&device, &routed)
+            .unwrap();
+        assert_eq!(reference, reused);
+        // The engine path accepts the same hook.
+        let engine_reused = campaign
+            .engine(&device, &routed)
+            .with_golden(golden)
+            .sequential()
+            .run()
+            .unwrap();
+        assert_eq!(reference, engine_reused);
+    }
+
+    #[test]
+    #[should_panic(expected = "different stimulus length")]
+    fn mismatched_golden_run_is_rejected() {
+        let (device, routed) = routed_tmr_counter();
+        let golden = Arc::new(GoldenRun::compute(routed.netlist(), 4, 1).unwrap());
+        let _ = CampaignBuilder::new()
+            .faults(10)
+            .cycles(10)
+            .golden(golden)
+            .run(&device, &routed);
+    }
+
+    #[test]
+    #[should_panic(expected = "different stimulus seed")]
+    fn seed_mismatched_golden_run_is_rejected() {
+        let (device, routed) = routed_tmr_counter();
+        let golden = Arc::new(GoldenRun::compute(routed.netlist(), 10, 7).unwrap());
+        let _ = CampaignBuilder::new()
+            .faults(10)
+            .cycles(10)
+            .stimulus_seed(1)
+            .golden(golden)
+            .run(&device, &routed);
     }
 }

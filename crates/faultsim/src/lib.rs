@@ -6,18 +6,26 @@
 //! * the **Fault List Manager** ([`FaultList`]) identifies the configuration
 //!   bits related to the design under test (used PIP endpoints, used LUTs,
 //!   used flip-flops) and draws a random sample of them;
-//! * the **Fault Injection Manager** ([`run_campaign`]) flips one bit per
-//!   experiment, derives its structural effect on the routed design (LUT
-//!   corruption, open, bridge, input-antenna, conflict, …), simulates the
-//!   faulty device against the golden reference with identical stimuli, and
-//!   classifies the outcome;
+//! * the **Fault Injection Manager** flips one bit per experiment, derives
+//!   its structural effect on the routed design (LUT corruption, open,
+//!   bridge, input-antenna, conflict, …), simulates the faulty device against
+//!   the golden reference with identical stimuli, and classifies the outcome;
 //! * the classifier ([`FaultClass`]) reproduces the effect taxonomy of
 //!   Tables 1 and 4 of the paper;
+//! * the **campaign builder** ([`CampaignBuilder`]) is the documented way to
+//!   configure a campaign: fault count, stimulus, shard count, streaming
+//!   batch size and statistical early stop, plus reuse of a precomputed
+//!   [`tmr_sim::GoldenRun`];
 //! * the **campaign engine** ([`CampaignEngine`]) shards the sampled fault
 //!   list over worker threads — each with its own cloned simulator replaying
 //!   a shared stimulus against a shared golden trace — and merges outcomes in
 //!   fault-list order, bit-identical to the sequential path for any shard
 //!   count;
+//! * the **campaign session** ([`CampaignSession`]) streams the same
+//!   campaign incrementally: contiguous outcome batches for progress
+//!   reporting, and an [`EarlyStop`] rule that halts once the wrong-answer
+//!   rate's confidence interval is tight enough — the outcomes are always the
+//!   exact prefix of the full batch run;
 //! * the structural machinery is exposed for reuse without simulation:
 //!   [`classify_bit`] and [`BitEffect::affected_domains`] power the static
 //!   criticality analyzer (`tmr-analyze`), and
@@ -31,12 +39,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod builder;
 mod campaign;
 mod effect;
 mod engine;
 mod fault_list;
+mod session;
 
-pub use campaign::{run_campaign, CampaignOptions, CampaignResult, FaultOutcome};
+#[allow(deprecated)]
+pub use campaign::run_campaign;
+pub use campaign::{CampaignOptions, CampaignResult, FaultOutcome};
+
+pub use builder::CampaignBuilder;
 pub use effect::{classify_bit, BitEffect, FaultClass};
 pub use engine::CampaignEngine;
 pub use fault_list::FaultList;
+pub use session::{CampaignSession, EarlyStop, SessionProgress};

@@ -237,28 +237,46 @@ pub fn place_and_route(
         },
     )?;
     let routes = route(device, netlist, &placement, &RouterOptions::default())?;
+    Ok(RoutedDesign::assemble(device, netlist, placement, routes))
+}
 
-    let mut node_net = HashMap::new();
-    let mut pip_net = HashMap::new();
-    for (&net, tree) in &routes {
-        for &node in &tree.nodes {
-            node_net.insert(node, net);
+impl RoutedDesign {
+    /// Assembles the routed-design database from the outputs of the
+    /// individual [`place`] and [`route`] stages: generates the
+    /// configuration bitstream and indexes which routing node and PIP
+    /// belongs to which logical net.
+    ///
+    /// This is the final, infallible step of [`place_and_route`], exposed
+    /// separately so staged pipelines can cache a [`Placement`] and re-enter
+    /// the flow at the routing stage.
+    pub fn assemble(
+        device: &Device,
+        netlist: &Netlist,
+        placement: Placement,
+        routes: HashMap<NetId, RouteTree>,
+    ) -> RoutedDesign {
+        let mut node_net = HashMap::new();
+        let mut pip_net = HashMap::new();
+        for (&net, tree) in &routes {
+            for &node in &tree.nodes {
+                node_net.insert(node, net);
+            }
+            for &pip in &tree.pips {
+                pip_net.insert(pip, net);
+            }
         }
-        for &pip in &tree.pips {
-            pip_net.insert(pip, net);
+
+        let bitstream = RoutedDesign::generate_bitstream(device, netlist, &placement, &routes);
+
+        RoutedDesign {
+            netlist: netlist.clone(),
+            placement,
+            routes,
+            bitstream,
+            node_net,
+            pip_net,
         }
     }
-
-    let bitstream = RoutedDesign::generate_bitstream(device, netlist, &placement, &routes);
-
-    Ok(RoutedDesign {
-        netlist: netlist.clone(),
-        placement,
-        routes,
-        bitstream,
-        node_net,
-        pip_net,
-    })
 }
 
 /// Number of sites of each kind used by a placement — convenience for

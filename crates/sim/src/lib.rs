@@ -42,12 +42,14 @@
 
 mod compare;
 mod fault;
+mod golden;
 mod netsim;
 mod stimulus;
 mod value;
 
 pub use compare::{majority, OutputGroups};
 pub use fault::{FaultOverlay, SinkRef};
+pub use golden::GoldenRun;
 pub use netsim::{SimError, SimTrace, Simulator};
 pub use stimulus::{random_vectors, word_vectors, Stimulus};
 pub use value::Trit;

@@ -1,6 +1,7 @@
 //! Implements the paper's 11-tap FIR filter (unprotected and TMR_p2) through
-//! the full flow — synthesis, placement, routing, bitstream generation — and
-//! prints the resource/bitstream report of Table 2 for those two variants.
+//! the staged pipeline — synthesis, placement, routing, bitstream generation
+//! — and prints the resource/bitstream report of Table 2 for those two
+//! variants.
 //!
 //! This is the full-scale flow and takes a few minutes in release mode; use
 //! `--example quickstart` for a fast tour.
@@ -11,12 +12,11 @@
 
 use tmr_fpga::arch::{Device, DeviceParams};
 use tmr_fpga::designs::FirFilter;
-use tmr_fpga::flow;
-use tmr_fpga::tmr::{apply_tmr, estimate_resources, TmrConfig};
+use tmr_fpga::flow::Sweep;
+use tmr_fpga::tmr::{estimate_resources, TmrConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), tmr_fpga::Error> {
     let base = FirFilter::paper_filter().to_design();
-    let protected = apply_tmr(&base, &TmrConfig::paper_p2())?;
 
     // A fabric with the XC2S200E architecture parameters, scaled up so that
     // the TMR variant fits comfortably (our mapping has no carry chains).
@@ -32,11 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device.config_layout().bit_count()
     );
 
-    for (name, design) in [("standard", &base), ("tmr_p2", &protected)] {
+    let sweep = Sweep::new(&base)
+        .variant("standard", None)
+        .variant("tmr_p2", Some(TmrConfig::paper_p2()))
+        .on_device(&device);
+    let (_, flows) = sweep.flows()?;
+    for (name, flow) in flows {
         let start = std::time::Instant::now();
-        let routed = flow::implement(&device, design, 1)?;
+        let routed = flow.routed()?;
         let resources = estimate_resources(routed.netlist());
-        let bits = routed.bit_report(&device);
+        let bits = routed.design().bit_report(&device);
         println!(
             "{name:>9}: {:>4} slices, {:>5} LUTs, {:>4} FFs, depth {:>2}, est. {:>5.1} MHz, \
              {:>6} routing bits, {:>5} LUT bits, {:>4} FF bits ({:.0} s)",

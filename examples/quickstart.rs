@@ -1,17 +1,19 @@
 //! Quickstart: protect a small design with TMR, implement it on the FPGA
-//! model and inject a handful of configuration upsets.
+//! model through the staged pipeline and inject a handful of configuration
+//! upsets.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use tmr_fpga::arch::Device;
-use tmr_fpga::faultsim::CampaignOptions;
-use tmr_fpga::flow;
+use tmr_fpga::faultsim::CampaignBuilder;
+use tmr_fpga::flow::FlowBuilder;
 use tmr_fpga::synth::Design;
-use tmr_fpga::tmr::{apply_tmr, TmrConfig};
+use tmr_fpga::tmr::TmrConfig;
+use tmr_fpga::ArtifactCache;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), tmr_fpga::Error> {
     // 1. Capture a small word-level design: y = register(a*5 + b).
     let mut design = Design::new("mac");
     let a = design.add_input("a", 8);
@@ -21,39 +23,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q = design.add_register("q", sum);
     design.add_output("y", q);
 
-    // 2. Protect it with TMR using the paper's medium partition (a voter
-    //    after each adder, voted registers).
-    let protected = apply_tmr(&design, &TmrConfig::paper_p2())?;
-    println!("protected design: {protected}");
-
-    // 3. Implement both versions on a small island FPGA.
+    // 2. Two flows on a small island FPGA, sharing one artifact cache: the
+    //    unprotected design and the paper's medium partition (a voter after
+    //    each adder, voted registers). Stage artifacts are computed lazily.
     let device = Device::small(12, 12);
-    let plain = flow::implement(&device, &design, 1)?;
-    let tmr = flow::implement(&device, &protected, 1)?;
+    let cache = ArtifactCache::shared();
+    let plain = FlowBuilder::new(&device, &design)
+        .cache(cache.clone())
+        .build();
+    let tmr = FlowBuilder::new(&device, &design)
+        .tmr(TmrConfig::paper_p2())
+        .cache(cache.clone())
+        .build();
+    println!("protected design: {}", tmr.protected()?);
+
+    let plain_routed = plain.routed()?;
+    let tmr_routed = tmr.routed()?;
     println!(
         "unprotected: {} LUTs, {} programmed bits",
-        plain.netlist().stats().luts,
-        plain.bitstream().count_ones()
+        plain_routed.netlist().stats().luts,
+        plain_routed.bitstream().count_ones()
     );
     println!(
         "TMR p2:      {} LUTs, {} programmed bits",
-        tmr.netlist().stats().luts,
-        tmr.bitstream().count_ones()
+        tmr_routed.netlist().stats().luts,
+        tmr_routed.bitstream().count_ones()
     );
 
-    // 4. Inject random configuration upsets into both and compare.
-    let options = CampaignOptions {
-        faults: 600,
-        cycles: 16,
-        ..CampaignOptions::default()
-    };
-    let plain_result = flow::run_campaign_parallel(&device, &plain, &options, None)?;
-    let tmr_result = flow::run_campaign_parallel(&device, &tmr, &options, None)?;
+    // 3. Inject random configuration upsets into both and compare. The
+    //    campaigns are sharded over all CPU cores and reuse the cached
+    //    golden traces.
+    let campaign = CampaignBuilder::new().faults(600).cycles(16);
+    let plain_result = plain.campaign(&campaign)?;
+    let tmr_result = tmr.campaign(&campaign)?;
     println!("{plain_result}");
     println!("{tmr_result}");
     println!(
         "robustness improvement: {:.1}x fewer wrong answers",
         plain_result.wrong_answer_percent() / tmr_result.wrong_answer_percent().max(0.01)
     );
+    println!("artifact cache: {}", cache.stats());
     Ok(())
 }

@@ -1,5 +1,6 @@
-//! Walks one paper design from TMR transform to static `CriticalityReport`,
-//! then uses the analysis to prune a dynamic fault-injection campaign.
+//! Walks one paper design from TMR transform to static `CriticalityReport`
+//! through the staged pipeline, then uses the analysis to prune a dynamic
+//! fault-injection campaign.
 //!
 //! The static analyzer classifies **every** configuration bit — no sampling,
 //! no simulation — into benign / single-domain / domain-crossing verdicts;
@@ -14,17 +15,21 @@
 use tmr_fpga::analyze::PruneWith;
 use tmr_fpga::arch::Device;
 use tmr_fpga::designs::FirFilter;
-use tmr_fpga::faultsim::{run_campaign, CampaignOptions};
-use tmr_fpga::flow;
-use tmr_fpga::tmr::{apply_tmr, TmrConfig};
+use tmr_fpga::faultsim::CampaignBuilder;
+use tmr_fpga::flow::FlowBuilder;
+use tmr_fpga::tmr::TmrConfig;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. TMR transform and implementation of the reduced paper filter.
+fn main() -> Result<(), tmr_fpga::Error> {
+    // 1. TMR transform and implementation of the reduced paper filter: one
+    //    flow, lazy stage artifacts.
     let base = FirFilter::small_filter().to_design();
     let config = TmrConfig::paper_p2();
-    let design = apply_tmr(&base, &config)?;
     let device = Device::small(20, 20);
-    let routed = flow::implement(&device, &design, 1)?;
+    let flow = FlowBuilder::new(&device, &base)
+        .tmr(config.clone())
+        .seed(1)
+        .build();
+    let routed = flow.routed()?;
     println!(
         "implemented {} on a {}x{} device ({} programmed bits)\n",
         config.label,
@@ -33,21 +38,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         routed.bitstream().count_ones()
     );
 
-    // 2. Exhaustive static criticality analysis (no simulation).
-    let analysis = flow::analyze(&device, &routed);
-    let report = analysis.report();
+    // 2. Exhaustive static criticality analysis (no simulation) — the
+    //    `Analyzed` stage of the pipeline.
+    let analyzed = flow.analyzed()?;
+    let report = analyzed.report();
     println!("{report}\n");
     println!("as JSON: {}\n", report.to_json());
 
     // 3. The same campaign, unpruned and statically pruned: identical
-    //    outcomes, far fewer simulations.
-    let options = CampaignOptions {
-        faults: 1500,
-        cycles: 16,
-        ..CampaignOptions::default()
-    };
-    let unpruned = run_campaign(&device, &routed, &options)?;
-    let pruned = run_campaign(&device, &routed, &options.clone().prune_with(&analysis))?;
+    //    outcomes, far fewer simulations. Both reuse the cached golden
+    //    trace.
+    let campaign = CampaignBuilder::new().faults(1500).cycles(16);
+    let unpruned = flow.campaign(&campaign)?;
+    let pruned = flow.campaign(&campaign.clone().prune_with(analyzed.analysis()))?;
     assert_eq!(pruned.outcomes, unpruned.outcomes);
     println!(
         "campaign over {} sampled faults: unpruned simulates {}, pruned simulates {} \
@@ -58,5 +61,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * (1.0 - pruned.simulated as f64 / unpruned.simulated.max(1) as f64),
         pruned.wrong_answers(),
     );
+    println!("artifact cache: {}", flow.cache().stats());
     Ok(())
 }

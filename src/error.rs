@@ -1,0 +1,102 @@
+//! The unified error surface of the facade.
+//!
+//! Every stage of the staged pipeline — TMR transformation, synthesis,
+//! place-and-route, simulation — has its own precise error enum in its own
+//! crate. At the facade boundary those are folded into one
+//! [`enum@Error`] so that consumers driving the whole flow handle a single
+//! type with proper [`std::error::Error::source`] chains, instead of three
+//! ad-hoc per-layer enums.
+
+use std::error::Error as StdError;
+use std::fmt;
+use tmr_core::TmrError;
+use tmr_pnr::PnrError;
+use tmr_sim::SimError;
+use tmr_synth::{LowerError, TechmapError};
+
+/// Any error of the combined implementation-and-campaign flow.
+///
+/// The enum is `#[non_exhaustive]`: new pipeline stages may add variants
+/// without a breaking change, so downstream `match`es need a wildcard arm.
+/// The inner per-layer error is available both through the variant payload
+/// and through [`std::error::Error::source`].
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum Error {
+    /// The TMR transformation rejected the design.
+    Tmr(TmrError),
+    /// Word-level lowering failed.
+    Lower(LowerError),
+    /// Technology mapping failed.
+    Techmap(TechmapError),
+    /// Placement or routing failed.
+    Pnr(PnrError),
+    /// The netlist cannot be simulated (combinational loop) — impossible for
+    /// netlists produced by this workspace's synthesis flow.
+    Sim(SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tmr(_) => write!(f, "TMR transformation failed"),
+            Error::Lower(_) => write!(f, "lowering failed"),
+            Error::Techmap(_) => write!(f, "technology mapping failed"),
+            Error::Pnr(_) => write!(f, "place-and-route failed"),
+            Error::Sim(_) => write!(f, "simulation failed"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Tmr(e) => Some(e),
+            Error::Lower(e) => Some(e),
+            Error::Techmap(e) => Some(e),
+            Error::Pnr(e) => Some(e),
+            Error::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<TmrError> for Error {
+    fn from(e: TmrError) -> Self {
+        Error::Tmr(e)
+    }
+}
+impl From<LowerError> for Error {
+    fn from(e: LowerError) -> Self {
+        Error::Lower(e)
+    }
+}
+impl From<TechmapError> for Error {
+    fn from(e: TechmapError) -> Self {
+        Error::Techmap(e)
+    }
+}
+impl From<PnrError> for Error {
+    fn from(e: PnrError) -> Self {
+        Error::Pnr(e)
+    }
+}
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain_to_the_layer_error() {
+        let error = Error::from(SimError::CombinationalLoop { cells: 3 });
+        assert_eq!(error.to_string(), "simulation failed");
+        let source = error.source().expect("source chain");
+        assert!(source.to_string().contains("combinational loop"));
+        fn assert_error<E: StdError + Send + Sync + 'static>() {}
+        assert_error::<Error>();
+    }
+}

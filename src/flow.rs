@@ -1,0 +1,898 @@
+//! The staged implementation pipeline: lazy, cached, sweepable.
+//!
+//! The paper's experiment is not one flow run but a *sweep*: the same FIR
+//! design pushed through five TMR variants, each synthesized, placed, routed
+//! and bombarded with fault-injection campaigns. This module models that as
+//! first-class API instead of hand-wired glue:
+//!
+//! * [`FlowBuilder`] captures the inputs of one implementation flow (device,
+//!   design, optional [`TmrConfig`], seed, shard count) and builds a
+//!   [`Flow`];
+//! * a [`Flow`] exposes **typed stage artifacts** — [`Synthesized`] →
+//!   [`Placed`] → [`Routed`] → [`Analyzed`] — computed lazily and memoized in
+//!   a shared [`ArtifactCache`] keyed by content fingerprints, so two flows
+//!   over the same inputs share every stage;
+//! * [`Flow::campaign`] runs fault-injection campaigns configured through
+//!   [`CampaignBuilder`], reusing the cached golden simulation trace
+//!   ([`GoldenRun`]) across campaigns over the same netlist, and
+//!   [`Flow::campaign_session`] streams one incrementally (progress
+//!   reporting, statistical early stop);
+//! * a [`Sweep`] drives many flows over the variants of one base design —
+//!   [`Sweep::paper`] gives the five paper variants — on a common
+//!   (optionally auto-sized) device, producing a [`SweepReport`] that holds
+//!   everything Tables 2, 3 and 4 need plus the cache effectiveness
+//!   counters.
+//!
+//! The one-call helpers of the previous API ([`implement`],
+//! [`run_campaign_parallel`], [`analyze`], [`synthesize`]) remain as thin
+//! deprecated shims over the builder.
+
+use crate::Error;
+use std::sync::Arc;
+use tmr_analyze::{CriticalityReport, StaticAnalysis};
+use tmr_arch::{Bitstream, Device, DeviceParams};
+use tmr_core::pipeline::{fingerprint, ArtifactCache, CacheKey, CacheStats, Fingerprint};
+use tmr_core::{apply_tmr, estimate_resources, ResourceEstimate, TmrConfig};
+use tmr_faultsim::{CampaignBuilder, CampaignResult, CampaignSession};
+use tmr_netlist::Netlist;
+use tmr_pnr::{place, route, BitReport, Placement, PlacerOptions, RoutedDesign, RouterOptions};
+use tmr_sim::GoldenRun;
+use tmr_synth::{lower, optimize, techmap, Design};
+
+// ---------------------------------------------------------------------------
+// Typed stage artifacts
+// ---------------------------------------------------------------------------
+
+/// The synthesized stage artifact: the technology-mapped LUT netlist of one
+/// (possibly TMR-protected) design.
+#[derive(Debug, Clone)]
+pub struct Synthesized {
+    netlist: Netlist,
+    fingerprint: u64,
+}
+
+impl Synthesized {
+    /// The mapped netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The placed stage artifact: a cell → site assignment on the target device.
+#[derive(Debug, Clone)]
+pub struct Placed {
+    placement: Placement,
+    fingerprint: u64,
+}
+
+impl Placed {
+    /// The placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The routed stage artifact: the fully placed, routed and configured design.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    design: RoutedDesign,
+    fingerprint: u64,
+}
+
+impl Routed {
+    /// The routed-design database.
+    pub fn design(&self) -> &RoutedDesign {
+        &self.design
+    }
+
+    /// The configuration bitstream.
+    pub fn bitstream(&self) -> &Bitstream {
+        self.design.bitstream()
+    }
+
+    /// The mapped netlist the design was built from.
+    pub fn netlist(&self) -> &Netlist {
+        self.design.netlist()
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The analyzed stage artifact: the static criticality classification of
+/// every configuration bit of the routed design.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    analysis: StaticAnalysis,
+    fingerprint: u64,
+}
+
+impl Analyzed {
+    /// The static analysis.
+    pub fn analysis(&self) -> &StaticAnalysis {
+        &self.analysis
+    }
+
+    /// Aggregates the analysis into a [`CriticalityReport`].
+    pub fn report(&self) -> CriticalityReport {
+        self.analysis.report()
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlowBuilder / Flow
+// ---------------------------------------------------------------------------
+
+/// Builder for a single staged implementation [`Flow`].
+///
+/// ```
+/// use tmr_fpga::arch::Device;
+/// use tmr_fpga::flow::FlowBuilder;
+/// use tmr_fpga::tmr::TmrConfig;
+///
+/// let device = Device::small(8, 8);
+/// let design = tmr_fpga::designs::counter(4);
+/// let flow = FlowBuilder::new(&device, &design)
+///     .tmr(TmrConfig::paper_p2())
+///     .seed(1)
+///     .build();
+/// let routed = flow.routed().unwrap();
+/// assert!(routed.bitstream().count_ones() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowBuilder {
+    device: Device,
+    design: Design,
+    tmr: Option<TmrConfig>,
+    seed: u64,
+    shards: Option<usize>,
+    cache: Option<Arc<ArtifactCache>>,
+}
+
+impl FlowBuilder {
+    /// Starts a flow of `design` onto `device` (both captured by clone).
+    pub fn new(device: &Device, design: &Design) -> Self {
+        Self {
+            device: device.clone(),
+            design: design.clone(),
+            tmr: None,
+            seed: 1,
+            shards: None,
+            cache: None,
+        }
+    }
+
+    /// Protects the design with TMR before synthesis.
+    #[must_use]
+    pub fn tmr(mut self, config: TmrConfig) -> Self {
+        self.tmr = Some(config);
+        self
+    }
+
+    /// Placement seed (default 1).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker-shard count for campaigns run through this flow (default: one
+    /// per CPU core). Results are bit-identical for any shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Shares an [`ArtifactCache`] with other flows (default: a fresh
+    /// private cache). A sweep passes one cache to all of its flows.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Flow {
+        let identity = fingerprint(&[&self.design, &self.tmr]);
+        let device_fp = fingerprint(&[self.device.params()]);
+        Flow {
+            device: Arc::new(self.device),
+            design: self.design,
+            tmr: self.tmr,
+            seed: self.seed,
+            shards: self.shards,
+            cache: self.cache.unwrap_or_default(),
+            identity,
+            device_fp,
+        }
+    }
+}
+
+/// A lazily evaluated, memoized implementation flow over one design and one
+/// device.
+///
+/// Every stage accessor computes its artifact on first use and caches it in
+/// the flow's [`ArtifactCache`] under a content fingerprint of the stage
+/// inputs; repeated calls — from this flow or any flow sharing the cache
+/// with identical inputs — return the same `Arc` without recomputing.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    device: Arc<Device>,
+    design: Design,
+    tmr: Option<TmrConfig>,
+    seed: u64,
+    shards: Option<usize>,
+    cache: Arc<ArtifactCache>,
+    /// Fingerprint of `(design, tmr config)`: since every stage is a
+    /// deterministic function, downstream keys derive from this instead of
+    /// hashing the (much larger) intermediate artifacts.
+    identity: u64,
+    device_fp: u64,
+}
+
+impl Flow {
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The word-level input design (before TMR).
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The TMR configuration, if the flow protects the design.
+    pub fn tmr_config(&self) -> Option<&TmrConfig> {
+        self.tmr.as_ref()
+    }
+
+    /// The artifact cache backing this flow.
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// The design entering synthesis: the TMR-transformed design when a
+    /// config is set, the input design otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TmrError`](tmr_core::TmrError) from the transformation.
+    pub fn protected(&self) -> Result<Arc<Design>, Error> {
+        stage_protected(&self.cache, self.identity, &self.design, self.tmr.as_ref())
+    }
+
+    /// Stage 1, [`Synthesized`]: lowering → dead-logic elimination → LUT
+    /// mapping + I/O insertion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation, lowering and mapping errors.
+    pub fn synthesized(&self) -> Result<Arc<Synthesized>, Error> {
+        let protected = self.protected()?;
+        stage_synthesized(&self.cache, self.identity, &protected)
+    }
+
+    /// Stage 2, [`Placed`]: seeded simulated-annealing placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors and placement failures (device too
+    /// small, unplaceable cells).
+    pub fn placed(&self) -> Result<Arc<Placed>, Error> {
+        let fp = self.implementation_fp();
+        let synthesized = self.synthesized()?;
+        self.cache
+            .get_or_try_insert(CacheKey::new("place", fp), || {
+                let placement = place(
+                    &self.device,
+                    synthesized.netlist(),
+                    &PlacerOptions {
+                        seed: self.seed,
+                        ..PlacerOptions::default()
+                    },
+                )?;
+                Ok::<_, Error>(Placed {
+                    placement,
+                    fingerprint: fp,
+                })
+            })
+    }
+
+    /// Stage 3, [`Routed`]: negotiated-congestion routing plus bitstream
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors and routing failures (unroutable
+    /// congestion, unreachable sinks).
+    pub fn routed(&self) -> Result<Arc<Routed>, Error> {
+        let fp = self.implementation_fp();
+        let synthesized = self.synthesized()?;
+        let placed = self.placed()?;
+        self.cache
+            .get_or_try_insert(CacheKey::new("route", fp), || {
+                let routes = route(
+                    &self.device,
+                    synthesized.netlist(),
+                    placed.placement(),
+                    &RouterOptions::default(),
+                )?;
+                Ok::<_, Error>(Routed {
+                    design: RoutedDesign::assemble(
+                        &self.device,
+                        synthesized.netlist(),
+                        placed.placement().clone(),
+                        routes,
+                    ),
+                    fingerprint: fp,
+                })
+            })
+    }
+
+    /// Stage 4, [`Analyzed`]: exhaustive static criticality classification
+    /// of every configuration bit (no simulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors; the analysis itself is infallible.
+    pub fn analyzed(&self) -> Result<Arc<Analyzed>, Error> {
+        let fp = self.implementation_fp();
+        let routed = self.routed()?;
+        self.cache
+            .get_or_try_insert(CacheKey::new("analyze", fp), || {
+                Ok::<_, Error>(Analyzed {
+                    analysis: StaticAnalysis::run(&self.device, routed.design()),
+                    fingerprint: fp,
+                })
+            })
+    }
+
+    /// The golden (fault-free) reference run for campaigns of `cycles`
+    /// cycles under stimulus `seed` — cached per netlist, shared by every
+    /// campaign and session over this design, on any device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors; flow netlists are always simulable.
+    pub fn golden(&self, cycles: usize, stimulus_seed: u64) -> Result<Arc<GoldenRun>, Error> {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.identity)
+            .write_u64(cycles as u64)
+            .write_u64(stimulus_seed);
+        let synthesized = self.synthesized()?;
+        self.cache
+            .get_or_try_insert(CacheKey::new("golden", fp.finish()), || {
+                GoldenRun::compute(synthesized.netlist(), cycles, stimulus_seed)
+                    .map_err(Error::from)
+            })
+    }
+
+    /// Runs (or returns the cached result of) a fault-injection campaign
+    /// over the routed design. The golden trace comes from the shared cache;
+    /// the flow's shard override applies; the result is memoized under the
+    /// campaign configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors; flow netlists are always simulable.
+    pub fn campaign(&self, campaign: &CampaignBuilder) -> Result<Arc<CampaignResult>, Error> {
+        let routed = self.routed()?;
+        let golden = self.golden(
+            campaign.options().cycles(),
+            campaign.options().stimulus_seed(),
+        )?;
+        // The key covers exactly what can change the outcomes: the
+        // implemented design plus the campaign options, batch size and
+        // early-stop rule (an early stop lands on a batch boundary). Shard
+        // count and any attached golden run are deliberately absent — they
+        // never change results, only how (fast) they are computed.
+        let fp = fingerprint(&[
+            &self.identity,
+            &self.device_fp,
+            &self.seed,
+            campaign.options(),
+            &campaign.batch_size_hint(),
+            &campaign.early_stop_rule(),
+        ]);
+        self.cache
+            .get_or_try_insert(CacheKey::new("campaign", fp), || {
+                let mut configured = campaign.clone().golden(golden);
+                if let Some(shards) = self.shards {
+                    configured = configured.shards(shards);
+                }
+                configured
+                    .run(&self.device, routed.design())
+                    .map_err(Error::from)
+            })
+    }
+
+    /// Builds a streaming [`CampaignSession`] over the routed design for
+    /// incremental outcome batches, progress reporting and early stop. The
+    /// caller keeps the [`Routed`] artifact alive for the session's
+    /// lifetime:
+    ///
+    /// ```no_run
+    /// # use tmr_fpga::flow::FlowBuilder;
+    /// # use tmr_fpga::faultsim::CampaignBuilder;
+    /// # let flow: tmr_fpga::flow::Flow = unimplemented!();
+    /// let routed = flow.routed()?;
+    /// let mut session = flow.campaign_session(&routed, &CampaignBuilder::new())?;
+    /// while let Some(batch) = session.next_batch() {
+    ///     eprintln!("+{} faults", batch.len());
+    /// }
+    /// println!("{}", session.into_result());
+    /// # Ok::<(), tmr_fpga::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors; flow netlists are always simulable.
+    pub fn campaign_session<'f>(
+        &'f self,
+        routed: &'f Routed,
+        campaign: &CampaignBuilder,
+    ) -> Result<CampaignSession<'f>, Error> {
+        let golden = self.golden(
+            campaign.options().cycles(),
+            campaign.options().stimulus_seed(),
+        )?;
+        let mut configured = campaign.clone().golden(golden);
+        if let Some(shards) = self.shards {
+            configured = configured.shards(shards);
+        }
+        configured
+            .session(&self.device, routed.design())
+            .map_err(Error::from)
+    }
+
+    /// Fingerprint of the implemented design: identity × device × seed.
+    fn implementation_fp(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.identity)
+            .write_u64(self.device_fp)
+            .write_u64(self.seed);
+        fp.finish()
+    }
+}
+
+/// The cache-backed TMR-transformation stage, shared by [`Flow::protected`]
+/// and the device-independent synthesis pre-pass of [`Sweep::flows`].
+fn stage_protected(
+    cache: &ArtifactCache,
+    identity: u64,
+    design: &Design,
+    config: Option<&TmrConfig>,
+) -> Result<Arc<Design>, Error> {
+    cache.get_or_try_insert(CacheKey::new("tmr", identity), || match config {
+        Some(config) => apply_tmr(design, config).map_err(Error::from),
+        None => Ok(design.clone()),
+    })
+}
+
+/// The cache-backed synthesis stage.
+fn stage_synthesized(
+    cache: &ArtifactCache,
+    identity: u64,
+    protected: &Design,
+) -> Result<Arc<Synthesized>, Error> {
+    cache.get_or_try_insert(CacheKey::new("synth", identity), || {
+        let netlist = techmap(&optimize(&lower(protected)?))?;
+        Ok::<_, Error>(Synthesized {
+            netlist,
+            fingerprint: identity,
+        })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Device sizing
+// ---------------------------------------------------------------------------
+
+/// Chooses an evaluation device for a set of netlists: the given
+/// architecture parameters if every netlist fits below `max_utilisation`
+/// LUT/FF utilisation (and has enough IOBs), otherwise the same architecture
+/// scaled up, four columns and rows at a time, to the smallest grid that
+/// does.
+pub fn device_for(mut params: DeviceParams, netlists: &[&Netlist], max_utilisation: f64) -> Device {
+    let max_luts = netlists
+        .iter()
+        .map(|n| {
+            let s = n.stats();
+            s.luts + s.constants
+        })
+        .max()
+        .unwrap_or(0);
+    let max_ffs = netlists
+        .iter()
+        .map(|n| n.stats().flip_flops)
+        .max()
+        .unwrap_or(0);
+    let max_iobs = netlists
+        .iter()
+        .map(|n| n.stats().io_buffers)
+        .max()
+        .unwrap_or(0);
+
+    let fits = |params: &DeviceParams| {
+        let tiles = usize::from(params.cols) * usize::from(params.rows);
+        let luts = tiles * params.luts_per_tile();
+        let ffs = tiles * params.ffs_per_tile();
+        let perimeter = 2 * (usize::from(params.cols) + usize::from(params.rows)) - 4;
+        let iobs = perimeter * usize::from(params.iobs_per_perimeter_tile);
+        (max_luts as f64) < luts as f64 * max_utilisation
+            && (max_ffs as f64) < ffs as f64 * max_utilisation
+            && max_iobs <= iobs
+    };
+
+    while !fits(&params) {
+        params.cols += 4;
+        params.rows += 4;
+    }
+    Device::new(params)
+}
+
+// ---------------------------------------------------------------------------
+// Sweep
+// ---------------------------------------------------------------------------
+
+/// The device-selection policy of a [`Sweep`].
+#[derive(Debug, Clone)]
+enum SweepDevice {
+    /// Implement every variant on this device.
+    Fixed(Box<Device>),
+    /// Scale this architecture up until every variant fits below the given
+    /// utilisation (see [`device_for`]).
+    Auto {
+        params: DeviceParams,
+        max_utilisation: f64,
+    },
+}
+
+/// A configuration sweep: many [`Flow`]s over the variants of one base
+/// design, sharing a device and an artifact cache.
+///
+/// ```no_run
+/// use tmr_fpga::designs::FirFilter;
+/// use tmr_fpga::faultsim::CampaignBuilder;
+/// use tmr_fpga::flow::Sweep;
+///
+/// let base = FirFilter::paper_filter().to_design();
+/// let report = Sweep::paper(&base)
+///     .campaign(CampaignBuilder::new().faults(4000).cycles(24))
+///     .run()
+///     .unwrap();
+/// for variant in &report.variants {
+///     let campaign = variant.campaign.as_ref().unwrap();
+///     println!("{}: {:.2} % wrong answers", variant.name, campaign.wrong_answer_percent());
+/// }
+/// println!("cache: {}", report.cache);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    base: Design,
+    variants: Vec<(String, Option<TmrConfig>)>,
+    device: SweepDevice,
+    seed: u64,
+    shards: Option<usize>,
+    campaign: Option<CampaignBuilder>,
+    analyze: bool,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Sweep {
+    /// Starts an empty sweep over `base` with an auto-sized XC2S200E-like
+    /// device at 50 % maximum utilisation (our mapping has no carry chains,
+    /// so designs are larger than the vendor tools'), seed 1, no campaign
+    /// and no static analysis.
+    pub fn new(base: &Design) -> Self {
+        Self {
+            base: base.clone(),
+            variants: Vec::new(),
+            device: SweepDevice::Auto {
+                params: DeviceParams::xc2s200e_like(),
+                max_utilisation: 0.50,
+            },
+            seed: 1,
+            shards: None,
+            campaign: None,
+            analyze: false,
+            cache: ArtifactCache::shared(),
+        }
+    }
+
+    /// The paper's five-variant sweep, in Table 3 order: `standard` plus the
+    /// four TMR presets (`tmr_p1`, `tmr_p2`, `tmr_p3`, `tmr_p3_nv`).
+    pub fn paper(base: &Design) -> Self {
+        let mut sweep = Self::new(base).variant("standard", None);
+        for config in TmrConfig::paper_presets() {
+            let name = format!("tmr_{}", config.label);
+            sweep = sweep.variant(&name, Some(config));
+        }
+        sweep
+    }
+
+    /// Appends a named variant (`None` = the unprotected base design).
+    #[must_use]
+    pub fn variant(mut self, name: &str, config: Option<TmrConfig>) -> Self {
+        self.variants.push((name.to_string(), config));
+        self
+    }
+
+    /// Implements every variant on this fixed device instead of auto-sizing.
+    #[must_use]
+    pub fn on_device(mut self, device: &Device) -> Self {
+        self.device = SweepDevice::Fixed(Box::new(device.clone()));
+        self
+    }
+
+    /// Auto-sizes the device from these architecture parameters and maximum
+    /// LUT/FF utilisation (the default policy uses
+    /// [`DeviceParams::xc2s200e_like`] at 0.50).
+    #[must_use]
+    pub fn auto_device(mut self, params: DeviceParams, max_utilisation: f64) -> Self {
+        self.device = SweepDevice::Auto {
+            params,
+            max_utilisation,
+        };
+        self
+    }
+
+    /// Placement seed shared by every variant (default 1).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Campaign worker-shard override shared by every variant.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Runs this fault-injection campaign on every variant.
+    #[must_use]
+    pub fn campaign(mut self, campaign: CampaignBuilder) -> Self {
+        self.campaign = Some(campaign);
+        self
+    }
+
+    /// Also runs the static criticality analysis on every variant.
+    #[must_use]
+    pub fn analyze(mut self, analyze: bool) -> Self {
+        self.analyze = analyze;
+        self
+    }
+
+    /// Shares an [`ArtifactCache`] with other sweeps/flows (default: a fresh
+    /// cache per sweep). Repeated runs against a shared cache reuse every
+    /// artifact.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache backing this sweep.
+    pub fn cache_handle(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// Synthesizes every variant (filling the cache), resolves the device,
+    /// and returns the per-variant flows without implementing them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation and synthesis errors.
+    pub fn flows(&self) -> Result<(Device, Vec<(String, Flow)>), Error> {
+        // Synthesis is device-independent: run it first for every variant so
+        // auto-sizing can see the netlists. The per-variant flows below then
+        // hit the cache for their transformation and synthesis stages.
+        let mut synthesized = Vec::new();
+        for (name, config) in &self.variants {
+            let identity = fingerprint(&[&self.base, config]);
+            let protected = stage_protected(&self.cache, identity, &self.base, config.as_ref())?;
+            synthesized.push((
+                name.clone(),
+                stage_synthesized(&self.cache, identity, &protected)?,
+            ));
+        }
+
+        let device = match &self.device {
+            SweepDevice::Fixed(device) => (**device).clone(),
+            SweepDevice::Auto {
+                params,
+                max_utilisation,
+            } => {
+                let netlists: Vec<&Netlist> =
+                    synthesized.iter().map(|(_, s)| s.netlist()).collect();
+                device_for(*params, &netlists, *max_utilisation)
+            }
+        };
+
+        let flows = self
+            .variants
+            .iter()
+            .map(|(name, config)| {
+                let mut builder = FlowBuilder::new(&device, &self.base).seed(self.seed);
+                if let Some(config) = config {
+                    builder = builder.tmr(config.clone());
+                }
+                if let Some(shards) = self.shards {
+                    builder = builder.shards(shards);
+                }
+                (name.clone(), builder.cache(self.cache.clone()).build())
+            })
+            .collect();
+        Ok((device, flows))
+    }
+
+    /// Runs the sweep: implements every variant, runs the configured
+    /// campaign and analysis on each, and reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error of any variant.
+    pub fn run(&self) -> Result<SweepReport, Error> {
+        let (device, flows) = self.flows()?;
+        let mut variants = Vec::with_capacity(flows.len());
+        for (name, flow) in flows {
+            let routed = flow.routed()?;
+            let resources = estimate_resources(routed.netlist());
+            let bits = routed.design().bit_report(&device);
+            let campaign = match &self.campaign {
+                Some(campaign) => Some(flow.campaign(campaign)?),
+                None => None,
+            };
+            let analysis = if self.analyze {
+                Some(flow.analyzed()?)
+            } else {
+                None
+            };
+            variants.push(VariantReport {
+                name,
+                config: flow.tmr_config().cloned(),
+                routed,
+                resources,
+                bits,
+                campaign,
+                analysis,
+            });
+        }
+        Ok(SweepReport {
+            device,
+            variants,
+            cache: self.cache.stats(),
+        })
+    }
+}
+
+/// One fully implemented sweep variant plus its reports.
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// Variant name (`standard`, `tmr_p1`, …).
+    pub name: String,
+    /// The TMR configuration (`None` for the unprotected variant).
+    pub config: Option<TmrConfig>,
+    /// The routed implementation.
+    pub routed: Arc<Routed>,
+    /// Area / timing estimate (Table 2 left columns).
+    pub resources: ResourceEstimate,
+    /// Design-related configuration bit counts (Table 2 right columns).
+    pub bits: BitReport,
+    /// The campaign result, when the sweep configured one (Tables 3/4).
+    pub campaign: Option<Arc<CampaignResult>>,
+    /// The static criticality analysis, when the sweep enabled it.
+    pub analysis: Option<Arc<Analyzed>>,
+}
+
+/// The output of [`Sweep::run`]: the shared device, every variant's
+/// artifacts and the cache-effectiveness counters.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The device every variant was implemented on.
+    pub device: Device,
+    /// Per-variant implementations and results, in sweep order.
+    pub variants: Vec<VariantReport>,
+    /// Artifact-cache counters at the end of the run (hits > 0 whenever the
+    /// sweep shared work across variants or runs).
+    pub cache: CacheStats,
+}
+
+impl SweepReport {
+    /// Looks a variant up by name.
+    pub fn variant(&self, name: &str) -> Option<&VariantReport> {
+        self.variants.iter().find(|v| v.name == name)
+    }
+
+    /// Iterates over the variants that ran a campaign.
+    pub fn campaigns(&self) -> impl Iterator<Item = (&str, &CampaignResult)> {
+        self.variants
+            .iter()
+            .filter_map(|v| Some((v.name.as_str(), v.campaign.as_deref()?)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated one-call helpers (the previous API surface)
+// ---------------------------------------------------------------------------
+
+/// Errors of the combined flow.
+#[deprecated(since = "0.2.0", note = "use `tmr_fpga::Error`")]
+pub type FlowError = Error;
+
+/// Synthesises a word-level design to a technology-mapped LUT netlist
+/// (lowering → dead-logic elimination → LUT mapping + I/O insertion).
+///
+/// # Errors
+///
+/// Propagates lowering and mapping errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FlowBuilder::build` + `Flow::synthesized`"
+)]
+pub fn synthesize(design: &Design) -> Result<Netlist, Error> {
+    Ok(techmap(&optimize(&lower(design)?))?)
+}
+
+/// Runs the full implementation flow: synthesis, placement, routing and
+/// bitstream generation.
+///
+/// # Errors
+///
+/// Propagates synthesis and place-and-route errors.
+#[deprecated(since = "0.2.0", note = "use `FlowBuilder::build` + `Flow::routed`")]
+pub fn implement(device: &Device, design: &Design, seed: u64) -> Result<RoutedDesign, Error> {
+    let flow = FlowBuilder::new(device, design).seed(seed).build();
+    Ok(flow.routed()?.design().clone())
+}
+
+/// Runs a fault-injection campaign sharded over worker threads (one per
+/// CPU core when `shards` is `None`). The result is bit-identical to the
+/// sequential path for any shard count.
+///
+/// # Errors
+///
+/// Returns [`SimError`](tmr_sim::SimError) if the netlist cannot be
+/// simulated (combinational loop), which cannot happen for designs produced
+/// by [`Flow::routed`].
+#[deprecated(since = "0.2.0", note = "use `CampaignBuilder` + `Flow::campaign`")]
+pub fn run_campaign_parallel(
+    device: &Device,
+    routed: &RoutedDesign,
+    options: &tmr_faultsim::CampaignOptions,
+    shards: Option<usize>,
+) -> Result<CampaignResult, tmr_sim::SimError> {
+    let mut campaign = CampaignBuilder::from_options(options.clone());
+    if let Some(shards) = shards {
+        campaign = campaign.shards(shards);
+    }
+    campaign.run(device, routed)
+}
+
+/// Statically classifies every configuration bit of a routed design into
+/// a criticality [`Verdict`](tmr_analyze::Verdict) — benign,
+/// single-domain or TMR-defeating domain-crossing — with no simulation.
+#[deprecated(since = "0.2.0", note = "use `Flow::analyzed`")]
+pub fn analyze(device: &Device, routed: &RoutedDesign) -> StaticAnalysis {
+    StaticAnalysis::run(device, routed)
+}

@@ -7,18 +7,40 @@
 //! place-and-route flow, and a bitstream fault-injection framework.
 //!
 //! The individual subsystems are re-exported as modules; [`flow`] provides
-//! one-call helpers covering the full paper flow (word-level design → TMR →
-//! LUT mapping → place-and-route → fault-injection campaign).
+//! the staged pipeline API covering the full paper flow (word-level design →
+//! TMR → LUT mapping → place-and-route → fault-injection campaign):
+//!
+//! * [`FlowBuilder`] captures one flow's inputs; the resulting [`Flow`]
+//!   exposes lazy, cached stage artifacts (`synthesized` → `placed` →
+//!   `routed` → `analyzed`) and campaign entry points;
+//! * [`Sweep`] drives many flows over design variants — the paper's P1–P3
+//!   voter partitions — with shared artifacts and one aggregate report;
+//! * campaigns are configured with [`faultsim::CampaignBuilder`] and can
+//!   stream incrementally with statistical early stop
+//!   ([`faultsim::EarlyStop`]);
+//! * every failure surfaces as the single source-chained [`enum@Error`].
 //!
 //! ```
-//! use tmr_fpga::flow;
+//! use tmr_fpga::faultsim::CampaignBuilder;
+//! use tmr_fpga::flow::FlowBuilder;
 //! use tmr_fpga::tmr::TmrConfig;
 //!
 //! let device = tmr_fpga::arch::Device::small(8, 8);
 //! let design = tmr_fpga::designs::counter(4);
-//! let tmr = tmr_fpga::tmr::apply_tmr(&design, &TmrConfig::paper_p2()).unwrap();
-//! let routed = flow::implement(&device, &tmr, 1).unwrap();
+//!
+//! // Stage artifacts are computed on demand and memoized.
+//! let flow = FlowBuilder::new(&device, &design)
+//!     .tmr(TmrConfig::paper_p2())
+//!     .seed(1)
+//!     .build();
+//! let routed = flow.routed().unwrap();
 //! assert!(routed.bitstream().count_ones() > 0);
+//!
+//! // Campaigns reuse the cached golden trace; results are memoized too.
+//! let campaign = CampaignBuilder::new().faults(60).cycles(8);
+//! let result = flow.campaign(&campaign).unwrap();
+//! assert_eq!(result.injected(), 60);
+//! assert!(flow.cache().stats().hits > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -34,110 +56,9 @@ pub use tmr_pnr as pnr;
 pub use tmr_sim as sim;
 pub use tmr_synth as synth;
 
-/// One-call helpers for the complete implementation flow.
-pub mod flow {
-    use std::error::Error;
-    use std::fmt;
-    use tmr_analyze::StaticAnalysis;
-    use tmr_arch::Device;
-    use tmr_faultsim::{CampaignEngine, CampaignOptions, CampaignResult};
-    use tmr_netlist::Netlist;
-    use tmr_pnr::{place_and_route, PnrError, RoutedDesign};
-    use tmr_sim::SimError;
-    use tmr_synth::{lower, optimize, techmap, Design, LowerError, TechmapError};
+mod error;
+pub mod flow;
 
-    /// Errors of the combined flow.
-    #[derive(Debug)]
-    pub enum FlowError {
-        /// Word-level lowering failed.
-        Lower(LowerError),
-        /// Technology mapping failed.
-        Techmap(TechmapError),
-        /// Placement or routing failed.
-        Pnr(PnrError),
-    }
-
-    impl fmt::Display for FlowError {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                FlowError::Lower(e) => write!(f, "lowering failed: {e}"),
-                FlowError::Techmap(e) => write!(f, "technology mapping failed: {e}"),
-                FlowError::Pnr(e) => write!(f, "place-and-route failed: {e}"),
-            }
-        }
-    }
-
-    impl Error for FlowError {}
-
-    impl From<LowerError> for FlowError {
-        fn from(e: LowerError) -> Self {
-            FlowError::Lower(e)
-        }
-    }
-    impl From<TechmapError> for FlowError {
-        fn from(e: TechmapError) -> Self {
-            FlowError::Techmap(e)
-        }
-    }
-    impl From<PnrError> for FlowError {
-        fn from(e: PnrError) -> Self {
-            FlowError::Pnr(e)
-        }
-    }
-
-    /// Synthesises a word-level design to a technology-mapped LUT netlist
-    /// (lowering → dead-logic elimination → LUT mapping + I/O insertion).
-    ///
-    /// # Errors
-    ///
-    /// Propagates lowering and mapping errors.
-    pub fn synthesize(design: &Design) -> Result<Netlist, FlowError> {
-        Ok(techmap(&optimize(&lower(design)?))?)
-    }
-
-    /// Runs the full implementation flow: synthesis, placement, routing and
-    /// bitstream generation.
-    ///
-    /// # Errors
-    ///
-    /// Propagates synthesis and place-and-route errors.
-    pub fn implement(
-        device: &Device,
-        design: &Design,
-        seed: u64,
-    ) -> Result<RoutedDesign, FlowError> {
-        let netlist = synthesize(design)?;
-        Ok(place_and_route(device, &netlist, seed)?)
-    }
-
-    /// Runs a fault-injection campaign sharded over worker threads (one per
-    /// CPU core when `shards` is `None`). The result is bit-identical to the
-    /// sequential [`tmr_faultsim::run_campaign`] for any shard count — see
-    /// [`CampaignEngine`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] if the netlist cannot be simulated (combinational
-    /// loop), which cannot happen for designs produced by [`implement`].
-    pub fn run_campaign_parallel(
-        device: &Device,
-        routed: &RoutedDesign,
-        options: &CampaignOptions,
-        shards: Option<usize>,
-    ) -> Result<CampaignResult, SimError> {
-        let mut engine = CampaignEngine::new(device, routed, options.clone());
-        if let Some(shards) = shards {
-            engine = engine.with_shards(shards);
-        }
-        engine.run()
-    }
-
-    /// Statically classifies every configuration bit of a routed design into
-    /// a criticality [`Verdict`](tmr_analyze::Verdict) — benign,
-    /// single-domain or TMR-defeating domain-crossing — with no simulation.
-    /// The result can prune a dynamic campaign through
-    /// [`tmr_analyze::PruneWith::prune_with`].
-    pub fn analyze(device: &Device, routed: &RoutedDesign) -> StaticAnalysis {
-        StaticAnalysis::run(device, routed)
-    }
-}
+pub use error::Error;
+pub use flow::{Flow, FlowBuilder, Sweep, SweepReport};
+pub use tmr_core::pipeline::{ArtifactCache, CacheStats};

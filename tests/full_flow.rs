@@ -1,13 +1,28 @@
 //! Cross-crate integration tests: word-level design → TMR → synthesis →
-//! place-and-route → simulation → fault injection.
+//! place-and-route → simulation → fault injection, driven through the staged
+//! pipeline API.
 
 use std::collections::HashMap;
 use tmr_fpga::arch::Device;
 use tmr_fpga::designs::{accumulator, moving_sum, FirFilter};
-use tmr_fpga::faultsim::{run_campaign, CampaignOptions, FaultClass};
-use tmr_fpga::flow;
+use tmr_fpga::faultsim::{CampaignBuilder, FaultClass};
+use tmr_fpga::flow::FlowBuilder;
+use tmr_fpga::pnr::RoutedDesign;
 use tmr_fpga::sim::{word_vectors, FaultOverlay, OutputGroups, Simulator, Trit};
-use tmr_fpga::tmr::{apply_tmr, paper_variants, TmrConfig};
+use tmr_fpga::synth::Design;
+use tmr_fpga::tmr::TmrConfig;
+
+/// Implements a design through the staged pipeline (the test-local successor
+/// of the deprecated `flow::implement` helper).
+fn implement(device: &Device, design: &Design, seed: u64) -> RoutedDesign {
+    FlowBuilder::new(device, design)
+        .seed(seed)
+        .build()
+        .routed()
+        .expect("implementation")
+        .design()
+        .clone()
+}
 
 /// Builds per-cycle word-level stimuli for one input named `x`.
 fn x_samples(values: &[i64]) -> Vec<HashMap<String, i64>> {
@@ -61,7 +76,7 @@ fn routed_fir_matches_the_reference_response() {
     let fir = FirFilter::small_filter();
     let design = fir.to_design();
     let device = Device::small(14, 14);
-    let routed = flow::implement(&device, &design, 3).expect("implementation");
+    let routed = implement(&device, &design, 3);
 
     let samples = vec![0, 5, -9, 31, -32, 17, 0, 0, -1, 2, 8, -20, 0, 0, 0, 0];
     let vectors = word_vectors(routed.netlist(), &x_samples(&samples));
@@ -76,9 +91,12 @@ fn routed_fir_matches_the_reference_response() {
 #[test]
 fn routed_tmr_fir_matches_the_reference_response() {
     let fir = FirFilter::small_filter();
-    let design = apply_tmr(&fir.to_design(), &TmrConfig::paper_p2()).expect("tmr");
     let device = Device::small(20, 20);
-    let routed = flow::implement(&device, &design, 3).expect("implementation");
+    let flow = FlowBuilder::new(&device, &fir.to_design())
+        .tmr(TmrConfig::paper_p2())
+        .seed(3)
+        .build();
+    let routed = flow.routed().expect("implementation");
 
     let samples = vec![1, -2, 3, 15, -16, 0, 7, 0, 0, 0];
     let vectors = word_vectors(routed.netlist(), &x_samples(&samples));
@@ -90,29 +108,34 @@ fn routed_tmr_fir_matches_the_reference_response() {
 }
 
 #[test]
-fn all_five_variants_implement_and_tmr_beats_unprotected() {
+fn sweep_implements_all_five_variants_and_tmr_beats_unprotected() {
+    use tmr_fpga::flow::Sweep;
+
     let base = FirFilter::small_filter().to_design();
     // 24x24 = 1152 LUT sites: large enough for tmr_p1, the largest variant
     // (957 LUTs — a 20x20 grid holds only 800).
     let device = Device::small(24, 24);
-    let options = CampaignOptions {
-        faults: 700,
-        cycles: 12,
-        ..CampaignOptions::default()
-    };
+    let report = Sweep::paper(&base)
+        .on_device(&device)
+        .campaign(CampaignBuilder::new().faults(700).cycles(12).sequential())
+        .run()
+        .expect("sweep");
 
-    let mut results = Vec::new();
-    for (name, design) in paper_variants(&base).expect("variants") {
-        let routed = flow::implement(&device, &design, 1).expect("implementation");
-        let result = run_campaign(&device, &routed, &options).expect("campaign");
-        results.push((name, result));
-    }
+    assert_eq!(report.variants.len(), 5);
+    // The sweep's synthesis pre-pass (device sizing) and the per-variant
+    // flows share the cache, so reuse must be visible.
+    assert!(
+        report.cache.hits > 0,
+        "the sweep must reuse cached artifacts, got {}",
+        report.cache
+    );
+
     let percent = |name: &str| {
-        results
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| r.wrong_answer_percent())
-            .expect("variant present")
+        report
+            .variant(name)
+            .and_then(|v| v.campaign.as_ref())
+            .map(|r| r.wrong_answer_percent())
+            .expect("variant present with campaign")
     };
     let standard = percent("standard");
     for tmr in ["tmr_p1", "tmr_p2", "tmr_p3", "tmr_p3_nv"] {
@@ -123,7 +146,7 @@ fn all_five_variants_implement_and_tmr_beats_unprotected() {
         );
     }
     // LUT upsets never defeat any TMR variant (Table 4, LUT row = 0).
-    for (name, result) in &results {
+    for (name, result) in report.campaigns() {
         if name != "standard" {
             assert_eq!(
                 result
@@ -143,26 +166,27 @@ fn parallel_campaign_is_bit_identical_to_sequential() {
     // The sharded engine must produce the exact same CampaignResult as the
     // sequential path for any shard count — Table 3/4 reproductions may
     // never depend on the thread schedule.
-    let design = apply_tmr(
-        &FirFilter::small_filter().to_design(),
-        &TmrConfig::paper_p2(),
-    )
-    .expect("tmr");
     let device = Device::small(20, 20);
-    let routed = flow::implement(&device, &design, 1).expect("implementation");
-    let options = CampaignOptions {
-        faults: 300,
-        cycles: 10,
-        ..CampaignOptions::default()
-    };
-    let sequential = run_campaign(&device, &routed, &options).expect("campaign");
+    let flow = FlowBuilder::new(&device, &FirFilter::small_filter().to_design())
+        .tmr(TmrConfig::paper_p2())
+        .build();
+    let routed = flow.routed().expect("implementation");
+    let campaign = CampaignBuilder::new().faults(300).cycles(10);
+    let sequential = campaign
+        .clone()
+        .sequential()
+        .run(&device, routed.design())
+        .expect("campaign");
     for shards in [1usize, 2, 8] {
-        let parallel = flow::run_campaign_parallel(&device, &routed, &options, Some(shards))
+        let parallel = campaign
+            .clone()
+            .shards(shards)
+            .run(&device, routed.design())
             .expect("campaign");
         assert_eq!(sequential, parallel, "shard count {shards}");
     }
     // The default (per-core) sharding is covered too.
-    let auto = flow::run_campaign_parallel(&device, &routed, &options, None).expect("campaign");
+    let auto = campaign.run(&device, routed.design()).expect("campaign");
     assert_eq!(sequential, auto);
 }
 
@@ -170,9 +194,12 @@ fn parallel_campaign_is_bit_identical_to_sequential() {
 fn feedback_designs_survive_the_full_flow() {
     // Accumulators exercise the registered-feedback path (state-machine logic
     // in the paper's taxonomy).
-    let design = apply_tmr(&accumulator(6), &TmrConfig::paper_p2()).expect("tmr");
     let device = Device::small(12, 12);
-    let routed = flow::implement(&device, &design, 2).expect("implementation");
+    let flow = FlowBuilder::new(&device, &accumulator(6))
+        .tmr(TmrConfig::paper_p2())
+        .seed(2)
+        .build();
+    let routed = flow.routed().expect("implementation");
     routed.netlist().validate().expect("valid netlist");
     assert!(routed.bitstream().count_ones() > 0);
 }
@@ -183,27 +210,16 @@ fn moving_sum_campaign_orders_partitions_sensibly() {
     // below the unprotected design's error rate.
     let base = moving_sum(4, 5, 8);
     let device = Device::small(18, 18);
-    let options = CampaignOptions {
-        faults: 500,
-        cycles: 12,
-        ..CampaignOptions::default()
-    };
-    let standard = run_campaign(
-        &device,
-        &flow::implement(&device, &base, 1).expect("implementation"),
-        &options,
-    )
-    .expect("campaign");
-    let p2 = run_campaign(
-        &device,
-        &flow::implement(
-            &device,
-            &apply_tmr(&base, &TmrConfig::paper_p2()).expect("tmr"),
-            1,
-        )
-        .expect("implementation"),
-        &options,
-    )
-    .expect("campaign");
+    let campaign = CampaignBuilder::new().faults(500).cycles(12).sequential();
+    let standard = campaign
+        .clone()
+        .run(&device, &implement(&device, &base, 1))
+        .expect("campaign");
+    let p2_flow = FlowBuilder::new(&device, &base)
+        .tmr(TmrConfig::paper_p2())
+        .build();
+    let p2 = campaign
+        .run(&device, p2_flow.routed().expect("implementation").design())
+        .expect("campaign");
     assert!(p2.wrong_answer_percent() < standard.wrong_answer_percent() / 2.0);
 }

@@ -16,30 +16,33 @@
 use tmr_fpga::analyze::{PruneWith, StaticAnalysis, Verdict};
 use tmr_fpga::arch::Device;
 use tmr_fpga::designs::FirFilter;
-use tmr_fpga::faultsim::{run_campaign, CampaignOptions};
-use tmr_fpga::flow;
-use tmr_fpga::tmr::{apply_tmr, TmrConfig};
+use tmr_fpga::faultsim::CampaignBuilder;
+use tmr_fpga::flow::FlowBuilder;
+use tmr_fpga::tmr::TmrConfig;
 
 fn assert_static_soundness(config: TmrConfig, grid: u16, seed: u64) {
     let label = config.label.clone();
     let base = FirFilter::small_filter().to_design();
-    let design = apply_tmr(&base, &config).expect("tmr");
     let device = Device::small(grid, grid);
-    let routed = flow::implement(&device, &design, seed).expect("implementation");
+    let flow = FlowBuilder::new(&device, &base)
+        .tmr(config)
+        .seed(seed)
+        .build();
+    let routed = flow.routed().expect("implementation");
 
-    let analysis = flow::analyze(&device, &routed);
+    let analyzed = flow.analyzed().expect("analysis");
+    let analysis = analyzed.analysis();
     assert!(
         analysis.voted_tmr(),
         "{label}: the paper TMR configs are pad-voted designs"
     );
     assert_eq!(analysis.bit_count(), device.config_layout().bit_count());
 
-    let options = CampaignOptions {
-        faults: 700,
-        cycles: 12,
-        ..CampaignOptions::default()
-    };
-    let unpruned = run_campaign(&device, &routed, &options).expect("campaign");
+    let campaign = CampaignBuilder::new().faults(700).cycles(12).sequential();
+    let unpruned = campaign
+        .clone()
+        .run(&device, routed.design())
+        .expect("campaign");
 
     // 1a. Dynamic domain crossings are contained in the static critical set.
     let mut dynamic_crossings = 0;
@@ -77,8 +80,10 @@ fn assert_static_soundness(config: TmrConfig, grid: u16, seed: u64) {
 
     // 2. The pruned campaign is bit-identical over the same sampled bits and
     //    simulates strictly fewer faults.
-    let pruned =
-        run_campaign(&device, &routed, &options.clone().prune_with(&analysis)).expect("campaign");
+    let pruned = campaign
+        .prune_with(analysis)
+        .run(&device, routed.design())
+        .expect("campaign");
     assert_eq!(
         pruned.outcomes, unpruned.outcomes,
         "{label}: pruning must not change any outcome"
@@ -110,18 +115,20 @@ fn unprotected_designs_are_never_pruned() {
     // skips anyway and campaign results are unchanged.
     let base = FirFilter::small_filter().to_design();
     let device = Device::small(14, 14);
-    let routed = flow::implement(&device, &base, 3).expect("implementation");
-    let analysis = StaticAnalysis::run(&device, &routed);
+    let flow = FlowBuilder::new(&device, &base).seed(3).build();
+    let routed = flow.routed().expect("implementation");
+    let analysis = StaticAnalysis::run(&device, routed.design());
     assert!(!analysis.voted_tmr());
 
-    let options = CampaignOptions {
-        faults: 300,
-        cycles: 8,
-        ..CampaignOptions::default()
-    };
-    let unpruned = run_campaign(&device, &routed, &options).expect("campaign");
-    let pruned =
-        run_campaign(&device, &routed, &options.clone().prune_with(&analysis)).expect("campaign");
+    let campaign = CampaignBuilder::new().faults(300).cycles(8).sequential();
+    let unpruned = campaign
+        .clone()
+        .run(&device, routed.design())
+        .expect("campaign");
+    let pruned = campaign
+        .prune_with(&analysis)
+        .run(&device, routed.design())
+        .expect("campaign");
     assert_eq!(pruned.outcomes, unpruned.outcomes);
     assert_eq!(
         pruned.simulated, unpruned.simulated,
