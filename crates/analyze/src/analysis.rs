@@ -1,7 +1,7 @@
 //! The whole-bitstream static criticality analysis.
 
 use crate::{CriticalityReport, Verdict};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tmr_arch::Device;
 use tmr_faultsim::{classify_bit, FaultClass};
 use tmr_netlist::{Domain, Netlist};
@@ -41,9 +41,43 @@ use tmr_sim::OutputGroups;
 pub struct StaticAnalysis {
     design: String,
     verdicts: Vec<Verdict>,
+    classes: Vec<FaultClass>,
+    /// The *exact* affected-domain set of each bit, as a [`domain_mask`]
+    /// bitmask — verdicts are lossy (`SingleDomain` keeps only the least
+    /// protected domain), so cluster merging works on these instead.
+    domain_masks: Vec<u8>,
     design_related: usize,
     voted_tmr: bool,
     observable: Vec<usize>,
+}
+
+/// Encodes a set of TMR domains as a bitmask (one bit per [`Domain`]
+/// variant), the exact per-bit record cluster verdicts merge over.
+fn domain_mask(domains: &BTreeSet<Domain>) -> u8 {
+    domains.iter().fold(0u8, |mask, domain| {
+        mask | match domain {
+            Domain::None => 1 << 0,
+            Domain::Tr0 => 1 << 1,
+            Domain::Tr1 => 1 << 2,
+            Domain::Tr2 => 1 << 3,
+            Domain::Voter => 1 << 4,
+        }
+    })
+}
+
+/// Decodes a [`domain_mask`] back into the domain set.
+fn domains_from_mask(mask: u8) -> BTreeSet<Domain> {
+    [
+        (1 << 0, Domain::None),
+        (1 << 1, Domain::Tr0),
+        (1 << 2, Domain::Tr1),
+        (1 << 3, Domain::Tr2),
+        (1 << 4, Domain::Voter),
+    ]
+    .into_iter()
+    .filter(|&(bit, _)| mask & bit != 0)
+    .map(|(_, domain)| domain)
+    .collect()
 }
 
 impl StaticAnalysis {
@@ -54,6 +88,8 @@ impl StaticAnalysis {
         let layout = device.config_layout();
 
         let mut verdicts = Vec::with_capacity(layout.bit_count());
+        let mut classes = Vec::with_capacity(layout.bit_count());
+        let mut domain_masks = Vec::with_capacity(layout.bit_count());
         let mut observable = Vec::new();
         let mut design_related = 0;
         for bit in 0..layout.bit_count() {
@@ -68,11 +104,15 @@ impl StaticAnalysis {
                 observable.push(bit);
             }
             verdicts.push(verdict);
+            classes.push(effect.class);
+            domain_masks.push(domain_mask(&affected));
         }
 
         Self {
             design: netlist.name().to_string(),
             verdicts,
+            classes,
+            domain_masks,
             design_related,
             voted_tmr,
             observable,
@@ -108,6 +148,73 @@ impl StaticAnalysis {
     /// Panics if `bit` is outside the configuration space.
     pub fn verdict(&self, bit: usize) -> Verdict {
         self.verdicts[bit]
+    }
+
+    /// The merged verdict of a multi-bit fault (an MBU cluster, or the
+    /// upsets accumulated over one scrub interval): the per-bit *exact*
+    /// affected-domain sets are unioned and re-judged, so two bits each
+    /// confined to a *different* single redundant domain correctly merge
+    /// into [`Verdict::DomainCrossing`] — the accumulation failure mode a
+    /// per-bit view cannot see. The union works on the recorded domain sets,
+    /// not the per-bit verdicts (a `SingleDomain(Voter)` verdict may hide a
+    /// co-affected redundant domain behind its least-protected-wins
+    /// precedence). The effect class of the merged verdict is the class of
+    /// the first non-benign component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or any bit is outside the configuration
+    /// space.
+    pub fn verdict_for_fault(&self, bits: &[usize]) -> Verdict {
+        assert!(!bits.is_empty(), "a fault flips at least one bit");
+        let mut mask = 0u8;
+        let mut class: Option<FaultClass> = None;
+        for &bit in bits {
+            if self.verdicts[bit] != Verdict::Benign && class.is_none() {
+                class = Some(self.classes[bit]);
+            }
+            mask |= self.domain_masks[bit];
+        }
+        Verdict::from_affected_domains(
+            &domains_from_mask(mask),
+            class.unwrap_or(self.classes[bits[0]]),
+        )
+    }
+
+    /// Whether a multi-bit fault could be observable at the voted outputs —
+    /// [`Verdict::possibly_observable`] of [`StaticAnalysis::verdict_for_fault`]
+    /// under this design's structural preconditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or any bit is outside the configuration
+    /// space.
+    pub fn fault_possibly_observable(&self, bits: &[usize]) -> bool {
+        self.verdict_for_fault(bits)
+            .possibly_observable(self.voted_tmr)
+    }
+
+    /// The single-domain tags justifying multi-bit campaign pruning: every
+    /// statically *non-observable* bit that is confined to exactly one
+    /// redundant domain, with that domain. Empty unless the design satisfies
+    /// the structural TMR preconditions ([`StaticAnalysis::voted_tmr`]) —
+    /// without them nothing is maskable and nothing may be pruned.
+    ///
+    /// Handed to [`tmr_faultsim::CampaignOptions::with_maskable_domains`] by
+    /// [`crate::PruneWith::prune_with`]: the campaign engine skips a
+    /// multi-bit fault only when every behaviour-changing bit carries one
+    /// common tag, and degrades conservatively (simulates) for any bit
+    /// missing here.
+    pub fn maskable_domains(&self) -> impl Iterator<Item = (usize, Domain)> + '_ {
+        self.verdicts
+            .iter()
+            .enumerate()
+            .filter_map(move |(bit, verdict)| match *verdict {
+                Verdict::SingleDomain(domain) if self.voted_tmr && domain.is_redundant() => {
+                    Some((bit, domain))
+                }
+                _ => None,
+            })
     }
 
     /// All verdicts, indexed by bit.
@@ -249,6 +356,94 @@ mod tests {
         for &bit in analysis.observable_bits() {
             assert_ne!(analysis.verdict(bit), Verdict::Benign);
         }
+    }
+
+    #[test]
+    fn cluster_verdicts_merge_accumulated_single_domains_into_crossings() {
+        let device = Device::small(8, 8);
+        let design = apply_tmr(&counter(4), &TmrConfig::paper_p2()).unwrap();
+        let routed = implement(&design, &device, 5);
+        let analysis = StaticAnalysis::run(&device, &routed);
+        assert!(analysis.voted_tmr());
+
+        let tags: Vec<(usize, Domain)> = analysis.maskable_domains().collect();
+        assert!(!tags.is_empty(), "a voted TMR design has maskable bits");
+        for &(bit, domain) in &tags {
+            assert_eq!(analysis.verdict(bit), Verdict::SingleDomain(domain));
+            assert!(domain.is_redundant());
+            assert!(!analysis.fault_possibly_observable(&[bit]));
+        }
+
+        // Two individually maskable bits of *different* domains merge into a
+        // TMR-defeating crossing: the accumulation failure mode.
+        let tr0 = tags.iter().find(|(_, d)| *d == Domain::Tr0).unwrap().0;
+        let tr1 = tags.iter().find(|(_, d)| *d == Domain::Tr1).unwrap().0;
+        let merged = analysis.verdict_for_fault(&[tr0, tr1]);
+        assert!(merged.may_defeat_tmr(), "got {merged}");
+        assert!(analysis.fault_possibly_observable(&[tr0, tr1]));
+
+        // Two maskable bits of the *same* domain stay maskable together.
+        let same: Vec<usize> = tags
+            .iter()
+            .filter(|(_, d)| *d == Domain::Tr2)
+            .take(2)
+            .map(|&(bit, _)| bit)
+            .collect();
+        assert_eq!(same.len(), 2);
+        assert_eq!(
+            analysis.verdict_for_fault(&same),
+            Verdict::SingleDomain(Domain::Tr2)
+        );
+        assert!(!analysis.fault_possibly_observable(&same));
+
+        // Benign bits never change a merged verdict.
+        let benign = (0..analysis.bit_count())
+            .find(|&bit| analysis.verdict(bit) == Verdict::Benign)
+            .unwrap();
+        assert_eq!(
+            analysis.verdict_for_fault(&[benign, tr0]),
+            analysis.verdict_for_fault(&[tr0])
+        );
+        assert_eq!(analysis.verdict_for_fault(&[benign]), Verdict::Benign);
+
+        // Singleton merges reproduce the per-bit verdict exactly: the stored
+        // domain masks are the exact affected sets, not a verdict round-trip.
+        for bit in (0..analysis.bit_count()).step_by(197) {
+            assert_eq!(analysis.verdict_for_fault(&[bit]), analysis.verdict(bit));
+        }
+
+        // A SingleDomain(Voter) verdict can hide a co-affected redundant
+        // domain behind its least-protected-wins precedence; the merge must
+        // see through it: such a bit clustered with a *different* redundant
+        // domain is TMR-defeating.
+        let hiding = (0..analysis.bit_count()).find_map(|bit| {
+            if analysis.verdict(bit) != Verdict::SingleDomain(Domain::Voter) {
+                return None;
+            }
+            let affected = classify_bit(&device, &routed, bit).affected_domains(&routed);
+            let hidden = affected.iter().copied().find(|d| d.is_redundant())?;
+            Some((bit, hidden))
+        });
+        if let Some((bit, hidden)) = hiding {
+            let other = tags
+                .iter()
+                .find(|(_, domain)| *domain != hidden)
+                .map(|&(tagged, _)| tagged)
+                .expect("three redundant domains are tagged");
+            assert!(
+                analysis.verdict_for_fault(&[bit, other]).may_defeat_tmr(),
+                "the hidden redundant domain of bit {bit} must surface in the merge"
+            );
+        }
+    }
+
+    #[test]
+    fn unprotected_designs_have_no_maskable_tags() {
+        let device = Device::small(5, 5);
+        let routed = implement(&counter(4), &device, 5);
+        let analysis = StaticAnalysis::run(&device, &routed);
+        assert!(!analysis.voted_tmr());
+        assert_eq!(analysis.maskable_domains().count(), 0);
     }
 
     #[test]

@@ -9,17 +9,25 @@ use tmr_faultsim::{CampaignBuilder, CampaignOptions};
 ///
 /// `tmr-faultsim` cannot depend on `tmr-analyze` (the analyzer is built on
 /// top of it), so the pruning entry point lives here: `prune_with` hands the
-/// analyzer's observable set to [`CampaignOptions::restrict_to`].
+/// analyzer's observable set to [`CampaignOptions::restrict_to`] and its
+/// single-domain tags to [`CampaignOptions::with_maskable_domains`].
 pub trait PruneWith {
     /// Restricts simulation to the statically-possibly-observable bits of
     /// `analysis`.
     ///
-    /// The sampled fault population is unchanged — the same bits are drawn,
-    /// classified and recorded — but only bits the static analysis cannot
-    /// rule out are simulated. For a sound analysis the pruned campaign's
-    /// outcomes are *identical* to the unpruned ones (the skipped simulations
+    /// The sampled fault population is unchanged — the same faults are
+    /// drawn, classified and recorded — but only faults the static analysis
+    /// cannot rule out are simulated. Under a multi-bit fault model
+    /// ([`tmr_faultsim::FaultModel`]) a fault is pruned only when *every*
+    /// behaviour-changing bit of its cluster is non-observable **and**
+    /// confined to one common redundant domain (the analyzer's
+    /// [`StaticAnalysis::maskable_domains`] tags); a cluster whose bits
+    /// span two domains — individually maskable, jointly TMR-defeating — is
+    /// always simulated, as is any cluster containing an unclassifiable
+    /// bit. For a sound analysis the pruned campaign's outcomes are
+    /// therefore *identical* to the unpruned ones (the skipped simulations
     /// would all have reported no mismatch), which the integration tests
-    /// assert on the paper designs.
+    /// assert on the paper designs under every fault model.
     #[must_use]
     fn prune_with(self, analysis: &StaticAnalysis) -> Self;
 }
@@ -27,12 +35,14 @@ pub trait PruneWith {
 impl PruneWith for CampaignOptions {
     fn prune_with(self, analysis: &StaticAnalysis) -> Self {
         self.restrict_to(analysis.observable_bits().iter().copied())
+            .with_maskable_domains(analysis.maskable_domains())
     }
 }
 
 impl PruneWith for CampaignBuilder {
     fn prune_with(self, analysis: &StaticAnalysis) -> Self {
         self.restrict_to(analysis.observable_bits().iter().copied())
+            .maskable_domains(analysis.maskable_domains())
     }
 }
 

@@ -68,6 +68,32 @@ impl Bitstream {
         new
     }
 
+    /// Inverts every bit in `bits` — one multi-bit upset, or the accumulated
+    /// upsets of one scrub interval. Flipping the same set again restores the
+    /// original bitstream exactly (an involution over *sets* of distinct
+    /// bits), which is what a configuration scrubber relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit is out of range.
+    pub fn flip_all(&mut self, bits: &[usize]) {
+        for &bit in bits {
+            self.flip(bit);
+        }
+    }
+
+    /// Restores this bitstream from a pristine reference — a full
+    /// configuration scrub. After `scrub(&golden)` the two bitstreams are
+    /// identical, no matter how many upsets accumulated in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitstreams have different lengths.
+    pub fn scrub(&mut self, pristine: &Bitstream) {
+        assert_eq!(self.len, pristine.len, "bitstream length mismatch");
+        self.words.copy_from_slice(&pristine.words);
+    }
+
     /// Number of bits set to 1 (the *programmed* bits — the paper's Fault List
     /// Manager injects faults only into bits actually used by the design, plus
     /// the zero bits whose resources belong to the design; see `tmr-faultsim`).
@@ -162,6 +188,22 @@ mod tests {
         b.flip(42);
         assert_eq!(a.diff(&b), vec![42]);
         assert_eq!(a.diff(&a), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flip_all_is_an_involution_and_scrub_restores() {
+        let mut bs = Bitstream::zeros(150);
+        bs.set(3, true);
+        bs.set(100, true);
+        let pristine = bs.clone();
+        let upsets = [3usize, 64, 65, 149];
+        bs.flip_all(&upsets);
+        assert_eq!(pristine.diff(&bs).len(), upsets.len());
+        let mut copy = bs.clone();
+        copy.flip_all(&upsets);
+        assert_eq!(copy, pristine, "double multi-flip restores");
+        bs.scrub(&pristine);
+        assert_eq!(bs, pristine, "a scrub restores regardless of the upsets");
     }
 
     #[test]

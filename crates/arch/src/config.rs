@@ -6,7 +6,7 @@
 //! model: every programmable resource of a [`crate::Device`] owns exactly one
 //! configuration bit, addressed both linearly and as (frame, offset).
 
-use crate::{DeviceParams, Pip, PipId, Site, SiteId, SiteKind};
+use crate::{BitGeometry, DeviceParams, Pip, PipId, Site, SiteId, SiteKind};
 use std::collections::BTreeMap;
 
 /// Number of truth-table bits per 4-input LUT.
@@ -173,6 +173,13 @@ impl ConfigLayout {
         self.categories[bit]
     }
 
+    /// The frame/offset geometry of this configuration memory: the
+    /// coordinate map the multi-bit fault models expand their clusters in
+    /// (see [`crate::MbuPattern`]).
+    pub fn geometry(&self) -> BitGeometry {
+        BitGeometry::new(self.frame_bits, self.bit_count())
+    }
+
     /// The frame/offset address of a linear bit index.
     pub fn addr_of(&self, bit: usize) -> BitAddr {
         BitAddr {
@@ -248,6 +255,19 @@ mod tests {
             assert!(addr.offset < layout.frame_bits());
         }
         assert!(layout.frame_count() * layout.frame_bits() as usize >= layout.bit_count());
+    }
+
+    #[test]
+    fn geometry_matches_the_layout_addressing() {
+        let d = Device::small(3, 2);
+        let layout = d.config_layout();
+        let geometry = layout.geometry();
+        assert_eq!(geometry.bit_count(), layout.bit_count());
+        assert_eq!(geometry.frame_bits(), layout.frame_bits());
+        for bit in (0..layout.bit_count()).step_by(61) {
+            assert_eq!(geometry.addr_of(bit), layout.addr_of(bit));
+            assert_eq!(geometry.bit_at(layout.addr_of(bit)), Some(bit));
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod bitstream;
 mod config;
 mod device;
 mod geom;
+mod mbu;
 mod node;
 mod site;
 
@@ -50,5 +51,6 @@ pub use bitstream::Bitstream;
 pub use config::{BitAddr, BitCategory, ConfigLayout, ConfigResource};
 pub use device::{Device, DeviceParams};
 pub use geom::TileCoord;
+pub use mbu::{BitGeometry, MbuPattern};
 pub use node::{NodeId, Pip, PipCategory, PipId, RouteNode};
 pub use site::{Site, SiteId, SiteKind, LUT_INPUTS};

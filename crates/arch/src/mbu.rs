@@ -1,0 +1,242 @@
+//! Geometry-aware multi-bit upset patterns over the configuration memory.
+//!
+//! Modern SRAM FPGAs see an increasing fraction of multi-cell upsets: one
+//! particle strike flips a small *cluster* of physically adjacent
+//! configuration cells. Physical adjacency maps onto the frame-organised
+//! configuration memory as adjacency in the (frame, offset) plane — two bits
+//! at consecutive offsets of the same frame are vertical neighbours, two
+//! bits at the same offset of consecutive frames are horizontal neighbours.
+//!
+//! [`BitGeometry`] is that plane: a lightweight view of a
+//! [`ConfigLayout`](crate::ConfigLayout)'s frame organisation that expands an
+//! anchor bit into the cluster an [`MbuPattern`] would flip. Clusters are
+//! clipped at the memory boundary (a strike at the last offset of a frame
+//! flips fewer cells), so every returned bit is in bounds and distinct.
+
+use crate::BitAddr;
+use std::fmt;
+
+/// The shape of a multi-bit upset cluster in the (frame, offset) plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MbuPattern {
+    /// A single cell — degenerates to the paper's single-bit fault model.
+    Single,
+    /// Two cells at consecutive offsets of the same frame.
+    PairInFrame,
+    /// Two cells at the same offset of consecutive frames.
+    PairAcrossFrames,
+    /// A 2×2 tile: both offsets × both frames.
+    Tile2x2,
+}
+
+impl MbuPattern {
+    /// All patterns, smallest cluster first.
+    pub const ALL: [MbuPattern; 4] = [
+        MbuPattern::Single,
+        MbuPattern::PairInFrame,
+        MbuPattern::PairAcrossFrames,
+        MbuPattern::Tile2x2,
+    ];
+
+    /// The (frame, offset) deltas of the cluster relative to its anchor.
+    /// Every pattern grows toward higher frames/offsets, so the anchor is
+    /// always the lowest linear bit of the cluster.
+    pub fn offsets(self) -> &'static [(u32, u32)] {
+        match self {
+            MbuPattern::Single => &[(0, 0)],
+            MbuPattern::PairInFrame => &[(0, 0), (0, 1)],
+            MbuPattern::PairAcrossFrames => &[(0, 0), (1, 0)],
+            MbuPattern::Tile2x2 => &[(0, 0), (0, 1), (1, 0), (1, 1)],
+        }
+    }
+
+    /// Number of cells the pattern flips away from the memory boundary.
+    pub fn size(self) -> usize {
+        self.offsets().len()
+    }
+
+    /// Short label used in reports (`1`, `2h`, `2v`, `2x2`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MbuPattern::Single => "1",
+            MbuPattern::PairInFrame => "2-in-frame",
+            MbuPattern::PairAcrossFrames => "2-across-frames",
+            MbuPattern::Tile2x2 => "2x2",
+        }
+    }
+}
+
+impl fmt::Display for MbuPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The frame/offset geometry of a device's configuration memory: the map
+/// from linear bit indices to (frame, offset) coordinates and back, plus the
+/// cluster expansion of the multi-bit fault models.
+///
+/// Obtained from [`ConfigLayout::geometry`](crate::ConfigLayout::geometry);
+/// the view is tiny (two integers) and freely copyable into fault samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitGeometry {
+    frame_bits: u32,
+    bit_count: usize,
+}
+
+impl BitGeometry {
+    pub(crate) fn new(frame_bits: u32, bit_count: usize) -> Self {
+        assert!(frame_bits > 0, "frames must hold at least one bit");
+        Self {
+            frame_bits,
+            bit_count,
+        }
+    }
+
+    /// Total number of configuration bits.
+    pub fn bit_count(&self) -> usize {
+        self.bit_count
+    }
+
+    /// Frame size in bits.
+    pub fn frame_bits(&self) -> u32 {
+        self.frame_bits
+    }
+
+    /// The frame/offset address of a linear bit index.
+    pub fn addr_of(&self, bit: usize) -> BitAddr {
+        BitAddr {
+            frame: (bit / self.frame_bits as usize) as u32,
+            offset: (bit % self.frame_bits as usize) as u32,
+        }
+    }
+
+    /// The linear bit index of a frame/offset address, if it lies inside the
+    /// configuration memory (the last frame may be partially used).
+    pub fn bit_at(&self, addr: BitAddr) -> Option<usize> {
+        if addr.offset >= self.frame_bits {
+            return None;
+        }
+        let bit = addr.frame as usize * self.frame_bits as usize + addr.offset as usize;
+        (bit < self.bit_count).then_some(bit)
+    }
+
+    /// Expands an anchor bit into the cluster of bits an [`MbuPattern`]
+    /// strike at that cell flips: sorted ascending, distinct, all in bounds
+    /// (cells beyond the memory boundary are clipped), always containing the
+    /// anchor as its lowest element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is outside the configuration memory.
+    pub fn cluster(&self, anchor: usize, pattern: MbuPattern) -> Vec<usize> {
+        assert!(
+            anchor < self.bit_count,
+            "anchor bit {anchor} out of range ({})",
+            self.bit_count
+        );
+        let base = self.addr_of(anchor);
+        let mut bits: Vec<usize> = pattern
+            .offsets()
+            .iter()
+            .filter_map(|&(df, doff)| {
+                self.bit_at(BitAddr {
+                    frame: base.frame + df,
+                    offset: base.offset + doff,
+                })
+            })
+            .collect();
+        bits.sort_unstable();
+        bits.dedup();
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> BitGeometry {
+        // 3 frames of 8 bits, last frame holding only 5 (21 bits total).
+        BitGeometry::new(8, 21)
+    }
+
+    #[test]
+    fn addresses_round_trip() {
+        let g = geometry();
+        for bit in 0..g.bit_count() {
+            let addr = g.addr_of(bit);
+            assert_eq!(g.bit_at(addr), Some(bit));
+            assert!(addr.offset < g.frame_bits());
+        }
+        assert_eq!(
+            g.bit_at(BitAddr {
+                frame: 2,
+                offset: 5
+            }),
+            None,
+            "the last frame is partial"
+        );
+        assert_eq!(
+            g.bit_at(BitAddr {
+                frame: 0,
+                offset: 8
+            }),
+            None,
+            "offsets are bounded by the frame size"
+        );
+    }
+
+    #[test]
+    fn single_pattern_is_the_anchor() {
+        let g = geometry();
+        for bit in 0..g.bit_count() {
+            assert_eq!(g.cluster(bit, MbuPattern::Single), vec![bit]);
+        }
+    }
+
+    #[test]
+    fn pair_in_frame_clips_at_the_frame_boundary() {
+        let g = geometry();
+        assert_eq!(g.cluster(0, MbuPattern::PairInFrame), vec![0, 1]);
+        // Offset 7 is the last of frame 0: the neighbour would spill into
+        // offset 8, which does not exist.
+        assert_eq!(g.cluster(7, MbuPattern::PairInFrame), vec![7]);
+    }
+
+    #[test]
+    fn pair_across_frames_clips_at_the_memory_end() {
+        let g = geometry();
+        assert_eq!(g.cluster(3, MbuPattern::PairAcrossFrames), vec![3, 11]);
+        // Frame 2 bit 4 (linear 20) has no frame-3 neighbour.
+        assert_eq!(g.cluster(20, MbuPattern::PairAcrossFrames), vec![20]);
+        // Frame 1 offset 6 (linear 14): frame 2 offset 6 would be linear 22,
+        // beyond the 21-bit memory.
+        assert_eq!(g.cluster(14, MbuPattern::PairAcrossFrames), vec![14]);
+    }
+
+    #[test]
+    fn tile_is_sorted_distinct_and_contains_the_anchor() {
+        let g = geometry();
+        let cluster = g.cluster(2, MbuPattern::Tile2x2);
+        assert_eq!(cluster, vec![2, 3, 10, 11]);
+        for bit in 0..g.bit_count() {
+            let cluster = g.cluster(bit, MbuPattern::Tile2x2);
+            assert_eq!(cluster[0], bit, "the anchor is the lowest bit");
+            assert!(cluster.windows(2).all(|pair| pair[0] < pair[1]));
+            assert!(cluster.iter().all(|&b| b < g.bit_count()));
+        }
+    }
+
+    #[test]
+    fn patterns_have_stable_labels_and_sizes() {
+        for pattern in MbuPattern::ALL {
+            assert!(!pattern.label().is_empty());
+            assert_eq!(pattern.size(), pattern.offsets().len());
+            assert_eq!(pattern.offsets()[0], (0, 0));
+        }
+        assert_eq!(MbuPattern::Single.size(), 1);
+        assert_eq!(MbuPattern::Tile2x2.size(), 4);
+        assert_eq!(MbuPattern::PairInFrame.to_string(), "2-in-frame");
+    }
+}

@@ -16,7 +16,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tmr_analyze::{PruneWith, StaticAnalysis};
-use tmr_arch::Device;
+use tmr_arch::{Device, MbuPattern};
 use tmr_core::pipeline::ArtifactCache;
 use tmr_core::{apply_tmr, estimate_resources, partition_report, TmrConfig};
 use tmr_designs::FirFilter;
@@ -175,6 +175,66 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-bit fault-model throughput (faults/second): the generalized fault
+/// models on the FIR `TMR_p2` design — one row per MBU cluster shape and per
+/// accumulated-upsets depth, against the single-bit baseline of
+/// `campaign_throughput`. The pruned row documents that the analyzer's
+/// cluster-aware pruning stays transparent for multi-bit faults (asserted
+/// bit-identical before measuring).
+fn bench_mbu_throughput(c: &mut Criterion) {
+    const FAULTS: usize = 400;
+    let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
+    let device = Device::small(20, 20);
+    let routed: RoutedDesign = place_and_route(&device, &netlist, 1).expect("place and route");
+    let campaign = CampaignBuilder::new().faults(FAULTS).cycles(12);
+
+    let mut group = c.benchmark_group("mbu_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(FAULTS as u64));
+    for pattern in [
+        MbuPattern::PairInFrame,
+        MbuPattern::PairAcrossFrames,
+        MbuPattern::Tile2x2,
+    ] {
+        let configured = campaign.clone().mbu(pattern);
+        group.bench_function(format!("mbu_{pattern}"), |b| {
+            b.iter(|| configured.run(&device, &routed).expect("campaign"))
+        });
+    }
+    for upsets_per_scrub in [2usize, 4, 8] {
+        let configured = campaign.clone().accumulate(upsets_per_scrub);
+        group.bench_function(format!("accumulate_{upsets_per_scrub}"), |b| {
+            b.iter(|| configured.run(&device, &routed).expect("campaign"))
+        });
+    }
+
+    // Cluster-aware pruning: same outcomes, fewer simulations, faster. Both
+    // rows below run sequentially so the pruning speedup is like-for-like
+    // (the parallel mbu_2x2 row above is a different axis).
+    let analysis = StaticAnalysis::run(&device, &routed);
+    let mbu = campaign.clone().mbu(MbuPattern::Tile2x2).sequential();
+    let unpruned = mbu.clone().run(&device, &routed).expect("campaign");
+    let pruned_campaign = mbu.clone().prune_with(&analysis);
+    let pruned = pruned_campaign.run(&device, &routed).expect("campaign");
+    assert_eq!(
+        pruned.outcomes, unpruned.outcomes,
+        "cluster-aware pruning must not change campaign outcomes"
+    );
+    eprintln!(
+        "mbu_throughput/pruned: {} of {} 2x2-cluster faults simulated (unpruned simulates {})",
+        pruned.simulated,
+        pruned.injected(),
+        unpruned.simulated,
+    );
+    group.bench_function("sequential_mbu_2x2", |b| {
+        b.iter(|| mbu.run(&device, &routed).expect("campaign"))
+    });
+    group.bench_function("pruned_sequential_mbu_2x2", |b| {
+        b.iter(|| pruned_campaign.run(&device, &routed).expect("campaign"))
+    });
+    group.finish();
+}
+
 /// Sweep throughput: the staged pipeline over two variants of the reduced
 /// FIR, cold (fresh artifact cache every iteration) against warm (shared
 /// cache primed once) — the warm row documents what the cache saves on
@@ -243,6 +303,7 @@ criterion_group!(
     bench_implementation,
     bench_fault_injection,
     bench_campaign_throughput,
+    bench_mbu_throughput,
     bench_sweep_throughput,
     bench_analyze_throughput
 );

@@ -2,9 +2,10 @@
 //!
 //! The benchmark harness reproducing the tables and figures of the DATE 2005
 //! paper. The `src/bin` targets regenerate the paper's tables
-//! (`table1`–`table4`, `table_critical`, `figures`); the Criterion benches
-//! under `benches/` measure the performance of the individual flow stages on
-//! reduced designs.
+//! (`table1`–`table4`, `table_critical`, `figures`) plus the beyond-the-paper
+//! multi-bit-upset / scrub-interval table (`table_mbu`); the Criterion
+//! benches under `benches/` measure the performance of the individual flow
+//! stages on reduced designs.
 //!
 //! The table binaries are thin views over one [`Sweep`] of the five paper
 //! FIR variants: [`paper_sweep`] builds it (device auto-sizing included) and
@@ -54,13 +55,31 @@ pub fn paper_device(netlists: &[&Netlist]) -> Device {
 /// five variants on an auto-sized XC2S200E-like device. Attach a campaign
 /// with [`Sweep::campaign`] (Tables 3/4) or enable the static analysis with
 /// [`Sweep::analyze`] (`table_critical`), then call [`Sweep::run`] once.
+///
+/// `TMR_BASE=small` swaps in the reduced 5-tap filter *and* the small
+/// evaluation fabric the examples use (same five variants, same code paths,
+/// implementation minutes → seconds) for smoke runs — the reduced design is
+/// placed on the `Device::small` architecture, whose richer input-pin
+/// candidates are what its TMR variants route on.
 pub fn paper_sweep(seed: u64) -> Sweep {
-    let base = FirFilter::paper_filter().to_design();
-    let mut sweep = Sweep::paper(&base).seed(seed);
+    let mut sweep = if small_base_from_env() {
+        // 24x24 = 1152 LUT sites: tmr_p1, the largest small variant, needs 957.
+        Sweep::paper(&FirFilter::small_filter().to_design())
+            .auto_device(DeviceParams::small(24, 24), 0.90)
+    } else {
+        Sweep::paper(&FirFilter::paper_filter().to_design())
+    };
+    sweep = sweep.seed(seed);
     if let Some(shards) = shards_from_env() {
         sweep = sweep.shards(shards);
     }
     sweep
+}
+
+/// Returns `true` when `TMR_BASE=small` asks the table binaries for the
+/// reduced 5-tap base filter instead of the paper's 11-tap one.
+pub fn small_base_from_env() -> bool {
+    std::env::var("TMR_BASE").is_ok_and(|v| v == "small")
 }
 
 /// The campaign configuration of the table binaries, from the environment:

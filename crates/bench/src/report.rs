@@ -140,6 +140,7 @@ mod tests {
             simulated: 2,
             outcomes: vec![FaultOutcome {
                 bit: 3,
+                bits: vec![3],
                 class: tmr_faultsim::FaultClass::Bridge,
                 wrong_answer: true,
                 first_error_cycle: Some(1),

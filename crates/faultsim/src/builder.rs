@@ -7,9 +7,12 @@
 //! could: shard count, streaming batch size, statistical early stop and a
 //! precomputed golden run for cross-campaign trace reuse.
 
-use crate::{CampaignEngine, CampaignOptions, CampaignResult, CampaignSession, EarlyStop};
+use crate::{
+    CampaignEngine, CampaignOptions, CampaignResult, CampaignSession, EarlyStop, FaultModel,
+};
 use std::sync::Arc;
-use tmr_arch::Device;
+use tmr_arch::{Device, MbuPattern};
+use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
 use tmr_sim::{GoldenRun, SimError};
 
@@ -84,11 +87,48 @@ impl CampaignBuilder {
         self
     }
 
+    /// The fault model: what one injected fault is — a single-bit upset (the
+    /// default), a geometric multi-bit cluster, or the upsets accumulated
+    /// over one scrub interval. See [`FaultModel`]. Degenerate 1-bit
+    /// spellings canonicalize to [`FaultModel::SingleBit`] (see
+    /// [`CampaignOptions::with_fault_model`]), so cached results are shared
+    /// between them.
+    #[must_use]
+    pub fn fault_model(mut self, model: FaultModel) -> Self {
+        self.options = self.options.with_fault_model(model);
+        self
+    }
+
+    /// Shorthand for [`CampaignBuilder::fault_model`] with
+    /// [`FaultModel::Mbu`]: every fault is one geometry-aware multi-bit
+    /// upset of this cluster shape.
+    #[must_use]
+    pub fn mbu(self, pattern: MbuPattern) -> Self {
+        self.fault_model(FaultModel::Mbu { pattern })
+    }
+
+    /// Shorthand for [`CampaignBuilder::fault_model`] with
+    /// [`FaultModel::Accumulate`]: every fault is one scrub interval
+    /// accumulating this many upsets before the device is evaluated and
+    /// scrubbed.
+    #[must_use]
+    pub fn accumulate(self, upsets_per_scrub: usize) -> Self {
+        self.fault_model(FaultModel::Accumulate { upsets_per_scrub })
+    }
+
     /// Restricts simulation to the given bits; see
     /// [`CampaignOptions::simulate_only`].
     #[must_use]
     pub fn restrict_to(mut self, bits: impl IntoIterator<Item = usize>) -> Self {
         self.options = self.options.restrict_to(bits);
+        self
+    }
+
+    /// Installs single-domain tags justifying multi-bit pruning; see
+    /// [`CampaignOptions::maskable_domains`].
+    #[must_use]
+    pub fn maskable_domains(mut self, tags: impl IntoIterator<Item = (usize, Domain)>) -> Self {
+        self.options = self.options.with_maskable_domains(tags);
         self
     }
 

@@ -1,10 +1,11 @@
 //! The Fault Injection Manager: campaign options, outcomes and result tables.
 
-use crate::{classify_bit, CampaignBuilder, FaultClass};
+use crate::{classify_fault, CampaignBuilder, FaultClass, FaultEffect, FaultModel};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use tmr_arch::Device;
+use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
 use tmr_sim::{GoldenRun, SimError, Simulator};
 
@@ -33,9 +34,15 @@ pub struct CampaignOptions {
     pub(crate) stimulus_seed: u64,
     /// Seed of the fault-sampling shuffle.
     pub(crate) sampling_seed: u64,
+    /// How one fault perturbs the configuration memory; see
+    /// [`CampaignOptions::fault_model`].
+    pub(crate) model: FaultModel,
     /// Sorted allow-list of bits whose behaviour is actually simulated; see
     /// [`CampaignOptions::simulate_only`].
     pub(crate) simulate_only: Option<Arc<[usize]>>,
+    /// Sorted `(bit, domain)` tags for statically non-observable bits; see
+    /// [`CampaignOptions::maskable_domains`].
+    pub(crate) maskable: Option<Arc<[(usize, Domain)]>>,
 }
 
 impl Default for CampaignOptions {
@@ -45,7 +52,9 @@ impl Default for CampaignOptions {
             cycles: 24,
             stimulus_seed: 20050307, // DATE 2005 conference date
             sampling_seed: 1,
+            model: FaultModel::SingleBit,
             simulate_only: None,
+            maskable: None,
         }
     }
 }
@@ -69,6 +78,31 @@ impl CampaignOptions {
     /// Seed of the fault-sampling shuffle.
     pub fn sampling_seed(&self) -> u64 {
         self.sampling_seed
+    }
+
+    /// The fault model: what one injected fault of the campaign is — a
+    /// single-bit upset (the default), a geometric multi-bit cluster, or the
+    /// upsets accumulated over one scrub interval. See [`FaultModel`].
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Returns the options with a different fault model.
+    ///
+    /// Degenerate 1-bit spellings (`Mbu { Single }`,
+    /// `Accumulate { upsets_per_scrub: 1 }`) are canonicalized to
+    /// [`FaultModel::SingleBit`]: they provably produce bit-identical
+    /// campaigns (the differential harness pins this on the raw sampling
+    /// path), so canonical options let caches serve all three spellings
+    /// from one entry.
+    #[must_use]
+    pub fn with_fault_model(mut self, model: FaultModel) -> Self {
+        self.model = if model.is_single_bit() {
+            FaultModel::SingleBit
+        } else {
+            model
+        };
+        self
     }
 
     /// When set, only sampled bits contained in this sorted list are actually
@@ -95,6 +129,36 @@ impl CampaignOptions {
         bits.sort_unstable();
         bits.dedup();
         self.simulate_only = Some(bits.into());
+        self
+    }
+
+    /// The `(bit, domain)` tags justifying multi-bit pruning: every listed
+    /// bit is statically guaranteed to corrupt signal copies of *only* that
+    /// single redundant TMR domain.
+    ///
+    /// A multi-bit fault outside [`CampaignOptions::simulate_only`] is only
+    /// skipped when **all** of its behaviour-changing bits carry tags of one
+    /// common domain — corrupting one domain several times is still voted
+    /// out, while two individually maskable bits of *different* domains can
+    /// defeat TMR together and therefore must be simulated. Bits without a
+    /// tag are unclassifiable to the pruner and conservatively keep their
+    /// fault simulated.
+    pub fn maskable_domains(&self) -> Option<&[(usize, Domain)]> {
+        self.maskable.as_deref()
+    }
+
+    /// Installs the maskable-domain tags (sorted and deduplicated by bit
+    /// internally); see [`CampaignOptions::maskable_domains`]. The static
+    /// analyzer's `prune_with` is the usual caller.
+    #[must_use]
+    pub fn with_maskable_domains(
+        mut self,
+        tags: impl IntoIterator<Item = (usize, Domain)>,
+    ) -> Self {
+        let mut tags: Vec<(usize, Domain)> = tags.into_iter().collect();
+        tags.sort_unstable();
+        tags.dedup_by_key(|&mut (bit, _)| bit);
+        self.maskable = Some(tags.into());
         self
     }
 
@@ -130,9 +194,17 @@ impl CampaignOptions {
 /// The outcome of one injected fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultOutcome {
-    /// The flipped configuration bit.
+    /// The anchor configuration bit: the lowest bit the fault flipped (for
+    /// the single-bit model, *the* flipped bit).
     pub bit: usize,
-    /// Its classification (Table 4 taxonomy).
+    /// Every flipped configuration bit, in ascending order — one entry under
+    /// [`FaultModel::SingleBit`], the cluster of an [`FaultModel::Mbu`]
+    /// strike, or the upsets of one [`FaultModel::Accumulate`] scrub
+    /// interval.
+    pub bits: Vec<usize>,
+    /// Its classification (Table 4 taxonomy; for multi-bit faults the
+    /// dominant component class, see
+    /// [`FaultEffect`](crate::FaultEffect)).
     pub class: FaultClass,
     /// Whether the DUT output diverged from the golden device.
     pub wrong_answer: bool,
@@ -261,6 +333,69 @@ pub(crate) struct ShardContext<'a> {
     /// Sorted allow-list of [`CampaignOptions::simulate_only`]: sampled bits
     /// outside it are classified but not simulated.
     pub simulate_only: Option<&'a [usize]>,
+    /// Sorted single-domain tags of [`CampaignOptions::maskable_domains`]:
+    /// the justification needed to skip a *multi-bit* fault.
+    pub maskable: Option<&'a [(usize, Domain)]>,
+}
+
+impl ShardContext<'_> {
+    /// Whether the static restriction allows skipping this fault's
+    /// simulation (the caller has already ruled out empty merged overlays).
+    ///
+    /// * single active bit — skip iff the bit is outside the allow-list
+    ///   (its contract: the list contains every possibly-observable bit);
+    ///   cumulative same-net opens contributed by individually silent
+    ///   cluster mates stay on the same net, hence in the same domain, so
+    ///   the single bit's verdict still covers the merged effect;
+    /// * several active bits — skip only when every one is outside the
+    ///   allow-list **and** tagged maskable with one common redundant
+    ///   domain: each component alone is voted out, and together they still
+    ///   corrupt only that domain's copies. Any unclassifiable bit (no tag)
+    ///   degrades conservatively to simulation;
+    /// * joint effects — when the merged overlay opens a sink that no
+    ///   component opens alone (several same-net PIPs removed together), the
+    ///   per-bit verdicts do not cover the fault's behaviour: simulate,
+    ///   whatever the tags say. In particular a cluster with *no* active bit
+    ///   but a non-empty merged overlay is never skipped.
+    fn statically_skippable(&self, effect: &FaultEffect) -> bool {
+        let Some(allowed) = self.simulate_only else {
+            return false;
+        };
+        let covered = effect.overlay().opened_sinks.iter().all(|sink| {
+            effect
+                .effects()
+                .iter()
+                .any(|component| component.overlay.opened_sinks.contains(sink))
+        });
+        if !covered {
+            return false;
+        }
+        let mut active = effect.active_bits();
+        let Some(first) = active.next() else {
+            return false;
+        };
+        let rest: Vec<usize> = active.collect();
+        if allowed.binary_search(&first).is_ok() {
+            return false;
+        }
+        if rest.is_empty() {
+            return true;
+        }
+        let Some(maskable) = self.maskable else {
+            return false;
+        };
+        let domain_of = |bit: usize| {
+            maskable
+                .binary_search_by_key(&bit, |&(tagged, _)| tagged)
+                .ok()
+                .map(|index| maskable[index].1)
+        };
+        let Some(common) = domain_of(first) else {
+            return false;
+        };
+        rest.iter()
+            .all(|&bit| allowed.binary_search(&bit).is_err() && domain_of(bit) == Some(common))
+    }
 }
 
 /// Injects the faults of one shard (any contiguous slice of the sampled fault
@@ -268,27 +403,27 @@ pub(crate) struct ShardContext<'a> {
 /// faults whose behaviour was actually simulated.
 ///
 /// This is the single per-fault code path shared by the streaming session and
-/// the batch campaign engine: for a given `(bit, golden run)` pair the
+/// the batch campaign engine: for a given `(fault bits, golden run)` pair the
 /// outcome is a pure function, which is what makes sharded and early-stopped
 /// campaigns bit-identical to sequential full-length ones on the faults they
 /// simulate.
-pub(crate) fn run_shard(ctx: &ShardContext<'_>, bits: &[usize]) -> (Vec<FaultOutcome>, usize) {
+pub(crate) fn run_shard(
+    ctx: &ShardContext<'_>,
+    faults: &[Vec<usize>],
+) -> (Vec<FaultOutcome>, usize) {
     let mut simulated = 0;
-    let outcomes = bits
+    let outcomes = faults
         .iter()
-        .map(|&bit| {
-            let effect = classify_bit(ctx.device, ctx.routed, bit);
-            let skip = effect.overlay.is_empty()
-                || ctx
-                    .simulate_only
-                    .is_some_and(|allowed| allowed.binary_search(&bit).is_err());
+        .map(|bits| {
+            let effect = classify_fault(ctx.device, ctx.routed, bits);
+            let skip = effect.overlay().is_empty() || ctx.statically_skippable(&effect);
             let (wrong_answer, first_error_cycle) = if skip {
                 (false, None)
             } else {
                 simulated += 1;
                 let trace = ctx
                     .simulator
-                    .run_stimulus(ctx.golden.stimulus(), &effect.overlay);
+                    .run_stimulus(ctx.golden.stimulus(), effect.overlay());
                 match ctx
                     .golden
                     .groups()
@@ -299,11 +434,12 @@ pub(crate) fn run_shard(ctx: &ShardContext<'_>, bits: &[usize]) -> (Vec<FaultOut
                 }
             };
             FaultOutcome {
-                bit,
-                class: effect.class,
+                bit: bits[0],
+                class: effect.class(),
                 wrong_answer,
                 first_error_cycle,
-                crosses_domains: effect.crosses_domains,
+                crosses_domains: effect.crosses_domains(),
+                bits: effect.into_bits(),
             }
         })
         .collect();

@@ -138,6 +138,206 @@ impl BitEffect {
     }
 }
 
+/// The analysed effect of one multi-bit fault: the union of the structural
+/// effects of its component bit flips, each derived against the pristine
+/// configuration (see [`classify_fault`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEffect {
+    bits: Vec<usize>,
+    class: FaultClass,
+    /// The merged overlay for multi-bit faults; `None` for single-bit faults,
+    /// whose overlay is the lone component's (no clone on the hot path).
+    merged_overlay: Option<FaultOverlay>,
+    crosses_domains: bool,
+    effects: Vec<BitEffect>,
+}
+
+impl FaultEffect {
+    /// The flipped bits, in ascending order.
+    pub fn bits(&self) -> &[usize] {
+        &self.bits
+    }
+
+    /// The dominant classification: the class of the lowest flipped bit with
+    /// a non-empty structural effect (the lowest bit overall when none has
+    /// one).
+    pub fn class(&self) -> FaultClass {
+        self.class
+    }
+
+    /// The merged netlist-level overlay to simulate (empty when no component
+    /// flip can change the configured circuit's behaviour).
+    pub fn overlay(&self) -> &FaultOverlay {
+        self.merged_overlay
+            .as_ref()
+            .unwrap_or_else(|| &self.effects[0].overlay)
+    }
+
+    /// Whether the fault couples two *distinct* redundant TMR domains —
+    /// through a single component flip, or because the component flips
+    /// together corrupt copies in two different domains (the accumulation
+    /// failure mode single-bit campaigns cannot see).
+    pub fn crosses_domains(&self) -> bool {
+        self.crosses_domains
+    }
+
+    /// The per-bit component effects, in [`FaultEffect::bits`] order.
+    pub fn effects(&self) -> &[BitEffect] {
+        &self.effects
+    }
+
+    /// The component bits whose individual flip has a non-empty structural
+    /// effect — the bits that matter for observability and pruning.
+    pub fn active_bits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.effects
+            .iter()
+            .filter(|effect| !effect.overlay.is_empty())
+            .map(|effect| effect.bit)
+    }
+
+    /// The union of the component flips' affected TMR domains (see
+    /// [`BitEffect::affected_domains`]).
+    pub fn affected_domains(&self, routed: &RoutedDesign) -> BTreeSet<Domain> {
+        self.effects
+            .iter()
+            .flat_map(|effect| effect.affected_domains(routed))
+            .collect()
+    }
+
+    /// Consumes the effect, returning the flipped bits (for outcome
+    /// construction without a clone).
+    pub fn into_bits(self) -> Vec<usize> {
+        self.bits
+    }
+}
+
+/// Classifies a multi-bit fault — any sorted set of distinct configuration
+/// bits flipped together (a geometric MBU cluster, or the upsets accumulated
+/// over one scrub interval) — and derives its merged structural effect.
+///
+/// Every component bit is classified with [`classify_bit`] against the
+/// *pristine* configuration and the per-bit overlays are unioned, with two
+/// refinements that make the union cumulative where components interact:
+///
+/// * several truth-table flips of the same LUT are combined into one
+///   override carrying all flipped entries (the simulator keeps one override
+///   per cell);
+/// * several opens on the same routed net re-walk the route tree with *all*
+///   removed PIPs absent at once, so sinks only reachable through the
+///   combination are correctly disconnected.
+///
+/// Other cross-bit interactions (e.g. a bridge onto a net another component
+/// opened) are approximated by the plain union of their effects.
+///
+/// For a single-bit fault the result is exactly [`classify_bit`]'s.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty or any bit is outside the device's
+/// configuration space.
+pub fn classify_fault(device: &Device, routed: &RoutedDesign, bits: &[usize]) -> FaultEffect {
+    assert!(!bits.is_empty(), "a fault flips at least one bit");
+    let effects: Vec<BitEffect> = bits
+        .iter()
+        .map(|&bit| classify_bit(device, routed, bit))
+        .collect();
+    if let [effect] = effects.as_slice() {
+        return FaultEffect {
+            bits: bits.to_vec(),
+            class: effect.class,
+            merged_overlay: None,
+            crosses_domains: effect.crosses_domains,
+            effects,
+        };
+    }
+
+    let class = effects
+        .iter()
+        .find(|effect| !effect.overlay.is_empty())
+        .unwrap_or(&effects[0])
+        .class;
+    let overlay = merge_overlays(device, routed, bits, &effects);
+    let union = effects
+        .iter()
+        .flat_map(|effect| effect.affected_domains(routed))
+        .filter(|domain| domain.is_redundant())
+        .collect::<BTreeSet<Domain>>();
+    let crosses_domains = effects.iter().any(|effect| effect.crosses_domains) || union.len() >= 2;
+    FaultEffect {
+        bits: bits.to_vec(),
+        class,
+        merged_overlay: Some(overlay),
+        crosses_domains,
+        effects,
+    }
+}
+
+/// Unions the component overlays of a multi-bit fault, combining same-LUT
+/// truth-table flips and recomputing same-net opens cumulatively.
+fn merge_overlays(
+    device: &Device,
+    routed: &RoutedDesign,
+    bits: &[usize],
+    effects: &[BitEffect],
+) -> FaultOverlay {
+    let netlist = routed.netlist();
+    let mut merged = FaultOverlay::none();
+
+    // Opens: group the removed PIPs of set routing bits by net and re-derive
+    // the disconnected sinks with the whole group absent.
+    let layout = device.config_layout();
+    let mut removed_by_net: Vec<(NetId, Vec<PipId>)> = Vec::new();
+    for &bit in bits {
+        if let Some(ConfigResource::Pip(pip_id)) = layout.resource_at(bit) {
+            if routed.bitstream().get(bit) {
+                if let Some(net) = routed.net_of_pip(pip_id) {
+                    match removed_by_net.iter_mut().find(|(n, _)| *n == net) {
+                        Some((_, pips)) => pips.push(pip_id),
+                        None => removed_by_net.push((net, vec![pip_id])),
+                    }
+                }
+            }
+        }
+    }
+    for (net, removed) in &removed_by_net {
+        merged
+            .opened_sinks
+            .extend(open_overlay(device, routed, *net, removed).opened_sinks);
+    }
+
+    for effect in effects {
+        for &(cell, value) in &effect.overlay.lut_overrides {
+            match merged.lut_overrides.iter_mut().find(|(c, _)| *c == cell) {
+                Some(existing) => {
+                    // Each component override is `init ^ mask` for a distinct
+                    // single-entry mask; the cumulative truth table carries
+                    // every flipped entry.
+                    if let CellKind::Lut { init, .. } = netlist.cell(cell).kind {
+                        existing.1 ^= value ^ init;
+                    }
+                }
+                None => merged.lut_overrides.push((cell, value)),
+            }
+        }
+        for &(cell, value) in &effect.overlay.ff_init_overrides {
+            if !merged.ff_init_overrides.contains(&(cell, value)) {
+                merged.ff_init_overrides.push((cell, value));
+            }
+        }
+        for &pair in &effect.overlay.shorted_nets {
+            if !merged.shorted_nets.contains(&pair) {
+                merged.shorted_nets.push(pair);
+            }
+        }
+        for &net in &effect.overlay.corrupted_nets {
+            if !merged.corrupted_nets.contains(&net) {
+                merged.corrupted_nets.push(net);
+            }
+        }
+    }
+    merged
+}
+
 /// Classifies a configuration bit flip and derives its structural effect.
 ///
 /// # Panics
@@ -217,7 +417,7 @@ fn classify_pip_flip(
         let net = routed
             .net_of_pip(pip_id)
             .expect("a set PIP bit belongs to a routed net");
-        let overlay = open_overlay(device, routed, net, pip_id);
+        let overlay = open_overlay(device, routed, net, &[pip_id]);
         return BitEffect {
             bit,
             class: class_for(FaultClass::Open),
@@ -278,22 +478,24 @@ fn classify_pip_flip(
 }
 
 /// Builds the overlay of an *Open*: every sink of `net` that is no longer
-/// reachable from the source once `removed_pip` is disabled reads `X`.
+/// reachable from the source once every PIP in `removed_pips` is disabled
+/// reads `X` (a single-bit open removes one PIP; accumulated faults can
+/// remove several from the same tree).
 fn open_overlay(
     device: &Device,
     routed: &RoutedDesign,
     net: NetId,
-    removed_pip: PipId,
+    removed_pips: &[PipId],
 ) -> FaultOverlay {
     let tree = routed.route_of(net).expect("routed net has a tree");
-    // Re-walk the tree without the removed PIP.
+    // Re-walk the tree without the removed PIPs.
     let mut reachable: HashSet<NodeId> = HashSet::new();
     reachable.insert(tree.source);
     let mut remaining: Vec<PipId> = tree
         .pips
         .iter()
         .copied()
-        .filter(|&p| p != removed_pip)
+        .filter(|p| !removed_pips.contains(p))
         .collect();
     let mut progress = true;
     while progress {
@@ -508,6 +710,76 @@ mod tests {
                 "class {class} must appear in the census: {seen:?}"
             );
         }
+    }
+
+    /// `classify_fault` of a singleton is exactly `classify_bit`, and the
+    /// multi-bit merge obeys its cumulative refinements: two truth-table
+    /// flips of one LUT combine into a single override carrying both flipped
+    /// entries, and every component effect appears in the union.
+    #[test]
+    fn classify_fault_merges_component_effects_cumulatively() {
+        let (device, routed) = routed_counter();
+        let layout = device.config_layout();
+
+        // Singleton faults reproduce classify_bit verbatim (borrowing the
+        // component overlay, not cloning it).
+        for bit in (0..layout.bit_count()).step_by(37) {
+            let single = classify_bit(&device, &routed, bit);
+            let fault = classify_fault(&device, &routed, &[bit]);
+            assert_eq!(fault.bits(), &[bit]);
+            assert_eq!(fault.class(), single.class);
+            assert_eq!(fault.overlay(), &single.overlay);
+            assert_eq!(fault.crosses_domains(), single.crosses_domains);
+            assert_eq!(fault.effects(), &[single]);
+        }
+
+        // Two exercised truth-table bits of the same placed LUT: the merged
+        // overlay holds ONE override with both entries flipped (the
+        // simulator keeps one override per cell, so keeping two would drop
+        // one of the flips).
+        let (site, cell, init) = device
+            .lut_sites()
+            .iter()
+            .find_map(|&site| {
+                let cell = routed.placement().cell_at(site)?;
+                match routed.netlist().cell(cell).kind {
+                    CellKind::Lut { init, .. } => Some((site, cell, init)),
+                    _ => None,
+                }
+            })
+            .expect("the counter uses LUTs");
+        let bit_of = |lut_bit: u8| {
+            layout
+                .bit_of(&tmr_arch::ConfigResource::LutBit { site, bit: lut_bit })
+                .expect("LUT sites own 16 truth-table bits")
+        };
+        // Entries 0 and 1 are exercised for every LUT arity k >= 1.
+        let (a, b) = (bit_of(0), bit_of(1));
+        let fault = classify_fault(&device, &routed, &[a.min(b), a.max(b)]);
+        assert_eq!(fault.class(), FaultClass::Lut);
+        assert_eq!(
+            fault.overlay().lut_overrides,
+            vec![(cell, init ^ 0b01 ^ 0b10)],
+            "both entries must flip in one cumulative override"
+        );
+        assert_eq!(fault.effects().len(), 2);
+
+        // Removing every PIP of a routed net at once disconnects all of the
+        // net's sinks — at least as many as any single open.
+        let (net, tree) = routed
+            .netlist()
+            .nets()
+            .find_map(|(id, _)| Some((id, routed.route_of(id)?)))
+            .expect("a routed design has routed nets");
+        let open_bits: Vec<usize> = tree.pips.iter().map(|&pip| layout.pip_bit(pip)).collect();
+        let mut sorted = open_bits.clone();
+        sorted.sort_unstable();
+        let fault = classify_fault(&device, &routed, &sorted);
+        assert_eq!(
+            fault.overlay().opened_sinks.len(),
+            tree.sinks.len(),
+            "removing the whole tree of {net:?} must open every sink"
+        );
     }
 
     /// On a TMR design the affected-domain sets drive the static verdicts:

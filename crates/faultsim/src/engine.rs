@@ -148,13 +148,19 @@ impl<'a> CampaignEngine<'a> {
             )?),
         };
         let fault_list = FaultList::build(self.device, self.routed);
-        let sample = fault_list.sample(self.options.faults, self.options.sampling_seed);
+        let sample = fault_list.sample_faults(
+            self.device,
+            &self.options.model,
+            self.options.faults,
+            self.options.sampling_seed,
+        );
         Ok(CampaignSession::new(
             self.device,
             self.routed,
             simulator,
             golden,
             self.options.simulate_only.clone(),
+            self.options.maskable.clone(),
             fault_list.len(),
             sample,
             self.shards,

@@ -6,10 +6,17 @@
 //! * the **Fault List Manager** ([`FaultList`]) identifies the configuration
 //!   bits related to the design under test (used PIP endpoints, used LUTs,
 //!   used flip-flops) and draws a random sample of them;
-//! * the **Fault Injection Manager** flips one bit per experiment, derives
-//!   its structural effect on the routed design (LUT corruption, open,
-//!   bridge, input-antenna, conflict, …), simulates the faulty device against
-//!   the golden reference with identical stimuli, and classifies the outcome;
+//! * the **fault model** ([`FaultModel`]) decides what one fault *is*: the
+//!   paper's single-bit upset (the default), a geometry-aware multi-bit
+//!   cluster expanded in the frame/offset plane
+//!   ([`tmr_arch::MbuPattern`]), or the upsets accumulated over one scrub
+//!   interval ([`FaultModel::Accumulate`]) — the degenerate 1-bit variants
+//!   reproduce the single-bit fault sequence exactly;
+//! * the **Fault Injection Manager** flips the fault's bits per experiment,
+//!   derives the merged structural effect on the routed design
+//!   ([`classify_fault`]: LUT corruption, open, bridge, input-antenna,
+//!   conflict, …), simulates the faulty device against the golden reference
+//!   with identical stimuli, and classifies the outcome;
 //! * the classifier ([`FaultClass`]) reproduces the effect taxonomy of
 //!   Tables 1 and 4 of the paper;
 //! * the **campaign builder** ([`CampaignBuilder`]) is the documented way to
@@ -44,6 +51,7 @@ mod campaign;
 mod effect;
 mod engine;
 mod fault_list;
+mod model;
 mod session;
 
 #[allow(deprecated)]
@@ -51,7 +59,8 @@ pub use campaign::run_campaign;
 pub use campaign::{CampaignOptions, CampaignResult, FaultOutcome};
 
 pub use builder::CampaignBuilder;
-pub use effect::{classify_bit, BitEffect, FaultClass};
+pub use effect::{classify_bit, classify_fault, BitEffect, FaultClass, FaultEffect};
 pub use engine::CampaignEngine;
 pub use fault_list::FaultList;
+pub use model::FaultModel;
 pub use session::{CampaignSession, EarlyStop, SessionProgress};

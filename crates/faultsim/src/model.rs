@@ -1,0 +1,141 @@
+//! The configuration-upset fault models: what one "fault" of a campaign is.
+//!
+//! The paper's experiment flips exactly one configuration bit per run
+//! ([`FaultModel::SingleBit`]). Two generalizations unlock the scenarios
+//! modern SRAM FPGAs actually face:
+//!
+//! * [`FaultModel::Mbu`] — one particle strike flips a small geometric
+//!   *cluster* of adjacent configuration cells (adjacent offsets of one
+//!   frame, adjacent frames at one offset, or a 2×2 tile), expanded through
+//!   the device's [`tmr_arch::BitGeometry`];
+//! * [`FaultModel::Accumulate`] — deployments rely on periodic configuration
+//!   scrubbing, so the dependability question becomes "how many *accumulated*
+//!   upsets between two scrubs does the design survive?": each experiment
+//!   injects `upsets_per_scrub` independent upsets cumulatively, evaluates
+//!   the device once, then scrubs back to the pristine bitstream.
+//!
+//! Both generalizations degenerate exactly to the single-bit model —
+//! `Mbu { pattern: MbuPattern::Single }` and
+//! `Accumulate { upsets_per_scrub: 1 }` sample the *same* fault sequence as
+//! [`FaultModel::SingleBit`] for the same seed, which the differential test
+//! harness (`tests/fault_models.rs`) pins down.
+
+use std::fmt;
+use tmr_arch::MbuPattern;
+
+/// How one injected fault of a campaign perturbs the configuration memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Flip one configuration bit per experiment — the paper's Single Event
+    /// Upset model and the default.
+    #[default]
+    SingleBit,
+    /// Flip a geometry-aware cluster of adjacent bits per experiment (one
+    /// multi-cell upset), anchored at a sampled design-related bit and
+    /// expanded in the frame/offset plane.
+    Mbu {
+        /// The cluster shape.
+        pattern: MbuPattern,
+    },
+    /// Flip `upsets_per_scrub` independently sampled bits *cumulatively*,
+    /// evaluate the device once, then scrub — one experiment per scrub
+    /// interval. A value of 0 is treated as 1.
+    Accumulate {
+        /// Number of upsets accumulating between two configuration scrubs.
+        upsets_per_scrub: usize,
+    },
+}
+
+impl FaultModel {
+    /// The maximum number of bits one fault of this model flips (boundary
+    /// clipping can make MBU clusters smaller).
+    pub fn bits_per_fault(&self) -> usize {
+        match *self {
+            FaultModel::SingleBit => 1,
+            FaultModel::Mbu { pattern } => pattern.size(),
+            FaultModel::Accumulate { upsets_per_scrub } => upsets_per_scrub.max(1),
+        }
+    }
+
+    /// Returns `true` when the model is behaviourally identical to
+    /// [`FaultModel::SingleBit`] (a 1-bit MBU pattern or a 1-upset scrub
+    /// interval).
+    pub fn is_single_bit(&self) -> bool {
+        self.bits_per_fault() == 1
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> String {
+        match *self {
+            FaultModel::SingleBit => "single-bit".to_string(),
+            FaultModel::Mbu { pattern } => format!("mbu({pattern})"),
+            FaultModel::Accumulate { upsets_per_scrub } => {
+                format!("accumulate({})", upsets_per_scrub.max(1))
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_bit() {
+        assert_eq!(FaultModel::default(), FaultModel::SingleBit);
+        assert!(FaultModel::SingleBit.is_single_bit());
+        assert_eq!(FaultModel::SingleBit.bits_per_fault(), 1);
+    }
+
+    #[test]
+    fn degenerate_models_are_single_bit() {
+        assert!(FaultModel::Mbu {
+            pattern: MbuPattern::Single
+        }
+        .is_single_bit());
+        assert!(FaultModel::Accumulate {
+            upsets_per_scrub: 1
+        }
+        .is_single_bit());
+        assert!(FaultModel::Accumulate {
+            upsets_per_scrub: 0
+        }
+        .is_single_bit());
+        assert!(!FaultModel::Mbu {
+            pattern: MbuPattern::Tile2x2
+        }
+        .is_single_bit());
+        assert_eq!(
+            FaultModel::Accumulate {
+                upsets_per_scrub: 5
+            }
+            .bits_per_fault(),
+            5
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultModel::SingleBit.to_string(), "single-bit");
+        assert_eq!(
+            FaultModel::Mbu {
+                pattern: MbuPattern::Tile2x2
+            }
+            .to_string(),
+            "mbu(2x2)"
+        );
+        assert_eq!(
+            FaultModel::Accumulate {
+                upsets_per_scrub: 0
+            }
+            .to_string(),
+            "accumulate(1)"
+        );
+    }
+}

@@ -23,6 +23,7 @@ use crate::campaign::{run_shard, ShardContext};
 use crate::{CampaignResult, FaultOutcome};
 use std::sync::Arc;
 use tmr_arch::Device;
+use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
 use tmr_sim::{GoldenRun, Simulator};
 
@@ -172,9 +173,10 @@ pub struct CampaignSession<'a> {
     simulator: Simulator<'a>,
     golden: Arc<GoldenRun>,
     simulate_only: Option<Arc<[usize]>>,
+    maskable: Option<Arc<[(usize, Domain)]>>,
     design: String,
     fault_list_size: usize,
-    sample: Vec<usize>,
+    sample: Vec<Vec<usize>>,
     shards: usize,
     batch_size: usize,
     early_stop: Option<EarlyStop>,
@@ -193,8 +195,9 @@ impl<'a> CampaignSession<'a> {
         simulator: Simulator<'a>,
         golden: Arc<GoldenRun>,
         simulate_only: Option<Arc<[usize]>>,
+        maskable: Option<Arc<[(usize, Domain)]>>,
         fault_list_size: usize,
-        sample: Vec<usize>,
+        sample: Vec<Vec<usize>>,
         shards: usize,
     ) -> Self {
         let batch_size = sample.len().max(1);
@@ -204,6 +207,7 @@ impl<'a> CampaignSession<'a> {
             simulator,
             golden,
             simulate_only,
+            maskable,
             design: routed.netlist().name().to_string(),
             fault_list_size,
             sample,
@@ -251,12 +255,13 @@ impl<'a> CampaignSession<'a> {
         let start = self.cursor;
         let end = (start + self.batch_size).min(self.sample.len());
         self.cursor = end;
-        let (outcomes, simulated) = run_bits(
+        let (outcomes, simulated) = run_faults(
             self.device,
             self.routed,
             &self.simulator,
             &self.golden,
             self.simulate_only.as_deref(),
+            self.maskable.as_deref(),
             self.shards,
             &self.sample[start..end],
         );
@@ -329,23 +334,27 @@ impl<'a> CampaignSession<'a> {
     }
 }
 
-/// Injects `bits` (a contiguous slice of the sampled fault list) across
+/// Injects `faults` (a contiguous slice of the sampled fault list) across
 /// `shards` worker threads and merges the outcomes in slice order.
 ///
-/// This is the sharding core shared by every execution mode: chunk
-/// boundaries depend only on the slice length and shard count, and
-/// concatenating chunk results in chunk order reproduces slice order
-/// exactly, so the merged outcomes are independent of the thread schedule.
-fn run_bits(
+/// This is the sharding core shared by every execution mode and every fault
+/// model: chunk boundaries depend only on the slice length and shard count,
+/// and per-shard outcome vectors are concatenated in chunk order — never in
+/// thread-completion order — which reproduces slice order (= fault-list
+/// order) exactly, so the merged outcomes are independent of the thread
+/// schedule.
+#[allow(clippy::too_many_arguments)]
+fn run_faults(
     device: &Device,
     routed: &RoutedDesign,
     simulator: &Simulator<'_>,
     golden: &GoldenRun,
     simulate_only: Option<&[usize]>,
+    maskable: Option<&[(usize, Domain)]>,
     shards: usize,
-    bits: &[usize],
+    faults: &[Vec<usize>],
 ) -> (Vec<FaultOutcome>, usize) {
-    let shard_count = shards.min(bits.len()).max(1);
+    let shard_count = shards.min(faults.len()).max(1);
     if shard_count == 1 {
         let ctx = ShardContext {
             device,
@@ -353,22 +362,24 @@ fn run_bits(
             simulator: simulator.clone(),
             golden,
             simulate_only,
+            maskable,
         };
-        return run_shard(&ctx, bits);
+        return run_shard(&ctx, faults);
     }
-    let chunk = bits.len().div_ceil(shard_count);
+    let chunk = faults.len().div_ceil(shard_count);
     let shard_results: Vec<(Vec<FaultOutcome>, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = bits
+        let handles: Vec<_> = faults
             .chunks(chunk)
-            .map(|chunk_bits| {
+            .map(|chunk_faults| {
                 let ctx = ShardContext {
                     device,
                     routed,
                     simulator: simulator.clone(),
                     golden,
                     simulate_only,
+                    maskable,
                 };
-                scope.spawn(move || run_shard(&ctx, chunk_bits))
+                scope.spawn(move || run_shard(&ctx, chunk_faults))
             })
             .collect();
         handles
@@ -376,7 +387,7 @@ fn run_bits(
             .map(|handle| handle.join().expect("campaign worker thread panicked"))
             .collect()
     });
-    let mut merged = Vec::with_capacity(bits.len());
+    let mut merged = Vec::with_capacity(faults.len());
     let mut simulated = 0;
     for (mut shard, shard_simulated) in shard_results {
         merged.append(&mut shard);

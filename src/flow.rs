@@ -14,9 +14,12 @@
 //!   over the same inputs share every stage;
 //! * [`Flow::campaign`] runs fault-injection campaigns configured through
 //!   [`CampaignBuilder`], reusing the cached golden simulation trace
-//!   ([`GoldenRun`]) across campaigns over the same netlist, and
-//!   [`Flow::campaign_session`] streams one incrementally (progress
-//!   reporting, statistical early stop);
+//!   ([`GoldenRun`]) across campaigns over the same netlist — including
+//!   campaigns under *different fault models*
+//!   ([`tmr_faultsim::FaultModel`]: single-bit, geometric MBU clusters,
+//!   accumulated upsets per scrub interval), each memoized under its own
+//!   fingerprint — and [`Flow::campaign_session`] streams one incrementally
+//!   (progress reporting, statistical early stop);
 //! * a [`Sweep`] drives many flows over the variants of one base design —
 //!   [`Sweep::paper`] gives the five paper variants — on a common
 //!   (optionally auto-sized) device, producing a [`SweepReport`] that holds
@@ -400,10 +403,12 @@ impl Flow {
             campaign.options().stimulus_seed(),
         )?;
         // The key covers exactly what can change the outcomes: the
-        // implemented design plus the campaign options, batch size and
-        // early-stop rule (an early stop lands on a batch boundary). Shard
-        // count and any attached golden run are deliberately absent — they
-        // never change results, only how (fast) they are computed.
+        // implemented design plus the campaign options (fault count, seeds,
+        // the fault model — single-bit, MBU cluster shape or upsets per
+        // scrub — and any static restriction), batch size and early-stop
+        // rule (an early stop lands on a batch boundary). Shard count and
+        // any attached golden run are deliberately absent — they never
+        // change results, only how (fast) they are computed.
         let fp = fingerprint(&[
             &self.identity,
             &self.device_fp,

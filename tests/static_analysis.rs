@@ -14,11 +14,26 @@
 //!    faults.
 
 use tmr_fpga::analyze::{PruneWith, StaticAnalysis, Verdict};
-use tmr_fpga::arch::Device;
+use tmr_fpga::arch::{Device, MbuPattern};
 use tmr_fpga::designs::FirFilter;
-use tmr_fpga::faultsim::CampaignBuilder;
+use tmr_fpga::faultsim::{CampaignBuilder, FaultModel};
 use tmr_fpga::flow::FlowBuilder;
 use tmr_fpga::tmr::TmrConfig;
+
+/// The multi-bit fault models cross-validated against the analyzer.
+fn multi_bit_models() -> [FaultModel; 3] {
+    [
+        FaultModel::Mbu {
+            pattern: MbuPattern::PairInFrame,
+        },
+        FaultModel::Mbu {
+            pattern: MbuPattern::Tile2x2,
+        },
+        FaultModel::Accumulate {
+            upsets_per_scrub: 2,
+        },
+    ]
+}
 
 fn assert_static_soundness(config: TmrConfig, grid: u16, seed: u64) {
     let label = config.label.clone();
@@ -108,30 +123,92 @@ fn static_analysis_is_sound_for_paper_p2() {
     assert_static_soundness(TmrConfig::paper_p2(), 20, 1);
 }
 
+/// Pruned *multi-bit* campaigns are transparent too: a cluster or scrub
+/// interval is only skipped when every behaviour-changing bit is statically
+/// confined to one common redundant domain, so outcomes are identical while
+/// strictly fewer faults are simulated.
+#[test]
+fn mbu_pruning_is_transparent_and_strictly_cheaper() {
+    let base = FirFilter::small_filter().to_design();
+    let device = Device::small(20, 20);
+    let flow = FlowBuilder::new(&device, &base)
+        .tmr(TmrConfig::paper_p2())
+        .seed(1)
+        .build();
+    let routed = flow.routed().expect("implementation");
+    let analysis = flow.analyzed().expect("analysis");
+    assert!(analysis.analysis().voted_tmr());
+
+    for model in multi_bit_models() {
+        let campaign = CampaignBuilder::new()
+            .faults(500)
+            .cycles(10)
+            .fault_model(model)
+            .sequential();
+        let unpruned = campaign
+            .clone()
+            .run(&device, routed.design())
+            .expect("campaign");
+        let pruned = campaign
+            .prune_with(analysis.analysis())
+            .run(&device, routed.design())
+            .expect("campaign");
+        assert_eq!(
+            pruned.outcomes, unpruned.outcomes,
+            "{model}: pruning must not change any outcome"
+        );
+        assert!(
+            pruned.simulated < unpruned.simulated,
+            "{model}: pruning must reduce simulated faults ({} vs {})",
+            pruned.simulated,
+            unpruned.simulated
+        );
+        // Every pruned-away fault is one the analyzer's merged verdict rules
+        // out; every wrong answer stays statically observable.
+        for outcome in unpruned.outcomes.iter().filter(|o| o.wrong_answer) {
+            assert!(
+                analysis.analysis().fault_possibly_observable(&outcome.bits),
+                "{model}: fault {:?} caused a wrong answer but was statically maskable",
+                outcome.bits
+            );
+        }
+    }
+}
+
 #[test]
 fn unprotected_designs_are_never_pruned() {
     // Without voters nothing is maskable: the observable set must keep every
     // bit whose overlay is non-empty, so pruning only skips what the engine
-    // skips anyway and campaign results are unchanged.
+    // skips anyway and campaign results are unchanged — under every fault
+    // model.
     let base = FirFilter::small_filter().to_design();
     let device = Device::small(14, 14);
     let flow = FlowBuilder::new(&device, &base).seed(3).build();
     let routed = flow.routed().expect("implementation");
     let analysis = StaticAnalysis::run(&device, routed.design());
     assert!(!analysis.voted_tmr());
+    assert_eq!(analysis.maskable_domains().count(), 0);
 
-    let campaign = CampaignBuilder::new().faults(300).cycles(8).sequential();
-    let unpruned = campaign
-        .clone()
-        .run(&device, routed.design())
-        .expect("campaign");
-    let pruned = campaign
-        .prune_with(&analysis)
-        .run(&device, routed.design())
-        .expect("campaign");
-    assert_eq!(pruned.outcomes, unpruned.outcomes);
-    assert_eq!(
-        pruned.simulated, unpruned.simulated,
-        "an unprotected design offers nothing to prune"
-    );
+    let mut models = vec![FaultModel::SingleBit];
+    models.extend(multi_bit_models());
+    for model in models {
+        let campaign = CampaignBuilder::new()
+            .faults(300)
+            .cycles(8)
+            .fault_model(model)
+            .sequential();
+        let unpruned = campaign
+            .clone()
+            .run(&device, routed.design())
+            .expect("campaign");
+        let pruned = campaign
+            .prune_with(&analysis)
+            .run(&device, routed.design())
+            .expect("campaign");
+        assert_eq!(pruned.outcomes, unpruned.outcomes, "{model}");
+        assert_eq!(
+            pruned.simulated, unpruned.simulated,
+            "{model}: an unprotected design offers nothing to prune"
+        );
+    }
 }
