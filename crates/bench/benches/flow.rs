@@ -20,7 +20,7 @@ use tmr_arch::{Device, MbuPattern};
 use tmr_core::pipeline::ArtifactCache;
 use tmr_core::{apply_tmr, estimate_resources, partition_report, TmrConfig};
 use tmr_designs::FirFilter;
-use tmr_faultsim::{classify_bit, CampaignBuilder, FaultList};
+use tmr_faultsim::{classify_bit, CampaignBuilder, FaultList, SimBackend};
 use tmr_fpga::Sweep;
 use tmr_pnr::{place, place_and_route, route, PlacerOptions, RoutedDesign, RouterOptions};
 use tmr_sim::{FaultOverlay, Simulator, Stimulus};
@@ -175,6 +175,58 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Simulator-backend throughput (faults/second): the interpreting oracle
+/// against the compiled levelized bit-parallel engine on the *same*
+/// sequential campaign over the FIR `TMR_p2` design. The two backends are
+/// asserted to produce bit-identical `CampaignResult`s before anything is
+/// measured, and the one-shot speedup is logged for the CI bench output —
+/// the compiled engine packs 64 experiments per machine word and
+/// re-simulates only the fan-out cone of each fault, so the expected ratio
+/// is well above the 5× the acceptance bar asks for.
+fn bench_sim_throughput(c: &mut Criterion) {
+    const FAULTS: usize = 400;
+    let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
+    let device = Device::small(20, 20);
+    let routed: RoutedDesign = place_and_route(&device, &netlist, 1).expect("place and route");
+    let campaign = CampaignBuilder::new()
+        .faults(FAULTS)
+        .cycles(12)
+        .sequential();
+    let interpreter = campaign.clone().backend(SimBackend::Interpreter);
+    let compiled = campaign.backend(SimBackend::Compiled);
+
+    let start = std::time::Instant::now();
+    let interpreter_result = interpreter.run(&device, &routed).expect("campaign");
+    let interpreter_elapsed = start.elapsed();
+    let start = std::time::Instant::now();
+    let compiled_result = compiled.run(&device, &routed).expect("campaign");
+    let compiled_elapsed = start.elapsed();
+    assert_eq!(
+        compiled_result, interpreter_result,
+        "the compiled engine must be bit-identical to the interpreter"
+    );
+    eprintln!(
+        "sim_throughput: interpreter {:.3} s, compiled {:.3} s — {:.1}x speedup \
+         ({} faults, {} simulated)",
+        interpreter_elapsed.as_secs_f64(),
+        compiled_elapsed.as_secs_f64(),
+        interpreter_elapsed.as_secs_f64() / compiled_elapsed.as_secs_f64(),
+        FAULTS,
+        compiled_result.simulated,
+    );
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(FAULTS as u64));
+    group.bench_function("interpreter", |b| {
+        b.iter(|| interpreter.run(&device, &routed).expect("campaign"))
+    });
+    group.bench_function("compiled_packed", |b| {
+        b.iter(|| compiled.run(&device, &routed).expect("campaign"))
+    });
+    group.finish();
+}
+
 /// Multi-bit fault-model throughput (faults/second): the generalized fault
 /// models on the FIR `TMR_p2` design — one row per MBU cluster shape and per
 /// accumulated-upsets depth, against the single-bit baseline of
@@ -303,6 +355,7 @@ criterion_group!(
     bench_implementation,
     bench_fault_injection,
     bench_campaign_throughput,
+    bench_sim_throughput,
     bench_mbu_throughput,
     bench_sweep_throughput,
     bench_analyze_throughput

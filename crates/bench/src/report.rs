@@ -63,10 +63,20 @@ pub fn device_json(report: &SweepReport) -> Json {
 /// The `cache` field of a sweep document: artifact-cache effectiveness
 /// counters, so JSON consumers (and the CI bench log) can verify reuse.
 pub fn cache_json(report: &SweepReport) -> Json {
+    let stages = Json::object(report.stage_cache.iter().map(|&(stage, stats)| {
+        (
+            stage,
+            Json::object([
+                ("hits", Json::from(stats.hits as usize)),
+                ("misses", Json::from(stats.misses as usize)),
+            ]),
+        )
+    }));
     Json::object([
         ("hits", Json::from(report.cache.hits as usize)),
         ("misses", Json::from(report.cache.misses as usize)),
         ("entries", Json::from(report.cache.entries)),
+        ("stages", stages),
     ])
 }
 
@@ -114,9 +124,19 @@ pub fn sweep_criticality_document(table: &str, report: &SweepReport) -> Json {
 }
 
 /// One line summarising sweep cache effectiveness, for the table binaries'
-/// stderr and the CI bench log.
+/// stderr and the CI bench log. Besides the aggregate counters it calls out
+/// the `compiled` simulator stage (the levelized bit-parallel instruction
+/// stream every campaign evaluates on), so bench logs show when campaigns
+/// were served a cached compilation.
 pub fn cache_summary(report: &SweepReport) -> String {
-    format!("sweep artifact cache: {}", report.cache)
+    let compiled = match report.stage_stats("compiled") {
+        Some(stats) => format!(
+            "; compiled stage: {} hits / {} misses",
+            stats.hits, stats.misses
+        ),
+        None => String::new(),
+    };
+    format!("sweep artifact cache: {}{compiled}", report.cache)
 }
 
 #[cfg(test)]

@@ -174,6 +174,8 @@ pub struct ArtifactCache {
     map: Mutex<HashMap<CacheKey, Arc<dyn Any + Send + Sync>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Per-stage `(hits, misses)` counters, keyed by the stage label.
+    stage_counters: Mutex<HashMap<&'static str, (u64, u64)>>,
 }
 
 impl ArtifactCache {
@@ -212,6 +214,7 @@ impl ArtifactCache {
         // since stages are pure functions of the key.
         let computed = Arc::new(compute()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bump_stage(key.stage, false);
         let mut map = self.map.lock().expect("artifact cache poisoned");
         let entry = map
             .entry(key)
@@ -238,11 +241,52 @@ impl ArtifactCache {
         let map = self.map.lock().expect("artifact cache poisoned");
         let entry = map.get(&key)?.clone();
         self.hits.fetch_add(1, Ordering::Relaxed);
+        self.bump_stage(key.stage, true);
         Some(
             entry
                 .downcast::<T>()
                 .unwrap_or_else(|_| panic!("artifact type mismatch for stage `{}`", key.stage)),
         )
+    }
+
+    /// Bumps the per-stage hit/miss counter.
+    fn bump_stage(&self, stage: &'static str, hit: bool) {
+        let mut counters = self.stage_counters.lock().expect("artifact cache poisoned");
+        let entry = counters.entry(stage).or_insert((0, 0));
+        if hit {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+    }
+
+    /// Per-stage effectiveness counters, sorted by stage label. `entries`
+    /// counts the artifacts currently stored under each stage, so sweep
+    /// reports can show exactly which pipeline stages (synthesis, the
+    /// compiled simulator, campaigns, ...) were served from the cache.
+    pub fn stage_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        let counters = self
+            .stage_counters
+            .lock()
+            .expect("artifact cache poisoned")
+            .clone();
+        let map = self.map.lock().expect("artifact cache poisoned");
+        let mut stages: Vec<(&'static str, CacheStats)> = counters
+            .into_iter()
+            .map(|(stage, (hits, misses))| {
+                let entries = map.keys().filter(|key| key.stage == stage).count();
+                (
+                    stage,
+                    CacheStats {
+                        hits,
+                        misses,
+                        entries,
+                    },
+                )
+            })
+            .collect();
+        stages.sort_unstable_by_key(|&(stage, _)| stage);
+        stages
     }
 
     /// Current effectiveness counters.

@@ -9,12 +9,13 @@
 
 use crate::{
     CampaignEngine, CampaignOptions, CampaignResult, CampaignSession, EarlyStop, FaultModel,
+    SimBackend,
 };
 use std::sync::Arc;
 use tmr_arch::{Device, MbuPattern};
 use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{GoldenRun, SimError};
+use tmr_sim::{CompiledNetlist, GoldenRun, SimError};
 
 /// Fluent configuration for fault-injection campaigns.
 ///
@@ -41,6 +42,8 @@ pub struct CampaignBuilder {
     batch_size: Option<usize>,
     early_stop: Option<EarlyStop>,
     golden: Option<Arc<GoldenRun>>,
+    compiled: Option<Arc<CompiledNetlist>>,
+    backend: Option<SimBackend>,
 }
 
 impl CampaignBuilder {
@@ -176,6 +179,25 @@ impl CampaignBuilder {
         self
     }
 
+    /// Reuses a precompiled instruction stream (the facade's cached
+    /// `compiled` pipeline stage) instead of levelizing the netlist per
+    /// session. Must have been compiled from this design's netlist.
+    #[must_use]
+    pub fn compiled(mut self, compiled: Arc<CompiledNetlist>) -> Self {
+        self.compiled = Some(compiled);
+        self
+    }
+
+    /// Overrides the simulation backend. The default is
+    /// [`SimBackend::from_env`]: the compiled bit-parallel engine unless
+    /// `TMR_SIM=interp` selects the interpreting oracle. Outcomes are
+    /// bit-identical either way; only throughput differs.
+    #[must_use]
+    pub fn backend(mut self, backend: SimBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// The accumulated campaign options.
     pub fn options(&self) -> &CampaignOptions {
         &self.options
@@ -184,6 +206,14 @@ impl CampaignBuilder {
     /// The installed early-stop rule, if any.
     pub fn early_stop_rule(&self) -> Option<&EarlyStop> {
         self.early_stop.as_ref()
+    }
+
+    /// The explicitly configured backend, if any — the effective backend is
+    /// `backend_hint().unwrap_or_else(SimBackend::from_env)`. The facade
+    /// uses this to skip compiling the instruction stream for
+    /// interpreter-only runs.
+    pub fn backend_hint(&self) -> Option<SimBackend> {
+        self.backend
     }
 
     /// The configured streaming batch size, if any. Together with the
@@ -208,6 +238,12 @@ impl CampaignBuilder {
         }
         if let Some(golden) = &self.golden {
             engine = engine.with_golden(golden.clone());
+        }
+        if let Some(compiled) = &self.compiled {
+            engine = engine.with_compiled(compiled.clone());
+        }
+        if let Some(backend) = self.backend {
+            engine = engine.with_backend(backend);
         }
         engine
     }

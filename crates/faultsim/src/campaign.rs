@@ -1,17 +1,17 @@
 //! The Fault Injection Manager: campaign options, outcomes and result tables.
 
-use crate::{classify_fault, CampaignBuilder, FaultClass, FaultEffect, FaultModel};
+use crate::{classify_fault, FaultClass, FaultEffect, FaultModel, SimBackend};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{GoldenRun, SimError, Simulator};
+use tmr_sim::{CompiledNetlist, GoldenRun, PackedGolden, Simulator};
 
 /// Options of a fault-injection campaign.
 ///
-/// Construct through [`CampaignBuilder`] (or start from
+/// Construct through [`CampaignBuilder`](crate::CampaignBuilder) (or start from
 /// [`CampaignOptions::default`] and refine with the `with_*` methods); the
 /// fields are not public, so options can evolve without breaking every
 /// construction site.
@@ -296,39 +296,14 @@ impl fmt::Display for CampaignResult {
     }
 }
 
-/// Runs a fault-injection campaign on a routed design.
-///
-/// For every sampled configuration bit the campaign flips the bit, derives its
-/// structural effect, simulates the faulty device with the same stimulus as
-/// the golden run and records whether any output ever diverged — one
-/// experiment per bit, on a freshly configured device, exactly like the
-/// paper's flow (download faulty bitstream, run, compare, reconfigure).
-///
-/// # Errors
-///
-/// Returns [`SimError`] if the netlist cannot be simulated (combinational
-/// loop), which cannot happen for designs produced by the `tmr-synth` flow.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `CampaignBuilder::new().sequential().run(device, routed)` instead"
-)]
-pub fn run_campaign(
-    device: &Device,
-    routed: &RoutedDesign,
-    options: &CampaignOptions,
-) -> Result<CampaignResult, SimError> {
-    CampaignBuilder::from_options(options.clone())
-        .sequential()
-        .run(device, routed)
-}
-
 /// The immutable per-worker state of one campaign shard: the design under
-/// test, a (cloned) compiled simulator and the shared golden reference
-/// (stimulus, fault-free trace and output voting).
+/// test, the simulation backend (the compiled bit-parallel engine or the
+/// interpreting oracle) and the shared golden reference (stimulus,
+/// fault-free trace and output voting).
 pub(crate) struct ShardContext<'a> {
     pub device: &'a Device,
     pub routed: &'a RoutedDesign,
-    pub simulator: Simulator<'a>,
+    pub simulator: Option<Simulator<'a>>,
     pub golden: &'a GoldenRun,
     /// Sorted allow-list of [`CampaignOptions::simulate_only`]: sampled bits
     /// outside it are classified but not simulated.
@@ -336,6 +311,12 @@ pub(crate) struct ShardContext<'a> {
     /// Sorted single-domain tags of [`CampaignOptions::maskable_domains`]:
     /// the justification needed to skip a *multi-bit* fault.
     pub maskable: Option<&'a [(usize, Domain)]>,
+    /// Which engine actually evaluates the faulty device.
+    pub backend: SimBackend,
+    /// The compiled instruction stream (present on the compiled backend).
+    pub compiled: Option<&'a CompiledNetlist>,
+    /// The packed golden reference (present on the compiled backend).
+    pub packed: Option<&'a PackedGolden>,
 }
 
 impl ShardContext<'_> {
@@ -406,42 +387,89 @@ impl ShardContext<'_> {
 /// the batch campaign engine: for a given `(fault bits, golden run)` pair the
 /// outcome is a pure function, which is what makes sharded and early-stopped
 /// campaigns bit-identical to sequential full-length ones on the faults they
-/// simulate.
+/// simulate. On the compiled backend the simulable faults are additionally
+/// batched into 64-lane packed words — bridging faults separately from the
+/// rest, so clean words take the incremental fan-out-cone path — and their
+/// per-lane results are written back into fault-list order, which keeps the
+/// merged outcomes byte-identical to the interpreter's.
 pub(crate) fn run_shard(
     ctx: &ShardContext<'_>,
     faults: &[Vec<usize>],
 ) -> (Vec<FaultOutcome>, usize) {
-    let mut simulated = 0;
-    let outcomes = faults
+    let effects: Vec<FaultEffect> = faults
         .iter()
-        .map(|bits| {
-            let effect = classify_fault(ctx.device, ctx.routed, bits);
-            let skip = effect.overlay().is_empty() || ctx.statically_skippable(&effect);
-            let (wrong_answer, first_error_cycle) = if skip {
-                (false, None)
-            } else {
+        .map(|bits| classify_fault(ctx.device, ctx.routed, bits))
+        .collect();
+    let mut results: Vec<(bool, Option<usize>)> = vec![(false, None); faults.len()];
+    let mut simulated = 0;
+
+    match ctx.backend {
+        SimBackend::Interpreter => {
+            let simulator = ctx
+                .simulator
+                .as_ref()
+                .expect("interpreter backend without a simulator");
+            for (effect, result) in effects.iter().zip(results.iter_mut()) {
+                if effect.overlay().is_empty() || ctx.statically_skippable(effect) {
+                    continue;
+                }
                 simulated += 1;
-                let trace = ctx
-                    .simulator
-                    .run_stimulus(ctx.golden.stimulus(), effect.overlay());
-                match ctx
+                let trace = simulator.run_stimulus(ctx.golden.stimulus(), effect.overlay());
+                if let Some(cycle) = ctx
                     .golden
                     .groups()
                     .first_voted_mismatch(ctx.golden.trace(), &trace)
                 {
-                    Some(cycle) => (true, Some(cycle)),
-                    None => (false, None),
+                    *result = (true, Some(cycle));
                 }
-            };
-            FaultOutcome {
+            }
+        }
+        SimBackend::Compiled => {
+            let compiled = ctx.compiled.expect("compiled backend without a netlist");
+            let packed = ctx.packed.expect("compiled backend without a golden pack");
+            // Split the simulable faults into two lane streams: words
+            // without bridged nets run incrementally over the fan-out cone,
+            // words with bridges take the full multi-pass evaluation.
+            let mut clean: Vec<usize> = Vec::new();
+            let mut bridged: Vec<usize> = Vec::new();
+            for (index, effect) in effects.iter().enumerate() {
+                if effect.overlay().is_empty() || ctx.statically_skippable(effect) {
+                    continue;
+                }
+                if effect.overlay().shorted_nets.is_empty() {
+                    clean.push(index);
+                } else {
+                    bridged.push(index);
+                }
+            }
+            simulated = clean.len() + bridged.len();
+            for stream in [&clean, &bridged] {
+                for word in stream.chunks(64) {
+                    let overlays: Vec<&tmr_sim::FaultOverlay> =
+                        word.iter().map(|&index| effects[index].overlay()).collect();
+                    let mismatches = compiled.run_word(packed, &overlays);
+                    for (&index, mismatch) in word.iter().zip(mismatches) {
+                        results[index] = (mismatch.is_some(), mismatch);
+                    }
+                }
+            }
+        }
+    }
+
+    let outcomes = faults
+        .iter()
+        .zip(effects)
+        .zip(results)
+        .map(
+            |((bits, effect), (wrong_answer, first_error_cycle))| FaultOutcome {
                 bit: bits[0],
                 class: effect.class(),
                 wrong_answer,
                 first_error_cycle,
                 crosses_domains: effect.crosses_domains(),
                 bits: effect.into_bits(),
-            }
-        })
+            },
+        )
         .collect();
     (outcomes, simulated)
 }
@@ -449,6 +477,7 @@ pub(crate) fn run_shard(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CampaignBuilder;
     use tmr_core::{apply_tmr, TmrConfig};
     use tmr_designs::counter;
     use tmr_pnr::place_and_route;
@@ -535,17 +564,20 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_run_campaign_matches_the_builder_path() {
+    fn interpreter_backend_matches_the_compiled_default() {
         let device = Device::small(5, 5);
         let routed = implement(&counter(4), &device, 5);
-        let options = CampaignBuilder::new().faults(60).cycles(6).build();
-        #[allow(deprecated)]
-        let legacy = run_campaign(&device, &routed, &options).unwrap();
-        let modern = CampaignBuilder::from_options(options)
-            .sequential()
+        let campaign = CampaignBuilder::new().faults(60).cycles(6).sequential();
+        let compiled = campaign
+            .clone()
+            .backend(SimBackend::Compiled)
             .run(&device, &routed)
             .unwrap();
-        assert_eq!(legacy, modern);
+        let interpreted = campaign
+            .backend(SimBackend::Interpreter)
+            .run(&device, &routed)
+            .unwrap();
+        assert_eq!(compiled, interpreted);
     }
 
     #[test]

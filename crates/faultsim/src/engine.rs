@@ -5,16 +5,19 @@
 //! runs the same stimulus and compares against the same golden trace — no
 //! experiment depends on another. [`CampaignEngine`] exploits that:
 //!
-//! 1. the expensive shared state is computed **once** — the compiled
-//!    [`Simulator`], the golden [`GoldenRun`] (replayable stimulus,
-//!    fault-free trace, output voting) and the sampled fault list; a golden
-//!    run computed elsewhere (e.g. by the facade's artifact cache) can be
-//!    injected with [`CampaignEngine::with_golden`] and skips even that;
+//! 1. the expensive shared state is computed **once** — the backend's
+//!    evaluation engine (the compiled bit-parallel instruction stream and
+//!    its packed golden frames on [`SimBackend::Compiled`], the levelized
+//!    interpreting [`Simulator`] on [`SimBackend::Interpreter`]), the golden
+//!    [`GoldenRun`] (replayable stimulus, fault-free trace, output voting)
+//!    and the sampled fault list; artifacts computed elsewhere (e.g. by the
+//!    facade's cache) can be injected with [`CampaignEngine::with_golden`] /
+//!    [`CampaignEngine::with_compiled`] and skip even that;
 //! 2. the sampled fault list is split into deterministic contiguous
 //!    **shards**;
-//! 3. each shard runs on its own [`std::thread::scope`] worker thread with
-//!    its own `Simulator` clone (the levelization is reused, not recomputed)
-//!    while the routed design and golden run are shared immutably;
+//! 3. each shard runs on its own [`std::thread::scope`] worker thread,
+//!    sharing the routed design, golden run and compiled stream immutably
+//!    (the interpreter backend hands each worker its own `Simulator` clone);
 //! 4. per-shard outcome vectors are concatenated in shard order, which *is*
 //!    fault-list order — so the merged [`CampaignResult`] is bit-identical
 //!    to the sequential one regardless of the shard count.
@@ -31,7 +34,38 @@ use std::num::NonZeroUsize;
 use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{GoldenRun, SimError, Simulator};
+use tmr_sim::{CompiledNetlist, GoldenRun, SimError, Simulator};
+
+/// Which engine evaluates the faulty device inside a campaign.
+///
+/// The compiled backend is the default: the netlist is levelized once into a
+/// flat instruction stream and 64 experiments are evaluated per packed
+/// machine word, incrementally over the fan-out cone of each fault — with
+/// outcomes **bit-identical** to the interpreter (the differential harness
+/// in `tests/compiled_sim.rs` pins this). The interpreting oracle stays
+/// selectable for differential testing and debugging, either through
+/// [`CampaignBuilder::backend`](crate::CampaignBuilder::backend) or with
+/// `TMR_SIM=interp` in the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// The levelized, bit-parallel compiled engine (the default).
+    #[default]
+    Compiled,
+    /// The cell-by-cell interpreting simulator — the semantics oracle.
+    Interpreter,
+}
+
+impl SimBackend {
+    /// Resolves the backend from the `TMR_SIM` environment variable:
+    /// `interp`/`interpreter` selects the oracle, `compiled`/`packed` (or an
+    /// unset/unknown value) the compiled engine.
+    pub fn from_env() -> Self {
+        match std::env::var("TMR_SIM").as_deref() {
+            Ok("interp" | "interpreter") => SimBackend::Interpreter,
+            _ => SimBackend::Compiled,
+        }
+    }
+}
 
 /// A configured fault-injection campaign over one routed design.
 ///
@@ -56,6 +90,8 @@ pub struct CampaignEngine<'a> {
     options: CampaignOptions,
     shards: usize,
     golden: Option<Arc<GoldenRun>>,
+    compiled: Option<Arc<CompiledNetlist>>,
+    backend: Option<SimBackend>,
 }
 
 impl<'a> CampaignEngine<'a> {
@@ -70,6 +106,8 @@ impl<'a> CampaignEngine<'a> {
             options,
             shards,
             golden: None,
+            compiled: None,
+            backend: None,
         }
     }
 
@@ -99,6 +137,24 @@ impl<'a> CampaignEngine<'a> {
         self
     }
 
+    /// Reuses a precompiled instruction stream instead of levelizing the
+    /// netlist again — the facade's `compiled` pipeline stage injects its
+    /// cached artifact here. The stream must have been compiled from this
+    /// design's netlist (checked against the net count at session build).
+    #[must_use]
+    pub fn with_compiled(mut self, compiled: Arc<CompiledNetlist>) -> Self {
+        self.compiled = Some(compiled);
+        self
+    }
+
+    /// Overrides the simulation backend (default: [`SimBackend::from_env`],
+    /// i.e. the compiled engine unless `TMR_SIM=interp` is set).
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// The configured shard count.
     pub fn shards(&self) -> usize {
         self.shards
@@ -125,7 +181,14 @@ impl<'a> CampaignEngine<'a> {
     /// does not match the options' cycle count or stimulus seed.
     pub fn session(&self) -> Result<CampaignSession<'a>, SimError> {
         let netlist = self.routed.netlist();
-        let simulator = Simulator::new(netlist)?;
+        let backend = self.backend.unwrap_or_else(SimBackend::from_env);
+        // Each backend builds only its own evaluation state: the compiled
+        // engine its instruction stream + golden pack, the interpreter its
+        // levelized `Simulator` — neither pays for the other.
+        let simulator = match backend {
+            SimBackend::Interpreter => Some(Simulator::new(netlist)?),
+            SimBackend::Compiled => None,
+        };
         let golden = match &self.golden {
             Some(golden) => {
                 assert_eq!(
@@ -147,6 +210,24 @@ impl<'a> CampaignEngine<'a> {
                 self.options.stimulus_seed,
             )?),
         };
+        let (compiled, packed) = match backend {
+            SimBackend::Interpreter => (None, None),
+            SimBackend::Compiled => {
+                let compiled = match &self.compiled {
+                    Some(compiled) => {
+                        assert_eq!(
+                            compiled.net_count(),
+                            netlist.net_count(),
+                            "injected compiled netlist was built for a different design"
+                        );
+                        compiled.clone()
+                    }
+                    None => Arc::new(CompiledNetlist::compile(netlist)?),
+                };
+                let packed = Arc::new(compiled.pack_golden(&golden));
+                (Some(compiled), Some(packed))
+            }
+        };
         let fault_list = FaultList::build(self.device, self.routed);
         let sample = fault_list.sample_faults(
             self.device,
@@ -159,6 +240,9 @@ impl<'a> CampaignEngine<'a> {
             self.routed,
             simulator,
             golden,
+            backend,
+            compiled,
+            packed,
             self.options.simulate_only.clone(),
             self.options.maskable.clone(),
             fault_list.len(),

@@ -54,13 +54,11 @@ mod fault_list;
 mod model;
 mod session;
 
-#[allow(deprecated)]
-pub use campaign::run_campaign;
 pub use campaign::{CampaignOptions, CampaignResult, FaultOutcome};
 
 pub use builder::CampaignBuilder;
 pub use effect::{classify_bit, classify_fault, BitEffect, FaultClass, FaultEffect};
-pub use engine::CampaignEngine;
+pub use engine::{CampaignEngine, SimBackend};
 pub use fault_list::FaultList;
 pub use model::FaultModel;
 pub use session::{CampaignSession, EarlyStop, SessionProgress};

@@ -20,12 +20,12 @@
 //! exhausted.
 
 use crate::campaign::{run_shard, ShardContext};
-use crate::{CampaignResult, FaultOutcome};
+use crate::{CampaignResult, FaultOutcome, SimBackend};
 use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{GoldenRun, Simulator};
+use tmr_sim::{CompiledNetlist, GoldenRun, PackedGolden, Simulator};
 
 /// A statistical stopping rule for streaming campaigns: halt once the
 /// confidence interval of the wrong-answer rate is tighter than a bound.
@@ -170,8 +170,11 @@ pub struct SessionProgress {
 pub struct CampaignSession<'a> {
     device: &'a Device,
     routed: &'a RoutedDesign,
-    simulator: Simulator<'a>,
+    simulator: Option<Simulator<'a>>,
     golden: Arc<GoldenRun>,
+    backend: SimBackend,
+    compiled: Option<Arc<CompiledNetlist>>,
+    packed: Option<Arc<PackedGolden>>,
     simulate_only: Option<Arc<[usize]>>,
     maskable: Option<Arc<[(usize, Domain)]>>,
     design: String,
@@ -192,8 +195,11 @@ impl<'a> CampaignSession<'a> {
     pub(crate) fn new(
         device: &'a Device,
         routed: &'a RoutedDesign,
-        simulator: Simulator<'a>,
+        simulator: Option<Simulator<'a>>,
         golden: Arc<GoldenRun>,
+        backend: SimBackend,
+        compiled: Option<Arc<CompiledNetlist>>,
+        packed: Option<Arc<PackedGolden>>,
         simulate_only: Option<Arc<[usize]>>,
         maskable: Option<Arc<[(usize, Domain)]>>,
         fault_list_size: usize,
@@ -206,6 +212,9 @@ impl<'a> CampaignSession<'a> {
             routed,
             simulator,
             golden,
+            backend,
+            compiled,
+            packed,
             simulate_only,
             maskable,
             design: routed.netlist().name().to_string(),
@@ -255,11 +264,17 @@ impl<'a> CampaignSession<'a> {
         let start = self.cursor;
         let end = (start + self.batch_size).min(self.sample.len());
         self.cursor = end;
+        let backends = BackendRefs {
+            backend: self.backend,
+            compiled: self.compiled.as_deref(),
+            packed: self.packed.as_deref(),
+        };
         let (outcomes, simulated) = run_faults(
             self.device,
             self.routed,
-            &self.simulator,
+            self.simulator.as_ref(),
             &self.golden,
+            backends,
             self.simulate_only.as_deref(),
             self.maskable.as_deref(),
             self.shards,
@@ -334,6 +349,14 @@ impl<'a> CampaignSession<'a> {
     }
 }
 
+/// The shared simulation-backend state handed to every worker shard.
+#[derive(Clone, Copy)]
+struct BackendRefs<'a> {
+    backend: SimBackend,
+    compiled: Option<&'a CompiledNetlist>,
+    packed: Option<&'a PackedGolden>,
+}
+
 /// Injects `faults` (a contiguous slice of the sampled fault list) across
 /// `shards` worker threads and merges the outcomes in slice order.
 ///
@@ -342,13 +365,16 @@ impl<'a> CampaignSession<'a> {
 /// and per-shard outcome vectors are concatenated in chunk order — never in
 /// thread-completion order — which reproduces slice order (= fault-list
 /// order) exactly, so the merged outcomes are independent of the thread
-/// schedule.
+/// schedule. Each shard additionally packs its faults into 64-lane words on
+/// the compiled backend; word boundaries live entirely inside a shard, so
+/// they never affect the merged order either.
 #[allow(clippy::too_many_arguments)]
 fn run_faults(
     device: &Device,
     routed: &RoutedDesign,
-    simulator: &Simulator<'_>,
+    simulator: Option<&Simulator<'_>>,
     golden: &GoldenRun,
+    backends: BackendRefs<'_>,
     simulate_only: Option<&[usize]>,
     maskable: Option<&[(usize, Domain)]>,
     shards: usize,
@@ -359,10 +385,13 @@ fn run_faults(
         let ctx = ShardContext {
             device,
             routed,
-            simulator: simulator.clone(),
+            simulator: simulator.cloned(),
             golden,
             simulate_only,
             maskable,
+            backend: backends.backend,
+            compiled: backends.compiled,
+            packed: backends.packed,
         };
         return run_shard(&ctx, faults);
     }
@@ -374,10 +403,13 @@ fn run_faults(
                 let ctx = ShardContext {
                     device,
                     routed,
-                    simulator: simulator.clone(),
+                    simulator: simulator.cloned(),
                     golden,
                     simulate_only,
                     maskable,
+                    backend: backends.backend,
+                    compiled: backends.compiled,
+                    packed: backends.packed,
                 };
                 scope.spawn(move || run_shard(&ctx, chunk_faults))
             })

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 mod cell;
+mod cone;
 mod domain;
 mod dot;
 mod error;
@@ -46,6 +47,7 @@ mod traverse;
 mod validate;
 
 pub use cell::{Cell, CellKind};
+pub use cone::{FanoutCone, FanoutIndex};
 pub use domain::Domain;
 pub use error::NetlistError;
 pub use id::{CellId, NetId, PortId};

@@ -1,0 +1,1100 @@
+//! The compiled, levelized, bit-parallel fault simulator.
+//!
+//! The interpreting [`Simulator`](crate::Simulator) walks the netlist
+//! cell-by-cell through id-indirected lookups and allocates per-cell input
+//! vectors on every evaluation — fine as a semantics oracle, hopeless as the
+//! inner loop of a fault-injection campaign. [`CompiledNetlist`] compiles a
+//! netlist **once** into a flat, cache-friendly instruction stream
+//! (topologically levelized combinational ops, flip-flop records, port
+//! tables) and then evaluates **64 fault experiments at a time** over
+//! two-plane packed trits ([`TritWord`]): every gate becomes a handful of
+//! bitwise operations shared by all 64 lanes, with the exact
+//! completion-enumeration `X` semantics of the interpreter preserved
+//! (`maj(X, v, v) = v`).
+//!
+//! Fault simulation is *incremental* on top of that: each experiment word is
+//! seeded from the cached fault-free run ([`PackedGolden`]), only the static
+//! fan-out cone of the faulted cells/nets
+//! ([`tmr_netlist::FanoutIndex`]) is re-evaluated, everything outside the
+//! cone is read straight from the golden per-cycle frames, and a lane exits
+//! early the cycle its outcome is decided — either because its voted outputs
+//! diverged (first error cycle found) or because its state re-converged with
+//! golden (a pure state fault can never diverge again).
+//!
+//! Faults that bridge two nets (`shorted_nets`) couple values *backwards*
+//! against the topological order; for words containing such lanes the engine
+//! falls back to a full-netlist evaluation that mirrors the interpreter's
+//! multi-pass settling loop — including its per-run `changed` bookkeeping
+//! and the oscillation poisoning after the fourth pass — so results stay
+//! bit-identical there too. The interpreter remains available as a
+//! differential oracle (`TMR_SIM=interp` in the campaign layer).
+
+use crate::compare::majority;
+use crate::packed::{majority_word, TritWord};
+use crate::{FaultOverlay, GoldenRun, OutputGroups, SimError, SinkRef, Trit};
+use std::collections::HashMap;
+use tmr_netlist::{CellKind, FanoutIndex, Netlist};
+
+/// Sentinel for "this cell has no op / flip-flop slot".
+const NONE: u32 = u32::MAX;
+
+/// One combinational instruction of the compiled stream.
+#[derive(Debug, Clone)]
+struct Op {
+    /// Output net.
+    out: u32,
+    /// First operand slot in [`CompiledNetlist::operands`].
+    operand_start: u32,
+    /// Number of inputs (0..=6).
+    k: u8,
+    /// Pure pass-through (`Buf` / `Ibuf` / `Obuf`).
+    copy: bool,
+    /// The cell is a LUT, so campaign truth-table overrides apply to it.
+    lut: bool,
+    /// Truth table over the `k` inputs (one bit per input assignment).
+    init: u64,
+}
+
+/// One flip-flop record of the compiled stream.
+#[derive(Debug, Clone)]
+struct CompiledFf {
+    /// The `D` input net.
+    d_net: u32,
+    /// The `Q` output net.
+    q_net: u32,
+    /// Power-up value.
+    init: bool,
+}
+
+/// A netlist compiled for levelized, 64-lane bit-parallel evaluation.
+///
+/// Built once per netlist with [`CompiledNetlist::compile`]; immutable and
+/// self-contained afterwards (it borrows nothing from the netlist), so it
+/// can be cached as a pipeline artifact and shared across campaign worker
+/// threads behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    net_count: usize,
+    /// Combinational instructions in topological (fanin-first) order — the
+    /// same levelization order the interpreter uses, which full-evaluation
+    /// mode relies on to reproduce its pass-by-pass settling exactly.
+    ops: Vec<Op>,
+    /// Flat operand net table (`Op::operand_start` indexes into it).
+    operands: Vec<u32>,
+    /// Cell index → op index (or [`NONE`]).
+    op_of_cell: Vec<u32>,
+    ffs: Vec<CompiledFf>,
+    /// Cell index → flip-flop slot (or [`NONE`]).
+    ff_of_cell: Vec<u32>,
+    /// Input-port nets, in stimulus order.
+    input_nets: Vec<u32>,
+    /// Output-port nets, in trace order.
+    outputs: Vec<u32>,
+    /// Port index → output position (or [`NONE`]).
+    output_of_port: Vec<u32>,
+    /// Pad-voting groups: member positions into `outputs`.
+    groups: Vec<Vec<usize>>,
+    /// The static fan-out cone index used for incremental re-simulation.
+    index: FanoutIndex,
+}
+
+/// The packed golden reference of a compiled campaign: the per-cycle settled
+/// value of **every net** of the fault-free run (the incremental mode reads
+/// out-of-cone nets from here) plus the pad-voted golden outputs the faulty
+/// lanes are compared against.
+///
+/// Built by [`CompiledNetlist::pack_golden`], which re-runs the fault-free
+/// design on the compiled engine and asserts the resulting trace is
+/// bit-identical to the interpreter-produced [`GoldenRun`] — a permanent
+/// differential canary on the compiled evaluation itself.
+#[derive(Debug, Clone)]
+pub struct PackedGolden {
+    /// `frames[cycle][net]`: settled value of every net at the end of the
+    /// cycle (flip-flop `Q` nets hold the state *driven* that cycle).
+    frames: Vec<Vec<Trit>>,
+    /// `voted[cycle][group]`: the pad-voted golden outputs.
+    voted: Vec<Vec<Trit>>,
+}
+
+impl PackedGolden {
+    /// Number of stimulus cycles.
+    pub fn cycles(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl CompiledNetlist {
+    /// Compiles `netlist` into the flat instruction stream: one topological
+    /// levelization, one fan-out index, no further per-run graph work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombinationalLoop`] if the netlist cannot be
+    /// levelized.
+    pub fn compile(netlist: &Netlist) -> Result<Self, SimError> {
+        let levelization = netlist
+            .levelize()
+            .map_err(|l| SimError::CombinationalLoop {
+                cells: l.cells.len(),
+            })?;
+        let mut ops = Vec::with_capacity(levelization.order.len());
+        let mut operands = Vec::new();
+        let mut op_of_cell = vec![NONE; netlist.cell_count()];
+        for &cell_id in &levelization.order {
+            let cell = netlist.cell(cell_id);
+            let copy = matches!(cell.kind, CellKind::Buf | CellKind::Ibuf | CellKind::Obuf);
+            let init = if copy {
+                0
+            } else {
+                cell.kind
+                    .truth_table()
+                    .expect("levelized cells are combinational")
+            };
+            op_of_cell[cell_id.index()] = ops.len() as u32;
+            let operand_start = operands.len() as u32;
+            operands.extend(cell.inputs.iter().map(|net| net.index() as u32));
+            ops.push(Op {
+                out: cell.output.index() as u32,
+                operand_start,
+                k: cell.kind.input_count() as u8,
+                copy,
+                lut: cell.kind.is_lut(),
+                init,
+            });
+        }
+
+        let mut ffs = Vec::new();
+        let mut ff_of_cell = vec![NONE; netlist.cell_count()];
+        for cell_id in netlist.sequential_cells() {
+            let cell = netlist.cell(cell_id);
+            let init = match cell.kind {
+                CellKind::Dff { init } => init,
+                _ => unreachable!("sequential cells are flip-flops"),
+            };
+            ff_of_cell[cell_id.index()] = ffs.len() as u32;
+            ffs.push(CompiledFf {
+                d_net: cell.inputs[0].index() as u32,
+                q_net: cell.output.index() as u32,
+                init,
+            });
+        }
+
+        let input_nets = netlist
+            .input_ports()
+            .map(|(_, p)| p.net.index() as u32)
+            .collect();
+        let mut outputs = Vec::new();
+        let mut output_of_port = vec![NONE; netlist.ports().count()];
+        for (port_id, port) in netlist.output_ports() {
+            output_of_port[port_id.index()] = outputs.len() as u32;
+            outputs.push(port.net.index() as u32);
+        }
+        let groups = OutputGroups::new(netlist)
+            .groups()
+            .map(|(_, _, members)| members.to_vec())
+            .collect();
+
+        Ok(Self {
+            net_count: netlist.net_count(),
+            ops,
+            operands,
+            op_of_cell,
+            ffs,
+            ff_of_cell,
+            input_nets,
+            outputs,
+            output_of_port,
+            groups,
+            index: FanoutIndex::new(netlist),
+        })
+    }
+
+    /// Number of nets of the compiled netlist.
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of combinational instructions in the stream.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn ff_count(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// The operand nets of `op`.
+    fn op_inputs(&self, op: &Op) -> &[u32] {
+        let start = op.operand_start as usize;
+        &self.operands[start..start + op.k as usize]
+    }
+
+    /// Runs the fault-free design on the compiled engine and packages the
+    /// per-cycle net frames and voted outputs for incremental fault
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled trace diverges from the interpreter-produced
+    /// trace inside `golden` — that would be a compiler bug, and this check
+    /// keeps every campaign differentially guarded against it.
+    pub fn pack_golden(&self, golden: &GoldenRun) -> PackedGolden {
+        let vectors = golden.stimulus().vectors();
+        let mut values = vec![TritWord::X; self.net_count];
+        let mut state: Vec<TritWord> = self
+            .ffs
+            .iter()
+            .map(|ff| TritWord::broadcast(Trit::from_bool(ff.init)))
+            .collect();
+        let mut frames = Vec::with_capacity(vectors.len());
+        let mut voted = Vec::with_capacity(vectors.len());
+        let mut inputs = [TritWord::ZERO; 6];
+        for (cycle, vector) in vectors.iter().enumerate() {
+            assert_eq!(
+                vector.len(),
+                self.input_nets.len(),
+                "stimulus vector length must match the number of input ports"
+            );
+            for (&net, &value) in self.input_nets.iter().zip(vector.iter()) {
+                values[net as usize] = TritWord::broadcast(value);
+            }
+            for (ff, st) in self.ffs.iter().zip(state.iter()) {
+                values[ff.q_net as usize] = *st;
+            }
+            for op in &self.ops {
+                for (pin, &net) in self.op_inputs(op).iter().enumerate() {
+                    inputs[pin] = values[net as usize];
+                }
+                values[op.out as usize] = eval_op(op, &inputs, None);
+            }
+            let frame: Vec<Trit> = values.iter().map(|w| w.lane(0)).collect();
+            let trace_row: Vec<Trit> = self
+                .outputs
+                .iter()
+                .map(|&net| frame[net as usize])
+                .collect();
+            assert_eq!(
+                trace_row,
+                golden.trace().outputs[cycle],
+                "compiled golden run diverged from the interpreter at cycle {cycle}"
+            );
+            voted.push(
+                self.groups
+                    .iter()
+                    .map(|members| {
+                        let member_values: Vec<Trit> =
+                            members.iter().map(|&m| trace_row[m]).collect();
+                        majority(&member_values)
+                    })
+                    .collect(),
+            );
+            for (ff, st) in self.ffs.iter().zip(state.iter_mut()) {
+                *st = values[ff.d_net as usize];
+            }
+            frames.push(frame);
+        }
+        PackedGolden { frames, voted }
+    }
+
+    /// Simulates up to 64 fault experiments in one packed word and returns,
+    /// per lane, the first cycle at which the pad-voted outputs diverged
+    /// from golden (`None` = the fault never produced a wrong answer).
+    ///
+    /// The result is bit-identical to running the interpreting simulator on
+    /// each overlay individually and comparing with
+    /// [`OutputGroups::first_voted_mismatch`]. Words without bridged nets
+    /// run in the incremental fan-out-cone mode; words containing
+    /// `shorted_nets` fall back to the full-netlist multi-pass evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlays` is empty or holds more than 64 lanes, or if
+    /// `golden` was packed for a different netlist.
+    pub fn run_word(
+        &self,
+        golden: &PackedGolden,
+        overlays: &[&FaultOverlay],
+    ) -> Vec<Option<usize>> {
+        assert!(
+            !overlays.is_empty() && overlays.len() <= 64,
+            "a packed word holds 1..=64 experiment lanes"
+        );
+        if let Some(frame) = golden.frames.first() {
+            assert_eq!(
+                frame.len(),
+                self.net_count,
+                "golden frames netlist mismatch"
+            );
+        }
+        let word = WordOverlays::build(self, overlays);
+        if word.has_shorts {
+            self.run_word_full(golden, &word, overlays.len())
+        } else {
+            self.run_word_cone(golden, &word, overlays.len())
+        }
+    }
+
+    /// Incremental mode: evaluate only the union fan-out cone of the word's
+    /// fault sites, reading everything else from the golden frames.
+    ///
+    /// The per-word scratch (`values`, `in_cone_net`) is sized by the whole
+    /// netlist, so setup is O(nets) even for a tiny cone — a deliberate
+    /// trade: the per-*cycle* work (the dominant term, `cycles × passes`
+    /// deep) is O(cone), and at the workspace's netlist sizes the flat
+    /// zero-fill is cheaper than maintaining epoch-stamped sparse scratch.
+    fn run_word_cone(
+        &self,
+        golden: &PackedGolden,
+        word: &WordOverlays,
+        lanes: usize,
+    ) -> Vec<Option<usize>> {
+        let all = lane_mask(lanes);
+        let cone = self.index.cone(
+            word.seed_cells.iter().copied(),
+            word.seed_nets.iter().copied(),
+        );
+        let mut cone_ops: Vec<u32> = cone
+            .cells
+            .iter()
+            .filter_map(|cell| match self.op_of_cell[cell.index()] {
+                NONE => None,
+                op => Some(op),
+            })
+            .collect();
+        cone_ops.sort_unstable();
+        let mut cone_ffs: Vec<u32> = cone
+            .cells
+            .iter()
+            .filter_map(|cell| match self.ff_of_cell[cell.index()] {
+                NONE => None,
+                ff => Some(ff),
+            })
+            .collect();
+        cone_ffs.sort_unstable();
+        let mut affected_outputs: Vec<u32> = cone
+            .ports
+            .iter()
+            .map(|port| self.output_of_port[port.index()])
+            .chain(word.seed_ports.iter().copied())
+            .collect();
+        affected_outputs.sort_unstable();
+        affected_outputs.dedup();
+        let affected_groups: Vec<usize> = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, members)| {
+                members
+                    .iter()
+                    .any(|&m| affected_outputs.binary_search(&(m as u32)).is_ok())
+            })
+            .map(|(g, _)| g)
+            .collect();
+
+        let mut in_cone_net = vec![false; self.net_count];
+        for &op in &cone_ops {
+            in_cone_net[self.ops[op as usize].out as usize] = true;
+        }
+        for &ff in &cone_ffs {
+            in_cone_net[self.ffs[ff as usize].q_net as usize] = true;
+        }
+
+        let mut values = vec![TritWord::X; self.net_count];
+        let mut state: Vec<TritWord> = cone_ffs
+            .iter()
+            .map(|&ff| word.initial_state(self, ff))
+            .collect();
+        let mut found = vec![None; lanes];
+        let mut active = all;
+        let mut inputs = [TritWord::ZERO; 6];
+        let mut member_buf: Vec<TritWord> = Vec::new();
+
+        for cycle in 0..golden.cycles() {
+            let frame = &golden.frames[cycle];
+            // Pure state faults whose flip-flop state re-converged with
+            // golden can never diverge again: retire those lanes now.
+            if word.state_only & active != 0 {
+                let mut state_diff = 0u64;
+                for (st, &ff) in state.iter().zip(cone_ffs.iter()) {
+                    let q = self.ffs[ff as usize].q_net as usize;
+                    state_diff |= st.diff(TritWord::broadcast(frame[q]));
+                }
+                active &= !(word.state_only & !state_diff);
+                if active == 0 {
+                    break;
+                }
+            }
+            for (st, &ff) in state.iter().zip(cone_ffs.iter()) {
+                values[self.ffs[ff as usize].q_net as usize] = *st;
+            }
+            let mut lut_cursor = 0;
+            let mut open_cursor = 0;
+            for &op_idx in &cone_ops {
+                let op = &self.ops[op_idx as usize];
+                for (pin, &net) in self.op_inputs(op).iter().enumerate() {
+                    let net = net as usize;
+                    let mut w = if in_cone_net[net] {
+                        values[net]
+                    } else {
+                        TritWord::broadcast(frame[net])
+                    };
+                    w = word.apply_read_faults(w, net, op_idx, pin, &mut open_cursor);
+                    inputs[pin] = w;
+                }
+                let masks = word.lut_masks(op_idx, &mut lut_cursor);
+                values[op.out as usize] = eval_op(op, &inputs, masks);
+            }
+            let mut mismatch = 0u64;
+            for &g in &affected_groups {
+                member_buf.clear();
+                for &m in &self.groups[g] {
+                    let net = self.outputs[m] as usize;
+                    let mut w = if in_cone_net[net] {
+                        values[net]
+                    } else {
+                        TritWord::broadcast(frame[net])
+                    };
+                    w = w.poison(word.corrupt[net] | word.port_open[m]);
+                    member_buf.push(w);
+                }
+                let dut = majority_word(&member_buf);
+                mismatch |= dut.diff(TritWord::broadcast(golden.voted[cycle][g]));
+            }
+            let hits = mismatch & active;
+            if hits != 0 {
+                record_hits(&mut found, hits, cycle);
+                active &= !hits;
+                if active == 0 {
+                    break;
+                }
+            }
+            for (st, &ff) in state.iter_mut().zip(cone_ffs.iter()) {
+                let record = &self.ffs[ff as usize];
+                let net = record.d_net as usize;
+                let mut w = if in_cone_net[net] {
+                    values[net]
+                } else {
+                    TritWord::broadcast(frame[net])
+                };
+                w = w.poison(word.corrupt[net] | word.ff_open[ff as usize]);
+                *st = w;
+            }
+        }
+        found
+    }
+
+    /// Full-netlist mode for words with bridged nets: a faithful packed
+    /// replica of the interpreter's multi-pass settling loop, including the
+    /// per-lane `changed` bookkeeping and the oscillation poisoning on the
+    /// final pass.
+    fn run_word_full(
+        &self,
+        golden: &PackedGolden,
+        word: &WordOverlays,
+        lanes: usize,
+    ) -> Vec<Option<usize>> {
+        let all = lane_mask(lanes);
+        let mut values = vec![TritWord::X; self.net_count];
+        let mut state: Vec<TritWord> = (0..self.ffs.len() as u32)
+            .map(|ff| word.initial_state(self, ff))
+            .collect();
+        let mut found = vec![None; lanes];
+        let mut active = all;
+        let mut inputs = [TritWord::ZERO; 6];
+        let mut member_buf: Vec<TritWord> = Vec::new();
+        let max_passes = if word.has_shorts { 4 } else { 1 };
+
+        for cycle in 0..golden.cycles() {
+            let frame = &golden.frames[cycle];
+            for &net in &self.input_nets {
+                values[net as usize] = TritWord::broadcast(frame[net as usize]);
+            }
+            for (ff, st) in self.ffs.iter().zip(state.iter()) {
+                values[ff.q_net as usize] = *st;
+            }
+            for pass in 0..max_passes {
+                let mut changed = 0u64;
+                let mut lut_cursor = 0;
+                let mut open_cursor = 0;
+                for (op_idx, op) in self.ops.iter().enumerate() {
+                    let op_idx = op_idx as u32;
+                    for (pin, &net) in self.op_inputs(op).iter().enumerate() {
+                        let net = net as usize;
+                        let mut w = values[net];
+                        w = word.apply_read_faults(w, net, op_idx, pin, &mut open_cursor);
+                        w = word.apply_shorts(w, net, &values);
+                        inputs[pin] = w;
+                    }
+                    let masks = word.lut_masks(op_idx, &mut lut_cursor);
+                    let out = eval_op(op, &inputs, masks);
+                    let slot = &mut values[op.out as usize];
+                    let delta = out.diff(*slot);
+                    if delta != 0 {
+                        *slot = out;
+                        changed |= delta;
+                    }
+                }
+                if changed == 0 {
+                    break;
+                }
+                if pass + 1 == max_passes {
+                    // Oscillation through a short: poison the shorted nets
+                    // of the lanes that were still changing.
+                    for &(a, b, mask) in &word.short_pairs {
+                        let poison = mask & changed;
+                        if poison != 0 {
+                            values[a as usize] = values[a as usize].poison(poison);
+                            values[b as usize] = values[b as usize].poison(poison);
+                        }
+                    }
+                }
+            }
+            let mut mismatch = 0u64;
+            for (g, members) in self.groups.iter().enumerate() {
+                member_buf.clear();
+                for &m in members {
+                    let net = self.outputs[m] as usize;
+                    let mut w = values[net].poison(word.corrupt[net]);
+                    w = word.apply_shorts(w, net, &values);
+                    w = w.poison(word.port_open[m]);
+                    member_buf.push(w);
+                }
+                let dut = majority_word(&member_buf);
+                mismatch |= dut.diff(TritWord::broadcast(golden.voted[cycle][g]));
+            }
+            let hits = mismatch & active;
+            if hits != 0 {
+                record_hits(&mut found, hits, cycle);
+                active &= !hits;
+                if active == 0 {
+                    break;
+                }
+            }
+            for (ff_idx, (ff, st)) in self.ffs.iter().zip(state.iter_mut()).enumerate() {
+                let net = ff.d_net as usize;
+                let mut w = values[net].poison(word.corrupt[net]);
+                w = word.apply_shorts(w, net, &values);
+                w = w.poison(word.ff_open[ff_idx]);
+                *st = w;
+            }
+        }
+        found
+    }
+}
+
+/// The lane mask covering `lanes` experiments.
+fn lane_mask(lanes: usize) -> u64 {
+    if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Records `cycle` as the first error cycle of every lane in `hits`.
+fn record_hits(found: &mut [Option<usize>], hits: u64, cycle: usize) {
+    let mut remaining = hits;
+    while remaining != 0 {
+        let lane = remaining.trailing_zeros() as usize;
+        found[lane] = Some(cycle);
+        remaining &= remaining - 1;
+    }
+}
+
+/// Evaluates one compiled op over packed inputs with exact `X` semantics.
+///
+/// `masks`, when present, holds one lane mask per truth-table assignment
+/// (lanes whose — possibly overridden — truth table has that bit set);
+/// otherwise the op's shared `init` is used for every lane.
+#[inline]
+fn eval_op(op: &Op, inputs: &[TritWord; 6], masks: Option<&[u64]>) -> TritWord {
+    if op.copy {
+        return inputs[0];
+    }
+    let k = op.k as usize;
+    let mut can_one = 0u64;
+    let mut can_zero = 0u64;
+    for assignment in 0..(1usize << k) {
+        let mut matching = u64::MAX;
+        for (i, input) in inputs.iter().enumerate().take(k) {
+            matching &= if (assignment >> i) & 1 == 1 {
+                input.can_be_one()
+            } else {
+                input.can_be_zero()
+            };
+            if matching == 0 {
+                break;
+            }
+        }
+        if matching == 0 {
+            continue;
+        }
+        match masks {
+            Some(masks) => {
+                can_one |= matching & masks[assignment];
+                can_zero |= matching & !masks[assignment];
+            }
+            None => {
+                if (op.init >> assignment) & 1 == 1 {
+                    can_one |= matching;
+                } else {
+                    can_zero |= matching;
+                }
+            }
+        }
+    }
+    TritWord::from_possibilities(can_one, can_zero)
+}
+
+/// The per-word compilation of up to 64 fault overlays into lane masks.
+struct WordOverlays {
+    /// Truth-table overrides: `(op index, per-assignment lane masks)`,
+    /// sorted by op index (consumed with a cursor during the ascending op
+    /// walk).
+    lut: Vec<(u32, Vec<u64>)>,
+    /// Opened cell-input pins: `((op << 3) | pin, lane mask)`, sorted.
+    pin_opens: Vec<(u64, u64)>,
+    /// Opened flip-flop `D` pins, dense per flip-flop slot.
+    ff_open: Vec<u64>,
+    /// Opened output ports, dense per output position.
+    port_open: Vec<u64>,
+    /// Corrupted (antenna) nets, dense per net.
+    corrupt: Vec<u64>,
+    /// Bridged partners per net.
+    shorts: HashMap<u32, Vec<(u32, u64)>>,
+    /// Every bridged pair with its lane mask (for oscillation poisoning).
+    short_pairs: Vec<(u32, u32, u64)>,
+    /// Any lane bridges nets (selects the full-evaluation mode).
+    has_shorts: bool,
+    /// Flip-flop initialisation overrides, dense per flip-flop slot:
+    /// lanes overridden, and their override value.
+    ff_init_set: Vec<u64>,
+    ff_init_val: Vec<u64>,
+    /// Lanes whose overlay perturbs *only* flip-flop initial state.
+    state_only: u64,
+    /// Fan-out cone seeds of the word (union over lanes).
+    seed_cells: Vec<tmr_netlist::CellId>,
+    seed_nets: Vec<tmr_netlist::NetId>,
+    seed_ports: Vec<u32>,
+}
+
+impl WordOverlays {
+    fn build(compiled: &CompiledNetlist, overlays: &[&FaultOverlay]) -> Self {
+        let mut lut_raw: HashMap<u32, Vec<(usize, u64)>> = HashMap::new();
+        let mut pin_opens: HashMap<u64, u64> = HashMap::new();
+        let mut word = Self {
+            lut: Vec::new(),
+            pin_opens: Vec::new(),
+            ff_open: vec![0; compiled.ffs.len()],
+            port_open: vec![0; compiled.outputs.len()],
+            corrupt: vec![0; compiled.net_count],
+            shorts: HashMap::new(),
+            short_pairs: Vec::new(),
+            has_shorts: false,
+            ff_init_set: vec![0; compiled.ffs.len()],
+            ff_init_val: vec![0; compiled.ffs.len()],
+            state_only: 0,
+            seed_cells: Vec::new(),
+            seed_nets: Vec::new(),
+            seed_ports: Vec::new(),
+        };
+        for (lane, overlay) in overlays.iter().enumerate() {
+            let bit = 1u64 << lane;
+            let combinational = !overlay.lut_overrides.is_empty()
+                || !overlay.opened_sinks.is_empty()
+                || !overlay.shorted_nets.is_empty()
+                || !overlay.corrupted_nets.is_empty();
+            if !combinational {
+                word.state_only |= bit;
+            }
+            for &(cell, init) in &overlay.lut_overrides {
+                let op = compiled.op_of_cell[cell.index()];
+                if op == NONE || !compiled.ops[op as usize].lut {
+                    continue; // the interpreter ignores overrides on non-LUTs
+                }
+                lut_raw.entry(op).or_default().push((lane, init));
+                word.seed_cells.push(cell);
+            }
+            for &(cell, value) in &overlay.ff_init_overrides {
+                let ff = compiled.ff_of_cell[cell.index()];
+                if ff == NONE {
+                    continue;
+                }
+                word.ff_init_set[ff as usize] |= bit;
+                if value {
+                    word.ff_init_val[ff as usize] |= bit;
+                }
+                word.seed_cells.push(cell);
+            }
+            for sink in &overlay.opened_sinks {
+                match *sink {
+                    SinkRef::CellPin { cell, pin } => {
+                        let op = compiled.op_of_cell[cell.index()];
+                        if op != NONE {
+                            *pin_opens
+                                .entry((u64::from(op) << 3) | pin as u64)
+                                .or_default() |= bit;
+                        } else {
+                            let ff = compiled.ff_of_cell[cell.index()];
+                            if ff != NONE {
+                                word.ff_open[ff as usize] |= bit;
+                            }
+                        }
+                        word.seed_cells.push(cell);
+                    }
+                    SinkRef::OutputPort(port) => {
+                        let position = compiled.output_of_port[port.index()];
+                        if position != NONE {
+                            word.port_open[position as usize] |= bit;
+                            word.seed_ports.push(position);
+                        }
+                    }
+                }
+            }
+            for &net in &overlay.corrupted_nets {
+                word.corrupt[net.index()] |= bit;
+                word.seed_nets.push(net);
+            }
+            for &(a, b) in &overlay.shorted_nets {
+                word.has_shorts = true;
+                word.shorts
+                    .entry(a.index() as u32)
+                    .or_default()
+                    .push((b.index() as u32, bit));
+                word.shorts
+                    .entry(b.index() as u32)
+                    .or_default()
+                    .push((a.index() as u32, bit));
+                word.short_pairs
+                    .push((a.index() as u32, b.index() as u32, bit));
+            }
+        }
+        word.lut = lut_raw
+            .into_iter()
+            .map(|(op, lanes)| {
+                let record = &compiled.ops[op as usize];
+                let assignments = 1usize << record.k;
+                let overridden = lanes
+                    .iter()
+                    .fold(0u64, |mask, &(lane, _)| mask | (1u64 << lane));
+                let mut masks = vec![0u64; assignments];
+                for (assignment, mask) in masks.iter_mut().enumerate() {
+                    if (record.init >> assignment) & 1 == 1 {
+                        *mask = !overridden;
+                    }
+                    for &(lane, init) in &lanes {
+                        if (init >> assignment) & 1 == 1 {
+                            *mask |= 1u64 << lane;
+                        }
+                    }
+                }
+                (op, masks)
+            })
+            .collect();
+        word.lut.sort_unstable_by_key(|&(op, _)| op);
+        word.pin_opens = pin_opens.into_iter().collect();
+        word.pin_opens.sort_unstable_by_key(|&(key, _)| key);
+        word
+    }
+
+    /// The initial packed state of flip-flop slot `ff`, overrides applied.
+    fn initial_state(&self, compiled: &CompiledNetlist, ff: u32) -> TritWord {
+        let record = &compiled.ffs[ff as usize];
+        let mut state = TritWord::broadcast(Trit::from_bool(record.init));
+        let set = self.ff_init_set[ff as usize];
+        state.val = (state.val & !set) | (self.ff_init_val[ff as usize] & set);
+        state
+    }
+
+    /// Applies corruption and pin opens to a value read by `(op, pin)`.
+    /// `open_cursor` must advance monotonically with the `(op, pin)` walk.
+    #[inline]
+    fn apply_read_faults(
+        &self,
+        mut value: TritWord,
+        net: usize,
+        op: u32,
+        pin: usize,
+        open_cursor: &mut usize,
+    ) -> TritWord {
+        let corrupt = self.corrupt[net];
+        if corrupt != 0 {
+            value = value.poison(corrupt);
+        }
+        let key = (u64::from(op) << 3) | pin as u64;
+        while *open_cursor < self.pin_opens.len() && self.pin_opens[*open_cursor].0 < key {
+            *open_cursor += 1;
+        }
+        if *open_cursor < self.pin_opens.len() && self.pin_opens[*open_cursor].0 == key {
+            value = value.poison(self.pin_opens[*open_cursor].1);
+        }
+        value
+    }
+
+    /// Applies bridged-net resolution against the raw stored partner values
+    /// (mirrors the interpreter's sequential `Trit::resolve` fold).
+    #[inline]
+    fn apply_shorts(&self, mut value: TritWord, net: usize, values: &[TritWord]) -> TritWord {
+        if !self.has_shorts {
+            return value;
+        }
+        if let Some(partners) = self.shorts.get(&(net as u32)) {
+            for &(partner, mask) in partners {
+                value = value.resolve_masked(values[partner as usize], mask);
+            }
+        }
+        value
+    }
+
+    /// Truth-table lane masks for `op`, if any lane overrides it.
+    /// `cursor` must advance monotonically with the ascending op walk.
+    #[inline]
+    fn lut_masks(&self, op: u32, cursor: &mut usize) -> Option<&[u64]> {
+        while *cursor < self.lut.len() && self.lut[*cursor].0 < op {
+            *cursor += 1;
+        }
+        match self.lut.get(*cursor) {
+            Some(&(candidate, ref masks)) if candidate == op => Some(masks),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulator, Stimulus};
+    use tmr_netlist::{CellKind, Netlist};
+
+    /// y = (a & b) | c, q = reg(y), with a second voted-style output.
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_net("ab");
+        let y = nl.add_net("y");
+        let q = nl.add_net("q");
+        nl.add_cell(
+            "u_and",
+            CellKind::Lut { k: 2, init: 0b1000 },
+            vec![a, b],
+            ab,
+        )
+        .unwrap();
+        nl.add_cell("u_or", CellKind::Lut { k: 2, init: 0b1110 }, vec![ab, c], y)
+            .unwrap();
+        nl.add_cell("u_ff", CellKind::Dff { init: false }, vec![y], q)
+            .unwrap();
+        nl.add_output("y", y);
+        nl.add_output("q", q);
+        nl
+    }
+
+    /// The oracle outcome of one overlay on one netlist.
+    fn interpreter_outcome(
+        netlist: &Netlist,
+        golden: &GoldenRun,
+        overlay: &FaultOverlay,
+    ) -> Option<usize> {
+        let simulator = Simulator::new(netlist).unwrap();
+        let trace = simulator.run_stimulus(golden.stimulus(), overlay);
+        golden.groups().first_voted_mismatch(golden.trace(), &trace)
+    }
+
+    /// Exhaustive per-overlay differential check of one word.
+    fn check_word(netlist: &Netlist, cycles: usize, seed: u64, overlays: Vec<FaultOverlay>) {
+        let golden = GoldenRun::compute(netlist, cycles, seed).unwrap();
+        let compiled = CompiledNetlist::compile(netlist).unwrap();
+        let packed = compiled.pack_golden(&golden);
+        let refs: Vec<&FaultOverlay> = overlays.iter().collect();
+        let got = compiled.run_word(&packed, &refs);
+        for (lane, overlay) in overlays.iter().enumerate() {
+            let expected = interpreter_outcome(netlist, &golden, overlay);
+            assert_eq!(got[lane], expected, "lane {lane}: {overlay:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_stream_shape() {
+        let nl = sample();
+        let compiled = CompiledNetlist::compile(&nl).unwrap();
+        assert_eq!(compiled.op_count(), 2);
+        assert_eq!(compiled.ff_count(), 1);
+        assert_eq!(compiled.net_count(), nl.net_count());
+    }
+
+    #[test]
+    fn combinational_loop_is_rejected() {
+        let mut nl = Netlist::new("loop");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_cell("u1", CellKind::Not, vec![y], x).unwrap();
+        nl.add_cell("u2", CellKind::Not, vec![x], y).unwrap();
+        nl.add_output("y", y);
+        assert!(matches!(
+            CompiledNetlist::compile(&nl),
+            Err(SimError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn golden_pack_matches_interpreter_trace() {
+        let nl = sample();
+        let golden = GoldenRun::compute(&nl, 12, 7).unwrap();
+        let compiled = CompiledNetlist::compile(&nl).unwrap();
+        let packed = compiled.pack_golden(&golden);
+        assert_eq!(packed.cycles(), 12);
+    }
+
+    #[test]
+    fn lut_and_ff_and_open_overlays_match_interpreter() {
+        let nl = sample();
+        let and_cell = nl.find_cell("u_and").unwrap().0;
+        let or_cell = nl.find_cell("u_or").unwrap().0;
+        let ff_cell = nl.find_cell("u_ff").unwrap().0;
+        let ab_net = nl.find_cell("u_and").unwrap().1.output;
+        let overlays = vec![
+            FaultOverlay {
+                lut_overrides: vec![(and_cell, 0b0111)],
+                ..FaultOverlay::none()
+            },
+            FaultOverlay {
+                ff_init_overrides: vec![(ff_cell, true)],
+                ..FaultOverlay::none()
+            },
+            FaultOverlay {
+                opened_sinks: vec![SinkRef::CellPin {
+                    cell: or_cell,
+                    pin: 1,
+                }],
+                ..FaultOverlay::none()
+            },
+            FaultOverlay {
+                corrupted_nets: vec![ab_net],
+                ..FaultOverlay::none()
+            },
+            FaultOverlay::none(),
+        ];
+        check_word(&nl, 10, 3, overlays);
+    }
+
+    #[test]
+    fn shorted_overlays_match_interpreter_in_full_mode() {
+        let nl = sample();
+        let a = nl
+            .find_port("a", tmr_netlist::PortDir::Input)
+            .unwrap()
+            .1
+            .net;
+        let c = nl
+            .find_port("c", tmr_netlist::PortDir::Input)
+            .unwrap()
+            .1
+            .net;
+        let y = nl.find_cell("u_or").unwrap().1.output;
+        let overlays = vec![
+            FaultOverlay {
+                shorted_nets: vec![(a, c)],
+                ..FaultOverlay::none()
+            },
+            // A feedback bridge (output shorted to an input) exercises the
+            // multi-pass settling and poisoning path.
+            FaultOverlay {
+                shorted_nets: vec![(y, a)],
+                ..FaultOverlay::none()
+            },
+            FaultOverlay::none(),
+        ];
+        check_word(&nl, 10, 3, overlays);
+    }
+
+    #[test]
+    fn sixty_five_lane_words_are_rejected() {
+        let nl = sample();
+        let golden = GoldenRun::compute(&nl, 4, 1).unwrap();
+        let compiled = CompiledNetlist::compile(&nl).unwrap();
+        let packed = compiled.pack_golden(&golden);
+        let overlay = FaultOverlay::none();
+        let overlays: Vec<&FaultOverlay> = std::iter::repeat_n(&overlay, 65).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compiled.run_word(&packed, &overlays)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn full_word_of_64_lanes_runs() {
+        let nl = sample();
+        let and_cell = nl.find_cell("u_and").unwrap().0;
+        let overlays: Vec<FaultOverlay> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    FaultOverlay {
+                        lut_overrides: vec![(and_cell, i as u64 & 0xf)],
+                        ..FaultOverlay::none()
+                    }
+                } else {
+                    FaultOverlay::none()
+                }
+            })
+            .collect();
+        check_word(&nl, 8, 11, overlays);
+    }
+
+    #[test]
+    fn stimulus_replay_is_exact_on_random_designs() {
+        // A depth-3 random-ish LUT network with feedback registers.
+        let mut nl = Netlist::new("rnd");
+        let mut nets = vec![
+            nl.add_input("a_0"),
+            nl.add_input("b_0"),
+            nl.add_input("c_0"),
+        ];
+        for layer in 0..3 {
+            let mut next = Vec::new();
+            for gate in 0..3 {
+                let out = nl.add_net(format!("n{layer}_{gate}"));
+                let init = (layer as u64 * 7 + gate as u64 * 13 + 5) & 0xffff;
+                nl.add_cell(
+                    format!("u{layer}_{gate}"),
+                    CellKind::Lut { k: 3, init },
+                    vec![nets[0], nets[1], nets[2]],
+                    out,
+                )
+                .unwrap();
+                next.push(out);
+            }
+            nets = next;
+        }
+        let q = nl.add_net("q");
+        nl.add_cell("u_ff", CellKind::Dff { init: true }, vec![nets[0]], q)
+            .unwrap();
+        nl.add_output("y_0", nets[1]);
+        nl.add_output("q_0", q);
+
+        let ff = nl.find_cell("u_ff").unwrap().0;
+        let u00 = nl.find_cell("u0_0").unwrap().0;
+        let overlays = vec![
+            FaultOverlay {
+                lut_overrides: vec![(u00, 0x9a)],
+                ff_init_overrides: vec![(ff, false)],
+                ..FaultOverlay::none()
+            },
+            FaultOverlay {
+                opened_sinks: vec![SinkRef::CellPin { cell: u00, pin: 2 }],
+                ..FaultOverlay::none()
+            },
+        ];
+        check_word(&nl, 16, 23, overlays);
+    }
+
+    #[test]
+    fn packed_stimulus_matches_golden_run_replay() {
+        let nl = sample();
+        let stimulus = Stimulus::random(&nl, 6, 2);
+        let golden = GoldenRun::compute(&nl, 6, 2).unwrap();
+        assert_eq!(stimulus.vectors(), golden.stimulus().vectors());
+    }
+}

@@ -41,15 +41,19 @@
 #![forbid(unsafe_code)]
 
 mod compare;
+mod compiled;
 mod fault;
 mod golden;
 mod netsim;
+mod packed;
 mod stimulus;
 mod value;
 
 pub use compare::{majority, OutputGroups};
+pub use compiled::{CompiledNetlist, PackedGolden};
 pub use fault::{FaultOverlay, SinkRef};
 pub use golden::GoldenRun;
 pub use netsim::{SimError, SimTrace, Simulator};
+pub use packed::{majority_word, TritWord};
 pub use stimulus::{random_vectors, word_vectors, Stimulus};
 pub use value::Trit;

@@ -1,0 +1,294 @@
+//! Two-plane packed three-valued words: 64 fault experiments per machine
+//! word.
+//!
+//! A [`TritWord`] carries one [`Trit`] per *lane* in two bit planes:
+//!
+//! | plane | lane bit | meaning |
+//! |-------|----------|---------|
+//! | `val` | 0 / 1    | the known logic level of the lane |
+//! | `unk` | 1        | the lane is `X` (unknown) |
+//!
+//! The representation is kept **canonical**: a lane whose `unk` bit is set
+//! always has its `val` bit cleared. Canonical words compare per-lane trit
+//! equality with two XORs ([`TritWord::diff`]), and the derived masks
+//! `can_be_one = val | unk` and `can_be_zero = !val` make the exact
+//! completion-enumeration semantics of the scalar simulator (`maj(X,v,v) =
+//! v`, an AND with a 0 input is 0 regardless of `X`) a handful of bitwise
+//! operations per 64 lanes.
+
+use crate::Trit;
+
+/// 64 three-valued lanes packed into two `u64` bit planes.
+///
+/// Lane `i` lives in bit `i` of both planes. See the module documentation
+/// for the encoding and the canonical-form invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TritWord {
+    /// Known-value plane (bit set = logic 1); always 0 where `unk` is set.
+    pub val: u64,
+    /// Unknown plane (bit set = `X`).
+    pub unk: u64,
+}
+
+impl TritWord {
+    /// All 64 lanes at logic 0.
+    pub const ZERO: TritWord = TritWord { val: 0, unk: 0 };
+    /// All 64 lanes at logic 1.
+    pub const ONE: TritWord = TritWord { val: !0, unk: 0 };
+    /// All 64 lanes unknown.
+    pub const X: TritWord = TritWord { val: 0, unk: !0 };
+
+    /// The same trit in every lane.
+    pub fn broadcast(value: Trit) -> Self {
+        match value {
+            Trit::Zero => Self::ZERO,
+            Trit::One => Self::ONE,
+            Trit::X => Self::X,
+        }
+    }
+
+    /// The trit in `lane` (0..64).
+    pub fn lane(self, lane: usize) -> Trit {
+        debug_assert!(lane < 64);
+        if (self.unk >> lane) & 1 == 1 {
+            Trit::X
+        } else if (self.val >> lane) & 1 == 1 {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Replaces the trit in `lane` (0..64).
+    pub fn set_lane(&mut self, lane: usize, value: Trit) {
+        debug_assert!(lane < 64);
+        let bit = 1u64 << lane;
+        self.val &= !bit;
+        self.unk &= !bit;
+        match value {
+            Trit::Zero => {}
+            Trit::One => self.val |= bit,
+            Trit::X => self.unk |= bit,
+        }
+    }
+
+    /// Lane mask of the positions where the two words carry *different*
+    /// trits (`X` equals `X`). Requires both words to be canonical.
+    pub fn diff(self, other: TritWord) -> u64 {
+        (self.val ^ other.val) | (self.unk ^ other.unk)
+    }
+
+    /// Forces the lanes in `mask` to `X`, leaving the others untouched.
+    pub fn poison(self, mask: u64) -> TritWord {
+        TritWord {
+            val: self.val & !mask,
+            unk: self.unk | mask,
+        }
+    }
+
+    /// Lane mask of the positions that *could* be 1 under some completion of
+    /// the unknowns (`1` or `X`).
+    pub fn can_be_one(self) -> u64 {
+        self.val | self.unk
+    }
+
+    /// Lane mask of the positions that *could* be 0 under some completion of
+    /// the unknowns (`0` or `X`). Relies on the canonical form (`val` clear
+    /// where `unk` is set).
+    pub fn can_be_zero(self) -> u64 {
+        !self.val
+    }
+
+    /// Lane mask of the positions known to be 0.
+    pub fn known_zero(self) -> u64 {
+        !self.val & !self.unk
+    }
+
+    /// Reconstructs a canonical word from "can be 1" / "can be 0" masks
+    /// (each lane must satisfy at least one of the two).
+    pub fn from_possibilities(can_one: u64, can_zero: u64) -> TritWord {
+        TritWord {
+            val: can_one & !can_zero,
+            unk: can_one & can_zero,
+        }
+    }
+
+    /// Pairwise wired-resolution against `other` in the lanes of `mask`:
+    /// lanes where the two words agree on a known value keep it, lanes where
+    /// they differ (or either is `X`) become `X` — the packed form of
+    /// [`Trit::resolve`] used for bridged nets.
+    pub fn resolve_masked(self, other: TritWord, mask: u64) -> TritWord {
+        let conflict = self.diff(other) | self.unk | other.unk;
+        self.poison(conflict & mask)
+    }
+}
+
+/// The packed majority vote of `values` across every lane — the bit-parallel
+/// form of [`crate::majority`]: a value wins a lane when strictly more than
+/// half of the members carry it there; a single member passes through.
+pub fn majority_word(values: &[TritWord]) -> TritWord {
+    match values {
+        [] => TritWord::X,
+        [single] => *single,
+        [a, b] => {
+            let one = a.val & b.val;
+            let zero = a.known_zero() & b.known_zero();
+            TritWord {
+                val: one,
+                unk: !(one | zero),
+            }
+        }
+        [a, b, c] => {
+            let one = (a.val & b.val) | (a.val & c.val) | (b.val & c.val);
+            let (za, zb, zc) = (a.known_zero(), b.known_zero(), c.known_zero());
+            let zero = (za & zb) | (za & zc) | (zb & zc);
+            TritWord {
+                val: one,
+                unk: !(one | zero),
+            }
+        }
+        many => {
+            let n = many.len();
+            let ones = count_exceeds_half(many.iter().map(|w| w.val), n);
+            let zeros = count_exceeds_half(many.iter().map(|w| w.known_zero()), n);
+            TritWord {
+                val: ones,
+                unk: !(ones | zeros),
+            }
+        }
+    }
+}
+
+/// Lane mask where the population count of the indicator words is strictly
+/// greater than `n / 2` (the majority threshold for `n` members).
+fn count_exceeds_half(indicators: impl Iterator<Item = u64>, n: usize) -> u64 {
+    // Bit-serial carry-save accumulation: `planes[k]` holds bit `k` of the
+    // per-lane count.
+    let mut planes: Vec<u64> = Vec::new();
+    for word in indicators {
+        let mut carry = word;
+        for plane in planes.iter_mut() {
+            let overflow = *plane & carry;
+            *plane ^= carry;
+            carry = overflow;
+        }
+        if carry != 0 {
+            planes.push(carry);
+        }
+    }
+    // Per-lane comparison `count > threshold` against the constant.
+    let threshold = n / 2;
+    let width = planes
+        .len()
+        .max(usize::BITS as usize - threshold.leading_zeros() as usize);
+    let mut greater = 0u64;
+    let mut equal_so_far = !0u64;
+    for k in (0..width).rev() {
+        let plane = planes.get(k).copied().unwrap_or(0);
+        if (threshold >> k) & 1 == 0 {
+            greater |= equal_so_far & plane;
+            equal_so_far &= !plane;
+        } else {
+            equal_so_far &= plane;
+        }
+    }
+    greater
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majority;
+
+    const TRITS: [Trit; 3] = [Trit::Zero, Trit::One, Trit::X];
+
+    #[test]
+    fn lane_round_trip_and_broadcast() {
+        let mut word = TritWord::broadcast(Trit::Zero);
+        word.set_lane(3, Trit::One);
+        word.set_lane(7, Trit::X);
+        assert_eq!(word.lane(3), Trit::One);
+        assert_eq!(word.lane(7), Trit::X);
+        assert_eq!(word.lane(0), Trit::Zero);
+        assert_eq!(TritWord::broadcast(Trit::X).lane(63), Trit::X);
+        assert_eq!(TritWord::broadcast(Trit::One).lane(63), Trit::One);
+        // Overwriting X with a known value restores the canonical form.
+        word.set_lane(7, Trit::One);
+        assert_eq!(word.lane(7), Trit::One);
+        assert_eq!(word.unk & (1 << 7), 0);
+    }
+
+    #[test]
+    fn diff_matches_scalar_equality() {
+        for &a in &TRITS {
+            for &b in &TRITS {
+                let wa = TritWord::broadcast(a);
+                let wb = TritWord::broadcast(b);
+                let expect = if a == b { 0 } else { !0u64 };
+                assert_eq!(wa.diff(wb), expect, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_masked_matches_scalar_resolve() {
+        for &a in &TRITS {
+            for &b in &TRITS {
+                let resolved = TritWord::broadcast(a).resolve_masked(TritWord::broadcast(b), !0);
+                assert_eq!(resolved.lane(0), a.resolve(b), "{a} resolve {b}");
+                // Outside the mask the value is untouched.
+                let untouched = TritWord::broadcast(a).resolve_masked(TritWord::broadcast(b), 0);
+                assert_eq!(untouched.lane(0), a, "{a} unmasked vs {b}");
+            }
+        }
+    }
+
+    /// Exhaustive check of the packed majority against the scalar one for
+    /// every member-count up to 4 and every trit combination.
+    #[test]
+    fn majority_word_matches_scalar_majority() {
+        for n in 1..=4usize {
+            let mut combo = vec![0usize; n];
+            loop {
+                let trits: Vec<Trit> = combo.iter().map(|&i| TRITS[i]).collect();
+                let words: Vec<TritWord> = trits.iter().map(|&t| TritWord::broadcast(t)).collect();
+                let packed = majority_word(&words);
+                assert_eq!(packed.lane(17), majority(&trits), "{trits:?}");
+                // Advance the odometer.
+                let mut done = true;
+                for digit in combo.iter_mut() {
+                    *digit += 1;
+                    if *digit < TRITS.len() {
+                        done = false;
+                        break;
+                    }
+                    *digit = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority_votes_lanes_independently() {
+        let mut a = TritWord::broadcast(Trit::One);
+        let mut b = TritWord::broadcast(Trit::One);
+        let c = TritWord::broadcast(Trit::Zero);
+        a.set_lane(5, Trit::Zero);
+        b.set_lane(5, Trit::X);
+        let voted = majority_word(&[a, b, c]);
+        assert_eq!(voted.lane(0), Trit::One, "2-of-3 ones");
+        assert_eq!(voted.lane(5), Trit::Zero, "0, X, 0 votes zero");
+    }
+
+    #[test]
+    fn count_exceeds_half_thresholds() {
+        // 5 members, threshold > 2: exactly 3 set indicators fire.
+        let set = [!0u64, !0, !0, 0, 0];
+        assert_eq!(count_exceeds_half(set.iter().copied(), 5), !0);
+        let two = [!0u64, !0, 0, 0, 0];
+        assert_eq!(count_exceeds_half(two.iter().copied(), 5), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The typed stage artifacts of the implementation pipeline and the
+//! cache-backed stage functions shared by [`Flow`](crate::flow::Flow) and
+//! [`Sweep`](crate::flow::Sweep).
+
+use crate::Error;
+use std::sync::Arc;
+use tmr_analyze::{CriticalityReport, StaticAnalysis};
+use tmr_arch::Bitstream;
+use tmr_core::pipeline::{ArtifactCache, CacheKey};
+use tmr_core::{apply_tmr, TmrConfig};
+use tmr_netlist::Netlist;
+use tmr_pnr::{Placement, RoutedDesign};
+use tmr_sim::CompiledNetlist;
+use tmr_synth::{lower, optimize, techmap, Design};
+
+/// The synthesized stage artifact: the technology-mapped LUT netlist of one
+/// (possibly TMR-protected) design.
+#[derive(Debug, Clone)]
+pub struct Synthesized {
+    pub(crate) netlist: Netlist,
+    pub(crate) fingerprint: u64,
+}
+
+impl Synthesized {
+    /// The mapped netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The placed stage artifact: a cell → site assignment on the target device.
+#[derive(Debug, Clone)]
+pub struct Placed {
+    pub(crate) placement: Placement,
+    pub(crate) fingerprint: u64,
+}
+
+impl Placed {
+    /// The placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The routed stage artifact: the fully placed, routed and configured design.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    pub(crate) design: RoutedDesign,
+    pub(crate) fingerprint: u64,
+}
+
+impl Routed {
+    /// The routed-design database.
+    pub fn design(&self) -> &RoutedDesign {
+        &self.design
+    }
+
+    /// The configuration bitstream.
+    pub fn bitstream(&self) -> &Bitstream {
+        self.design.bitstream()
+    }
+
+    /// The mapped netlist the design was built from.
+    pub fn netlist(&self) -> &Netlist {
+        self.design.netlist()
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The compiled-simulator stage artifact: the netlist levelized into the
+/// flat bit-parallel instruction stream every fault-injection campaign
+/// evaluates on ([`tmr_sim::CompiledNetlist`]).
+///
+/// The stage sits between [`Routed`] and the campaigns: it depends only on
+/// the synthesized netlist (levelization is placement-independent), is
+/// cached under the same identity fingerprint as synthesis, and is injected
+/// into every campaign and streaming session the flow builds — so sweeping
+/// three fault models over one design levelizes exactly once.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub(crate) compiled: Arc<CompiledNetlist>,
+    pub(crate) fingerprint: u64,
+}
+
+impl Compiled {
+    /// The compiled instruction stream, shareable across campaigns.
+    pub fn netlist(&self) -> &Arc<CompiledNetlist> {
+        &self.compiled
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The analyzed stage artifact: the static criticality classification of
+/// every configuration bit of the routed design.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    pub(crate) analysis: StaticAnalysis,
+    pub(crate) fingerprint: u64,
+}
+
+impl Analyzed {
+    /// The static analysis.
+    pub fn analysis(&self) -> &StaticAnalysis {
+        &self.analysis
+    }
+
+    /// Aggregates the analysis into a [`CriticalityReport`].
+    pub fn report(&self) -> CriticalityReport {
+        self.analysis.report()
+    }
+
+    /// Content fingerprint of the stage inputs (stable across processes).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The cache-backed TMR-transformation stage, shared by
+/// [`Flow::protected`](crate::flow::Flow::protected) and the
+/// device-independent synthesis pre-pass of
+/// [`Sweep::flows`](crate::flow::Sweep::flows).
+pub(crate) fn stage_protected(
+    cache: &ArtifactCache,
+    identity: u64,
+    design: &Design,
+    config: Option<&TmrConfig>,
+) -> Result<Arc<Design>, Error> {
+    cache.get_or_try_insert(CacheKey::new("tmr", identity), || match config {
+        Some(config) => apply_tmr(design, config).map_err(Error::from),
+        None => Ok(design.clone()),
+    })
+}
+
+/// The cache-backed synthesis stage.
+pub(crate) fn stage_synthesized(
+    cache: &ArtifactCache,
+    identity: u64,
+    protected: &Design,
+) -> Result<Arc<Synthesized>, Error> {
+    cache.get_or_try_insert(CacheKey::new("synth", identity), || {
+        let netlist = techmap(&optimize(&lower(protected)?))?;
+        Ok::<_, Error>(Synthesized {
+            netlist,
+            fingerprint: identity,
+        })
+    })
+}
+
+/// The cache-backed simulator-compilation stage.
+pub(crate) fn stage_compiled(
+    cache: &ArtifactCache,
+    identity: u64,
+    synthesized: &Synthesized,
+) -> Result<Arc<Compiled>, Error> {
+    cache.get_or_try_insert(CacheKey::new("compiled", identity), || {
+        let compiled = CompiledNetlist::compile(synthesized.netlist())?;
+        Ok::<_, Error>(Compiled {
+            compiled: Arc::new(compiled),
+            fingerprint: identity,
+        })
+    })
+}

@@ -1,0 +1,349 @@
+//! Device auto-sizing and configuration [`Sweep`]s over design variants.
+
+use super::builder::{Flow, FlowBuilder};
+use super::stages::{stage_protected, stage_synthesized};
+use super::{Analyzed, Routed};
+use crate::Error;
+use std::sync::Arc;
+use tmr_arch::{Device, DeviceParams};
+use tmr_core::pipeline::{fingerprint, ArtifactCache, CacheStats};
+use tmr_core::{estimate_resources, ResourceEstimate, TmrConfig};
+use tmr_faultsim::{CampaignBuilder, CampaignResult};
+use tmr_netlist::Netlist;
+use tmr_pnr::BitReport;
+use tmr_synth::Design;
+
+/// Chooses an evaluation device for a set of netlists: the given
+/// architecture parameters if every netlist fits below `max_utilisation`
+/// LUT/FF utilisation (and has enough IOBs), otherwise the same architecture
+/// scaled up, four columns and rows at a time, to the smallest grid that
+/// does.
+pub fn device_for(mut params: DeviceParams, netlists: &[&Netlist], max_utilisation: f64) -> Device {
+    let max_luts = netlists
+        .iter()
+        .map(|n| {
+            let s = n.stats();
+            s.luts + s.constants
+        })
+        .max()
+        .unwrap_or(0);
+    let max_ffs = netlists
+        .iter()
+        .map(|n| n.stats().flip_flops)
+        .max()
+        .unwrap_or(0);
+    let max_iobs = netlists
+        .iter()
+        .map(|n| n.stats().io_buffers)
+        .max()
+        .unwrap_or(0);
+
+    let fits = |params: &DeviceParams| {
+        let tiles = usize::from(params.cols) * usize::from(params.rows);
+        let luts = tiles * params.luts_per_tile();
+        let ffs = tiles * params.ffs_per_tile();
+        let perimeter = 2 * (usize::from(params.cols) + usize::from(params.rows)) - 4;
+        let iobs = perimeter * usize::from(params.iobs_per_perimeter_tile);
+        (max_luts as f64) < luts as f64 * max_utilisation
+            && (max_ffs as f64) < ffs as f64 * max_utilisation
+            && max_iobs <= iobs
+    };
+
+    while !fits(&params) {
+        params.cols += 4;
+        params.rows += 4;
+    }
+    Device::new(params)
+}
+
+/// The device-selection policy of a [`Sweep`].
+#[derive(Debug, Clone)]
+enum SweepDevice {
+    /// Implement every variant on this device.
+    Fixed(Box<Device>),
+    /// Scale this architecture up until every variant fits below the given
+    /// utilisation (see [`device_for`]).
+    Auto {
+        params: DeviceParams,
+        max_utilisation: f64,
+    },
+}
+
+/// A configuration sweep: many [`Flow`]s over the variants of one base
+/// design, sharing a device and an artifact cache.
+///
+/// ```no_run
+/// use tmr_fpga::designs::FirFilter;
+/// use tmr_fpga::faultsim::CampaignBuilder;
+/// use tmr_fpga::flow::Sweep;
+///
+/// let base = FirFilter::paper_filter().to_design();
+/// let report = Sweep::paper(&base)
+///     .campaign(CampaignBuilder::new().faults(4000).cycles(24))
+///     .run()
+///     .unwrap();
+/// for variant in &report.variants {
+///     let campaign = variant.campaign.as_ref().unwrap();
+///     println!("{}: {:.2} % wrong answers", variant.name, campaign.wrong_answer_percent());
+/// }
+/// println!("cache: {}", report.cache);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    base: Design,
+    variants: Vec<(String, Option<TmrConfig>)>,
+    device: SweepDevice,
+    seed: u64,
+    shards: Option<usize>,
+    campaign: Option<CampaignBuilder>,
+    analyze: bool,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Sweep {
+    /// Starts an empty sweep over `base` with an auto-sized XC2S200E-like
+    /// device at 50 % maximum utilisation (our mapping has no carry chains,
+    /// so designs are larger than the vendor tools'), seed 1, no campaign
+    /// and no static analysis.
+    pub fn new(base: &Design) -> Self {
+        Self {
+            base: base.clone(),
+            variants: Vec::new(),
+            device: SweepDevice::Auto {
+                params: DeviceParams::xc2s200e_like(),
+                max_utilisation: 0.50,
+            },
+            seed: 1,
+            shards: None,
+            campaign: None,
+            analyze: false,
+            cache: ArtifactCache::shared(),
+        }
+    }
+
+    /// The paper's five-variant sweep, in Table 3 order: `standard` plus the
+    /// four TMR presets (`tmr_p1`, `tmr_p2`, `tmr_p3`, `tmr_p3_nv`).
+    pub fn paper(base: &Design) -> Self {
+        let mut sweep = Self::new(base).variant("standard", None);
+        for config in TmrConfig::paper_presets() {
+            let name = format!("tmr_{}", config.label);
+            sweep = sweep.variant(&name, Some(config));
+        }
+        sweep
+    }
+
+    /// Appends a named variant (`None` = the unprotected base design).
+    #[must_use]
+    pub fn variant(mut self, name: &str, config: Option<TmrConfig>) -> Self {
+        self.variants.push((name.to_string(), config));
+        self
+    }
+
+    /// Implements every variant on this fixed device instead of auto-sizing.
+    #[must_use]
+    pub fn on_device(mut self, device: &Device) -> Self {
+        self.device = SweepDevice::Fixed(Box::new(device.clone()));
+        self
+    }
+
+    /// Auto-sizes the device from these architecture parameters and maximum
+    /// LUT/FF utilisation (the default policy uses
+    /// [`DeviceParams::xc2s200e_like`] at 0.50).
+    #[must_use]
+    pub fn auto_device(mut self, params: DeviceParams, max_utilisation: f64) -> Self {
+        self.device = SweepDevice::Auto {
+            params,
+            max_utilisation,
+        };
+        self
+    }
+
+    /// Placement seed shared by every variant (default 1).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Campaign worker-shard override shared by every variant.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Runs this fault-injection campaign on every variant.
+    #[must_use]
+    pub fn campaign(mut self, campaign: CampaignBuilder) -> Self {
+        self.campaign = Some(campaign);
+        self
+    }
+
+    /// Also runs the static criticality analysis on every variant.
+    #[must_use]
+    pub fn analyze(mut self, analyze: bool) -> Self {
+        self.analyze = analyze;
+        self
+    }
+
+    /// Shares an [`ArtifactCache`] with other sweeps/flows (default: a fresh
+    /// cache per sweep). Repeated runs against a shared cache reuse every
+    /// artifact.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache backing this sweep.
+    pub fn cache_handle(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// Synthesizes every variant (filling the cache), resolves the device,
+    /// and returns the per-variant flows without implementing them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation and synthesis errors.
+    pub fn flows(&self) -> Result<(Device, Vec<(String, Flow)>), Error> {
+        // Synthesis is device-independent: run it first for every variant so
+        // auto-sizing can see the netlists. The per-variant flows below then
+        // hit the cache for their transformation and synthesis stages.
+        let mut synthesized = Vec::new();
+        for (name, config) in &self.variants {
+            let identity = fingerprint(&[&self.base, config]);
+            let protected = stage_protected(&self.cache, identity, &self.base, config.as_ref())?;
+            synthesized.push((
+                name.clone(),
+                stage_synthesized(&self.cache, identity, &protected)?,
+            ));
+        }
+
+        let device = match &self.device {
+            SweepDevice::Fixed(device) => (**device).clone(),
+            SweepDevice::Auto {
+                params,
+                max_utilisation,
+            } => {
+                let netlists: Vec<&Netlist> =
+                    synthesized.iter().map(|(_, s)| s.netlist()).collect();
+                device_for(*params, &netlists, *max_utilisation)
+            }
+        };
+
+        let flows = self
+            .variants
+            .iter()
+            .map(|(name, config)| {
+                let mut builder = FlowBuilder::new(&device, &self.base).seed(self.seed);
+                if let Some(config) = config {
+                    builder = builder.tmr(config.clone());
+                }
+                if let Some(shards) = self.shards {
+                    builder = builder.shards(shards);
+                }
+                (name.clone(), builder.cache(self.cache.clone()).build())
+            })
+            .collect();
+        Ok((device, flows))
+    }
+
+    /// Runs the sweep: implements every variant, runs the configured
+    /// campaign and analysis on each, and reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage error of any variant.
+    pub fn run(&self) -> Result<SweepReport, Error> {
+        let (device, flows) = self.flows()?;
+        let mut variants = Vec::with_capacity(flows.len());
+        for (name, flow) in flows {
+            let routed = flow.routed()?;
+            let resources = estimate_resources(routed.netlist());
+            let bits = routed.design().bit_report(&device);
+            let campaign = match &self.campaign {
+                Some(campaign) => Some(flow.campaign(campaign)?),
+                None => None,
+            };
+            let analysis = if self.analyze {
+                Some(flow.analyzed()?)
+            } else {
+                None
+            };
+            variants.push(VariantReport {
+                name,
+                config: flow.tmr_config().cloned(),
+                routed,
+                resources,
+                bits,
+                campaign,
+                analysis,
+            });
+        }
+        Ok(SweepReport {
+            device,
+            variants,
+            cache: self.cache.stats(),
+            stage_cache: self.cache.stage_stats(),
+        })
+    }
+}
+
+/// One fully implemented sweep variant plus its reports.
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// Variant name (`standard`, `tmr_p1`, …).
+    pub name: String,
+    /// The TMR configuration (`None` for the unprotected variant).
+    pub config: Option<TmrConfig>,
+    /// The routed implementation.
+    pub routed: Arc<Routed>,
+    /// Area / timing estimate (Table 2 left columns).
+    pub resources: ResourceEstimate,
+    /// Design-related configuration bit counts (Table 2 right columns).
+    pub bits: BitReport,
+    /// The campaign result, when the sweep configured one (Tables 3/4).
+    pub campaign: Option<Arc<CampaignResult>>,
+    /// The static criticality analysis, when the sweep enabled it.
+    pub analysis: Option<Arc<Analyzed>>,
+}
+
+/// The output of [`Sweep::run`]: the shared device, every variant's
+/// artifacts and the cache-effectiveness counters.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The device every variant was implemented on.
+    pub device: Device,
+    /// Per-variant implementations and results, in sweep order.
+    pub variants: Vec<VariantReport>,
+    /// Artifact-cache counters at the end of the run (hits > 0 whenever the
+    /// sweep shared work across variants or runs).
+    pub cache: CacheStats,
+    /// Per-stage cache counters (`tmr`, `synth`, `compiled`, `campaign`, …),
+    /// sorted by stage name — the table binaries log these so reuse of the
+    /// compiled-simulator stage is visible in every run.
+    pub stage_cache: Vec<(&'static str, CacheStats)>,
+}
+
+impl SweepReport {
+    /// Looks a variant up by name.
+    pub fn variant(&self, name: &str) -> Option<&VariantReport> {
+        self.variants.iter().find(|v| v.name == name)
+    }
+
+    /// Iterates over the variants that ran a campaign.
+    pub fn campaigns(&self) -> impl Iterator<Item = (&str, &CampaignResult)> {
+        self.variants
+            .iter()
+            .filter_map(|v| Some((v.name.as_str(), v.campaign.as_deref()?)))
+    }
+
+    /// The cache counters of one stage (`"compiled"`, `"synth"`, …).
+    pub fn stage_stats(&self, stage: &str) -> Option<CacheStats> {
+        self.stage_cache
+            .iter()
+            .find(|(name, _)| *name == stage)
+            .map(|&(_, stats)| stats)
+    }
+}

@@ -13,7 +13,7 @@ use tmr_fpga::synth::Design;
 use tmr_fpga::tmr::TmrConfig;
 
 /// Implements a design through the staged pipeline (the test-local successor
-/// of the deprecated `flow::implement` helper).
+/// of the removed pre-0.2 `flow::implement` helper).
 fn implement(device: &Device, design: &Design, seed: u64) -> RoutedDesign {
     FlowBuilder::new(device, design)
         .seed(seed)
