@@ -175,16 +175,16 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-/// Simulator-backend throughput (faults/second): the interpreting oracle
-/// against the compiled levelized bit-parallel engine on the *same*
-/// sequential campaign over the FIR `TMR_p2` design. The two backends are
-/// asserted to produce bit-identical `CampaignResult`s before anything is
-/// measured, and the one-shot speedup is logged for the CI bench output —
-/// the compiled engine packs 64 experiments per machine word and
-/// re-simulates only the fan-out cone of each fault, so the expected ratio
-/// is well above the 5× the acceptance bar asks for.
+/// Simulator-backend throughput (faults/second): the interpreting oracle,
+/// the event-driven compiled engine and the always-full-level compiled
+/// engine (`TMR_SIM=compiled-full`) on the *same* sequential 600-fault
+/// campaign over the FIR `TMR_p2` design. All three backends are asserted
+/// to produce bit-identical `CampaignResult`s before anything is measured,
+/// the `SimStats` counters are asserted to show the fast paths actually ran
+/// (levels skipped, >64-lane words), and the one-shot speedups are logged
+/// for the CI bench output.
 fn bench_sim_throughput(c: &mut Criterion) {
-    const FAULTS: usize = 400;
+    const FAULTS: usize = 600;
     let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
     let device = Device::small(20, 20);
     let routed: RoutedDesign = place_and_route(&device, &netlist, 1).expect("place and route");
@@ -193,7 +193,8 @@ fn bench_sim_throughput(c: &mut Criterion) {
         .cycles(12)
         .sequential();
     let interpreter = campaign.clone().backend(SimBackend::Interpreter);
-    let compiled = campaign.backend(SimBackend::Compiled);
+    let compiled = campaign.clone().backend(SimBackend::Compiled);
+    let compiled_full = campaign.backend(SimBackend::CompiledFull);
 
     let start = std::time::Instant::now();
     let interpreter_result = interpreter.run(&device, &routed).expect("campaign");
@@ -201,19 +202,45 @@ fn bench_sim_throughput(c: &mut Criterion) {
     let start = std::time::Instant::now();
     let compiled_result = compiled.run(&device, &routed).expect("campaign");
     let compiled_elapsed = start.elapsed();
+    let start = std::time::Instant::now();
+    let full_result = compiled_full.run(&device, &routed).expect("campaign");
+    let full_elapsed = start.elapsed();
     assert_eq!(
         compiled_result, interpreter_result,
         "the compiled engine must be bit-identical to the interpreter"
     );
+    assert_eq!(
+        full_result, interpreter_result,
+        "the always-full-level engine must be bit-identical to the interpreter"
+    );
+    // The observability counters prove the fast paths ran instead of
+    // trusting wall-clock anecdotes: the event-driven scheduler skipped
+    // clean levels, and at least one word batch ran wider than 64 lanes.
+    let stats = compiled_result.stats;
+    assert!(
+        stats.levels_skipped > 0,
+        "event-driven scheduling must skip clean levels: {stats}"
+    );
+    assert!(
+        stats.max_lanes_per_word > 64,
+        "at least one word batch must run wider than 64 lanes: {stats}"
+    );
+    assert_eq!(
+        full_result.stats.levels_skipped, 0,
+        "the always-full-level engine must not skip levels"
+    );
     eprintln!(
-        "sim_throughput: interpreter {:.3} s, compiled {:.3} s — {:.1}x speedup \
-         ({} faults, {} simulated)",
+        "sim_throughput: interpreter {:.3} s, compiled {:.3} s ({:.1}x), \
+         compiled-full {:.3} s ({:.1}x vs event-driven) — {} faults, {} simulated",
         interpreter_elapsed.as_secs_f64(),
         compiled_elapsed.as_secs_f64(),
         interpreter_elapsed.as_secs_f64() / compiled_elapsed.as_secs_f64(),
+        full_elapsed.as_secs_f64(),
+        full_elapsed.as_secs_f64() / compiled_elapsed.as_secs_f64(),
         FAULTS,
         compiled_result.simulated,
     );
+    eprintln!("sim_throughput/compiled stats: {stats}");
 
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);
@@ -223,6 +250,9 @@ fn bench_sim_throughput(c: &mut Criterion) {
     });
     group.bench_function("compiled_packed", |b| {
         b.iter(|| compiled.run(&device, &routed).expect("campaign"))
+    });
+    group.bench_function("compiled_full", |b| {
+        b.iter(|| compiled_full.run(&device, &routed).expect("campaign"))
     });
     group.finish();
 }

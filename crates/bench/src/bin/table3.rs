@@ -19,7 +19,7 @@
 //! sweep reused across variants.
 
 use tmr_analyze::Json;
-use tmr_bench::report::{cache_summary, markdown_table, sweep_campaign_document};
+use tmr_bench::report::{markdown_table, perf_summary, sweep_campaign_document};
 use tmr_bench::{campaign_from_env, cycles_from_env, faults_from_env, json_requested, paper_sweep};
 
 fn main() {
@@ -37,7 +37,7 @@ fn main() {
     eprintln!(
         "  sweep done in {:.1} s; {}",
         start.elapsed().as_secs_f64(),
-        cache_summary(&report)
+        perf_summary(&report)
     );
 
     if json {

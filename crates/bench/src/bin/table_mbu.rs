@@ -23,9 +23,9 @@
 
 use tmr_analyze::Json;
 use tmr_arch::MbuPattern;
-use tmr_bench::report::{cache_summary, campaign_json, device_json, markdown_table};
+use tmr_bench::report::{campaign_json, device_json, markdown_table, perf_summary, sim_json};
 use tmr_bench::{campaign_from_env, cycles_from_env, faults_from_env, json_requested, paper_sweep};
-use tmr_faultsim::FaultModel;
+use tmr_faultsim::{FaultModel, SimStats};
 use tmr_fpga::{ArtifactCache, SweepReport};
 
 /// The cluster-size axis: every geometric MBU pattern, smallest first.
@@ -62,7 +62,7 @@ fn run_axis(
             eprintln!(
                 "  {model}: swept in {:.1} s; {}",
                 start.elapsed().as_secs_f64(),
-                cache_summary(&report)
+                perf_summary(&report)
             );
             (model.label(), report)
         })
@@ -128,17 +128,29 @@ fn main() {
     eprintln!("  shared artifact cache over both axes: {stats}");
 
     if json {
+        // Merge the simulator counters over both axes' sweeps — one `perf`
+        // object for the whole document, mirroring the sweep serializers.
+        let mut sim = SimStats::default();
+        for (_, report) in mbu.iter().chain(accumulated.iter()) {
+            sim.merge(&report.sim_stats());
+        }
         let document = Json::object([
             ("table", Json::str("table_mbu")),
             ("faults", Json::from(faults)),
             ("cycles", Json::from(cycles)),
             ("device", device_json(&mbu[0].1)),
             (
-                "cache",
+                "perf",
                 Json::object([
-                    ("hits", Json::from(stats.hits as usize)),
-                    ("misses", Json::from(stats.misses as usize)),
-                    ("entries", Json::from(stats.entries)),
+                    (
+                        "cache",
+                        Json::object([
+                            ("hits", Json::from(stats.hits as usize)),
+                            ("misses", Json::from(stats.misses as usize)),
+                            ("entries", Json::from(stats.entries)),
+                        ]),
+                    ),
+                    ("sim", sim_json(&sim)),
                 ]),
             ),
             ("mbu", axis_json(&mbu)),

@@ -7,7 +7,7 @@
 //! once.
 
 use tmr_analyze::Json;
-use tmr_faultsim::CampaignResult;
+use tmr_faultsim::{CampaignResult, SimStats};
 use tmr_fpga::SweepReport;
 
 /// Formats a markdown table.
@@ -80,8 +80,58 @@ pub fn cache_json(report: &SweepReport) -> Json {
     ])
 }
 
+/// The `sim` half of the `perf` object: the compiled engine's observability
+/// counters (levels evaluated vs skipped, word widths, lane retirement and
+/// cone-dedup rates), so JSON consumers can verify the fast paths ran.
+pub fn sim_json(stats: &SimStats) -> Json {
+    Json::object([
+        (
+            "levels_evaluated",
+            Json::from(stats.levels_evaluated as usize),
+        ),
+        ("levels_skipped", Json::from(stats.levels_skipped as usize)),
+        ("level_skip_rate", Json::from(stats.level_skip_rate())),
+        ("ops_evaluated", Json::from(stats.ops_evaluated as usize)),
+        ("ops_skipped", Json::from(stats.ops_skipped as usize)),
+        ("op_skip_rate", Json::from(stats.op_skip_rate())),
+        ("words_narrow", Json::from(stats.words_narrow as usize)),
+        ("words_wide", Json::from(stats.words_wide as usize)),
+        (
+            "words_full_eval",
+            Json::from(stats.words_full_eval as usize),
+        ),
+        (
+            "max_lanes_per_word",
+            Json::from(stats.max_lanes_per_word as usize),
+        ),
+        (
+            "lanes_simulated",
+            Json::from(stats.lanes_simulated as usize),
+        ),
+        (
+            "lanes_retired_early",
+            Json::from(stats.lanes_retired_early as usize),
+        ),
+        (
+            "cone_dedup_hits",
+            Json::from(stats.cone_dedup_hits as usize),
+        ),
+        ("cone_grouped", Json::from(stats.cone_grouped as usize)),
+        ("cone_dedup_rate", Json::from(stats.cone_dedup_rate())),
+    ])
+}
+
+/// The `perf` object of a sweep document: artifact-cache counters and the
+/// merged simulator statistics under one structured roof.
+pub fn perf_json(report: &SweepReport) -> Json {
+    Json::object([
+        ("cache", cache_json(report)),
+        ("sim", sim_json(&report.sim_stats())),
+    ])
+}
+
 /// Builds the complete `--json` document of a campaign table (`table3`,
-/// `table4`): table name, any extra scalar fields, the shared device/cache
+/// `table4`): table name, any extra scalar fields, the shared device/perf
 /// fields and one [`campaign_json`] entry per swept design.
 pub fn sweep_campaign_document(
     table: &str,
@@ -91,7 +141,7 @@ pub fn sweep_campaign_document(
     let mut fields = vec![("table", Json::str(table))];
     fields.extend(extras);
     fields.push(("device", device_json(report)));
-    fields.push(("cache", cache_json(report)));
+    fields.push(("perf", perf_json(report)));
     fields.push((
         "designs",
         Json::array(
@@ -105,12 +155,12 @@ pub fn sweep_campaign_document(
 
 /// Builds the complete `--json` document of the static-criticality table:
 /// one `CriticalityReport` JSON entry per swept design plus the shared
-/// device/cache fields.
+/// device/perf fields.
 pub fn sweep_criticality_document(table: &str, report: &SweepReport) -> Json {
     Json::object([
         ("table", Json::str(table)),
         ("device", device_json(report)),
-        ("cache", cache_json(report)),
+        ("perf", perf_json(report)),
         (
             "designs",
             Json::array(
@@ -123,12 +173,11 @@ pub fn sweep_criticality_document(table: &str, report: &SweepReport) -> Json {
     ])
 }
 
-/// One line summarising sweep cache effectiveness, for the table binaries'
-/// stderr and the CI bench log. Besides the aggregate counters it calls out
-/// the `compiled` simulator stage (the levelized bit-parallel instruction
-/// stream every campaign evaluates on), so bench logs show when campaigns
-/// were served a cached compilation.
-pub fn cache_summary(report: &SweepReport) -> String {
+/// Performance lines for the table binaries' stderr and the CI bench log:
+/// sweep cache effectiveness (including the `compiled` simulator stage, so
+/// logs show when campaigns were served a cached compilation) and, when any
+/// campaign ran on the compiled engine, its merged [`SimStats`] block.
+pub fn perf_summary(report: &SweepReport) -> String {
     let compiled = match report.stage_stats("compiled") {
         Some(stats) => format!(
             "; compiled stage: {} hits / {} misses",
@@ -136,7 +185,13 @@ pub fn cache_summary(report: &SweepReport) -> String {
         ),
         None => String::new(),
     };
-    format!("sweep artifact cache: {}{compiled}", report.cache)
+    let sim = report.sim_stats();
+    let sim_line = if sim.lanes_simulated > 0 {
+        format!("\nsim stats: {sim}")
+    } else {
+        String::new()
+    };
+    format!("sweep artifact cache: {}{compiled}{sim_line}", report.cache)
 }
 
 #[cfg(test)]
@@ -166,6 +221,7 @@ mod tests {
                 first_error_cycle: Some(1),
                 crosses_domains: true,
             }],
+            stats: tmr_faultsim::SimStats::default(),
         };
         let json = campaign_json("demo", &result).render();
         assert!(json.contains(r#""design":"demo""#));

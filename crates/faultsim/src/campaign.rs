@@ -7,7 +7,7 @@ use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{CompiledNetlist, GoldenRun, PackedGolden, Simulator};
+use tmr_sim::{CompiledNetlist, GoldenRun, PackedGolden, SimStats, Simulator, MAX_LANES};
 
 /// Options of a fault-injection campaign.
 ///
@@ -216,7 +216,14 @@ pub struct FaultOutcome {
 
 /// The aggregated result of a fault-injection campaign (one row of Table 3
 /// plus one column of Table 4).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the campaign *outcomes* — design, fault list, simulated
+/// count and per-fault verdicts — and deliberately ignores
+/// [`CampaignResult::stats`]: backends with different evaluation strategies
+/// (event-driven, always-full, interpreting) produce bit-identical results
+/// with very different counters, and the differential harness relies on
+/// comparing them directly.
+#[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// Name of the design under test.
     pub design: String,
@@ -229,7 +236,22 @@ pub struct CampaignResult {
     pub simulated: usize,
     /// Per-fault outcomes, in injection order.
     pub outcomes: Vec<FaultOutcome>,
+    /// Observability counters of the compiled engine (all zero on the
+    /// interpreter backend). Excluded from equality; shard-merge-order
+    /// independent.
+    pub stats: SimStats,
 }
+
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.design == other.design
+            && self.fault_list_size == other.fault_list_size
+            && self.simulated == other.simulated
+            && self.outcomes == other.outcomes
+    }
+}
+
+impl Eq for CampaignResult {}
 
 impl CampaignResult {
     /// Number of injected faults.
@@ -381,27 +403,32 @@ impl ShardContext<'_> {
 
 /// Injects the faults of one shard (any contiguous slice of the sampled fault
 /// list) and returns their outcomes, in slice order, plus the number of
-/// faults whose behaviour was actually simulated.
+/// faults whose behaviour was actually simulated and the engine's
+/// observability counters.
 ///
 /// This is the single per-fault code path shared by the streaming session and
 /// the batch campaign engine: for a given `(fault bits, golden run)` pair the
 /// outcome is a pure function, which is what makes sharded and early-stopped
 /// campaigns bit-identical to sequential full-length ones on the faults they
 /// simulate. On the compiled backend the simulable faults are additionally
-/// batched into 64-lane packed words — bridging faults separately from the
-/// rest, so clean words take the incremental fan-out-cone path — and their
-/// per-lane results are written back into fault-list order, which keeps the
-/// merged outcomes byte-identical to the interpreter's.
+/// batched into packed word batches of up to [`MAX_LANES`] lanes — bridging
+/// faults separately from the rest, so only bridged words pay the
+/// multi-pass settling loop, and both streams grouped by their fan-out-cone
+/// fingerprint so lanes sharing a word share cones — and their per-lane
+/// results are written back into fault-list order, which keeps the merged
+/// outcomes byte-identical to the interpreter's: grouping changes which
+/// faults share a word, never any per-lane outcome.
 pub(crate) fn run_shard(
     ctx: &ShardContext<'_>,
     faults: &[Vec<usize>],
-) -> (Vec<FaultOutcome>, usize) {
+) -> (Vec<FaultOutcome>, usize, SimStats) {
     let effects: Vec<FaultEffect> = faults
         .iter()
         .map(|bits| classify_fault(ctx.device, ctx.routed, bits))
         .collect();
     let mut results: Vec<(bool, Option<usize>)> = vec![(false, None); faults.len()];
     let mut simulated = 0;
+    let mut stats = SimStats::default();
 
     match ctx.backend {
         SimBackend::Interpreter => {
@@ -424,9 +451,10 @@ pub(crate) fn run_shard(
                 }
             }
         }
-        SimBackend::Compiled => {
+        SimBackend::Compiled | SimBackend::CompiledFull => {
             let compiled = ctx.compiled.expect("compiled backend without a netlist");
             let packed = ctx.packed.expect("compiled backend without a golden pack");
+            let event_driven = ctx.backend == SimBackend::Compiled;
             // Split the simulable faults into two lane streams: words
             // without bridged nets run incrementally over the fan-out cone,
             // words with bridges take the full multi-pass evaluation.
@@ -443,11 +471,33 @@ pub(crate) fn run_shard(
                 }
             }
             simulated = clean.len() + bridged.len();
-            for stream in [&clean, &bridged] {
-                for word in stream.chunks(64) {
+            // Deal each stream's faults into words by cone fingerprint, so
+            // the lanes of one word share their fan-out cone and the union
+            // cone each word touches stays small. The sort is keyed
+            // `(fingerprint, fault index)` — a stable regrouping — and the
+            // per-lane results go back through the carried indices, so the
+            // outcome vector stays in fault-list order.
+            let group_by_cone = |indices: &[usize], stats: &mut SimStats| -> Vec<usize> {
+                let mut keyed: Vec<(u128, usize)> = indices
+                    .iter()
+                    .map(|&index| (compiled.cone_key(effects[index].overlay()), index))
+                    .collect();
+                keyed.sort_unstable();
+                stats.cone_grouped += keyed.len() as u64;
+                stats.cone_dedup_hits += keyed
+                    .windows(2)
+                    .filter(|pair| pair[0].0 == pair[1].0)
+                    .count() as u64;
+                keyed.into_iter().map(|(_, index)| index).collect()
+            };
+            let grouped = group_by_cone(&clean, &mut stats);
+            let grouped_bridged = group_by_cone(&bridged, &mut stats);
+            for stream in [&grouped, &grouped_bridged] {
+                for word in stream.chunks(MAX_LANES) {
                     let overlays: Vec<&tmr_sim::FaultOverlay> =
                         word.iter().map(|&index| effects[index].overlay()).collect();
-                    let mismatches = compiled.run_word(packed, &overlays);
+                    let mismatches =
+                        compiled.run_lanes(packed, &overlays, event_driven, &mut stats);
                     for (&index, mismatch) in word.iter().zip(mismatches) {
                         results[index] = (mismatch.is_some(), mismatch);
                     }
@@ -471,7 +521,7 @@ pub(crate) fn run_shard(
             },
         )
         .collect();
-    (outcomes, simulated)
+    (outcomes, simulated, stats)
 }
 
 #[cfg(test)]

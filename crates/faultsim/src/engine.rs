@@ -48,22 +48,37 @@ use tmr_sim::{CompiledNetlist, GoldenRun, SimError, Simulator};
 /// `TMR_SIM=interp` in the environment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SimBackend {
-    /// The levelized, bit-parallel compiled engine (the default).
+    /// The levelized, bit-parallel compiled engine with event-driven
+    /// dirty-level scheduling (the default).
     #[default]
     Compiled,
+    /// The compiled engine with event-driven scheduling disabled: every
+    /// level of the fan-out cone is evaluated every cycle, as in the
+    /// pre-event-driven engine. Bit-identical outcomes to
+    /// [`SimBackend::Compiled`] — kept reachable (`TMR_SIM=compiled-full`)
+    /// for A/B benchmarking and as a second differential anchor.
+    CompiledFull,
     /// The cell-by-cell interpreting simulator — the semantics oracle.
     Interpreter,
 }
 
 impl SimBackend {
     /// Resolves the backend from the `TMR_SIM` environment variable:
-    /// `interp`/`interpreter` selects the oracle, `compiled`/`packed` (or an
-    /// unset/unknown value) the compiled engine.
+    /// `interp`/`interpreter` selects the oracle, `compiled-full` (or
+    /// `compiled_full`) the compiled engine without event-driven
+    /// scheduling, and `compiled`/`packed` (or an unset/unknown value) the
+    /// default event-driven compiled engine.
     pub fn from_env() -> Self {
         match std::env::var("TMR_SIM").as_deref() {
             Ok("interp" | "interpreter") => SimBackend::Interpreter,
+            Ok("compiled-full" | "compiled_full") => SimBackend::CompiledFull,
             _ => SimBackend::Compiled,
         }
+    }
+
+    /// Whether this backend evaluates faults on the compiled engine.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, SimBackend::Compiled | SimBackend::CompiledFull)
     }
 }
 
@@ -187,7 +202,7 @@ impl<'a> CampaignEngine<'a> {
         // levelized `Simulator` — neither pays for the other.
         let simulator = match backend {
             SimBackend::Interpreter => Some(Simulator::new(netlist)?),
-            SimBackend::Compiled => None,
+            SimBackend::Compiled | SimBackend::CompiledFull => None,
         };
         let golden = match &self.golden {
             Some(golden) => {
@@ -212,7 +227,7 @@ impl<'a> CampaignEngine<'a> {
         };
         let (compiled, packed) = match backend {
             SimBackend::Interpreter => (None, None),
-            SimBackend::Compiled => {
+            SimBackend::Compiled | SimBackend::CompiledFull => {
                 let compiled = match &self.compiled {
                     Some(compiled) => {
                         assert_eq!(

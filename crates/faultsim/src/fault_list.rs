@@ -2,8 +2,7 @@
 
 use crate::FaultModel;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use tmr_arch::{BitCategory, Device};
 use tmr_pnr::RoutedDesign;
 
@@ -21,16 +20,14 @@ pub struct FaultList {
 }
 
 impl FaultList {
-    /// Builds the fault list of a routed design.
+    /// Builds the fault list of a routed design, from the design-related-bit
+    /// scan cached on [`RoutedDesign::design_related_bits`] — repeated
+    /// campaigns on the same routed design pay the configuration-memory scan
+    /// once.
     pub fn build(device: &Device, routed: &RoutedDesign) -> Self {
-        let layout = device.config_layout();
-        let bits = (0..layout.bit_count())
-            .filter(|&bit| {
-                let resource = layout.resource_at(bit).expect("bit in range");
-                routed.resource_is_design_related(device, &resource)
-            })
-            .collect();
-        Self { bits }
+        Self {
+            bits: routed.design_related_bits(device).to_vec(),
+        }
     }
 
     /// All eligible bit indices, in configuration-memory order.
@@ -86,9 +83,20 @@ impl FaultList {
     /// randomly from the fault list.
     pub fn sample(&self, count: usize, seed: u64) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut bits = self.bits.clone();
-        bits.shuffle(&mut rng);
-        bits.truncate(count.min(self.bits.len()));
+        let len = self.bits.len();
+        let count = count.min(len);
+        // Floyd's algorithm draws `count` distinct indices with `count` RNG
+        // calls; shuffling the whole fault list (hundreds of thousands of
+        // bits on real devices) to keep a few hundred would dominate the
+        // campaign setup time.
+        let mut chosen = std::collections::HashSet::with_capacity(count);
+        for limit in len - count..len {
+            let pick = rng.gen_range(0..=limit);
+            if !chosen.insert(pick) {
+                chosen.insert(limit);
+            }
+        }
+        let mut bits: Vec<usize> = chosen.into_iter().map(|index| self.bits[index]).collect();
         bits.sort_unstable();
         bits
     }

@@ -62,3 +62,4 @@ pub use engine::{CampaignEngine, SimBackend};
 pub use fault_list::FaultList;
 pub use model::FaultModel;
 pub use session::{CampaignSession, EarlyStop, SessionProgress};
+pub use tmr_sim::SimStats;

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use tmr_arch::Device;
 use tmr_netlist::Domain;
 use tmr_pnr::RoutedDesign;
-use tmr_sim::{CompiledNetlist, GoldenRun, PackedGolden, Simulator};
+use tmr_sim::{CompiledNetlist, GoldenRun, PackedGolden, SimStats, Simulator};
 
 /// A statistical stopping rule for streaming campaigns: halt once the
 /// confidence interval of the wrong-answer rate is tighter than a bound.
@@ -188,6 +188,7 @@ pub struct CampaignSession<'a> {
     outcomes: Vec<FaultOutcome>,
     wrong_answers: usize,
     simulated: usize,
+    stats: SimStats,
 }
 
 impl<'a> CampaignSession<'a> {
@@ -228,6 +229,7 @@ impl<'a> CampaignSession<'a> {
             outcomes: Vec::new(),
             wrong_answers: 0,
             simulated: 0,
+            stats: SimStats::default(),
         }
     }
 
@@ -269,7 +271,7 @@ impl<'a> CampaignSession<'a> {
             compiled: self.compiled.as_deref(),
             packed: self.packed.as_deref(),
         };
-        let (outcomes, simulated) = run_faults(
+        let (outcomes, simulated, stats) = run_faults(
             self.device,
             self.routed,
             self.simulator.as_ref(),
@@ -282,6 +284,7 @@ impl<'a> CampaignSession<'a> {
         );
         self.wrong_answers += outcomes.iter().filter(|o| o.wrong_answer).count();
         self.simulated += simulated;
+        self.stats.merge(&stats);
         self.outcomes.extend(outcomes);
         Some(&self.outcomes[start..end])
     }
@@ -302,7 +305,14 @@ impl<'a> CampaignSession<'a> {
             fault_list_size: self.fault_list_size,
             simulated: self.simulated,
             outcomes: self.outcomes,
+            stats: self.stats,
         }
+    }
+
+    /// The engine observability counters accumulated so far (all zero on the
+    /// interpreter backend).
+    pub fn sim_stats(&self) -> SimStats {
+        self.stats
     }
 
     /// Progress so far.
@@ -365,9 +375,11 @@ struct BackendRefs<'a> {
 /// and per-shard outcome vectors are concatenated in chunk order — never in
 /// thread-completion order — which reproduces slice order (= fault-list
 /// order) exactly, so the merged outcomes are independent of the thread
-/// schedule. Each shard additionally packs its faults into 64-lane words on
-/// the compiled backend; word boundaries live entirely inside a shard, so
-/// they never affect the merged order either.
+/// schedule. Each shard additionally packs its faults into cone-grouped lane
+/// words on the compiled backend; word boundaries live entirely inside a
+/// shard, so they never affect the merged order either. The per-shard
+/// [`SimStats`] blocks merge commutatively, so the counters are
+/// shard-schedule-independent too.
 #[allow(clippy::too_many_arguments)]
 fn run_faults(
     device: &Device,
@@ -379,7 +391,7 @@ fn run_faults(
     maskable: Option<&[(usize, Domain)]>,
     shards: usize,
     faults: &[Vec<usize>],
-) -> (Vec<FaultOutcome>, usize) {
+) -> (Vec<FaultOutcome>, usize, SimStats) {
     let shard_count = shards.min(faults.len()).max(1);
     if shard_count == 1 {
         let ctx = ShardContext {
@@ -396,7 +408,7 @@ fn run_faults(
         return run_shard(&ctx, faults);
     }
     let chunk = faults.len().div_ceil(shard_count);
-    let shard_results: Vec<(Vec<FaultOutcome>, usize)> = std::thread::scope(|scope| {
+    let shard_results: Vec<(Vec<FaultOutcome>, usize, SimStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = faults
             .chunks(chunk)
             .map(|chunk_faults| {
@@ -421,11 +433,13 @@ fn run_faults(
     });
     let mut merged = Vec::with_capacity(faults.len());
     let mut simulated = 0;
-    for (mut shard, shard_simulated) in shard_results {
+    let mut stats = SimStats::default();
+    for (mut shard, shard_simulated, shard_stats) in shard_results {
         merged.append(&mut shard);
         simulated += shard_simulated;
+        stats.merge(&shard_stats);
     }
-    (merged, simulated)
+    (merged, simulated, stats)
 }
 
 #[cfg(test)]

@@ -126,6 +126,13 @@ impl FanoutIndex {
         &self.net_cells[start..end]
     }
 
+    /// The cell sinks of `net` (by raw net index), as raw cell indices —
+    /// the direct successor relation the compiled simulator derives its
+    /// per-instruction wake levels (and its cone fingerprints) from.
+    pub fn cell_sinks(&self, net: usize) -> &[u32] {
+        self.cells_of(net)
+    }
+
     /// The output-port sinks of `net`.
     fn ports_of(&self, net: usize) -> &[u32] {
         let start = self.net_ports_start[net] as usize;

@@ -60,6 +60,7 @@ pub struct RoutedDesign {
     bitstream: Bitstream,
     node_net: HashMap<NodeId, NetId>,
     pip_net: HashMap<PipId, NetId>,
+    design_bits: std::sync::OnceLock<Vec<usize>>,
 }
 
 impl RoutedDesign {
@@ -91,6 +92,13 @@ impl RoutedDesign {
     /// The net using a routing node, if any.
     pub fn net_of_node(&self, node: NodeId) -> Option<NetId> {
         self.node_net.get(&node).copied()
+    }
+
+    /// Iterates over every routing node occupied by some net. Lets bulk
+    /// consumers (e.g. the fault-list builder) precompute a used-node mask
+    /// once instead of hashing per configuration bit.
+    pub fn used_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_net.keys().copied()
     }
 
     /// The net whose tree enables a PIP, if any.
@@ -155,6 +163,43 @@ impl RoutedDesign {
                 self.placement.cell_at(site).is_some()
             }
         }
+    }
+
+    /// The configuration bits related to the design, in configuration-memory
+    /// order: every bit whose resource satisfies
+    /// [`RoutedDesign::resource_is_design_related`]. This is the fault-list
+    /// population of the paper's Fault List Manager.
+    ///
+    /// The scan is computed once per routed design and cached: the used-node
+    /// and used-site sets are materialized as index masks, so the pass over
+    /// the (large) configuration memory costs two array probes per bit, and
+    /// repeated campaigns on the same design (sweeps, streaming benches)
+    /// reuse the list for free.
+    pub fn design_related_bits(&self, device: &Device) -> &[usize] {
+        self.design_bits.get_or_init(|| {
+            let layout = device.config_layout();
+            let mut node_used = vec![false; device.node_count()];
+            for &node in self.node_net.keys() {
+                node_used[node.index()] = true;
+            }
+            let mut site_used = vec![false; device.site_count()];
+            for (_, site) in self.placement.iter() {
+                site_used[site.index()] = true;
+            }
+            (0..layout.bit_count())
+                .filter(
+                    |&bit| match layout.resource_at(bit).expect("bit in range") {
+                        ConfigResource::Pip(pip) => {
+                            let pip = device.pip(pip);
+                            node_used[pip.src.index()] || node_used[pip.dst.index()]
+                        }
+                        ConfigResource::LutBit { site, .. } | ConfigResource::FfInit { site } => {
+                            site_used[site.index()]
+                        }
+                    },
+                )
+                .collect()
+        })
     }
 
     /// Generates the configuration bitstream for this placed-and-routed design.
@@ -275,6 +320,7 @@ impl RoutedDesign {
             bitstream,
             node_net,
             pip_net,
+            design_bits: std::sync::OnceLock::new(),
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The compiled, levelized, bit-parallel fault simulator.
+//! The compiled, levelized, bit-parallel, event-driven fault simulator.
 //!
 //! The interpreting [`Simulator`](crate::Simulator) walks the netlist
 //! cell-by-cell through id-indirected lookups and allocates per-cell input
@@ -6,37 +6,59 @@
 //! inner loop of a fault-injection campaign. [`CompiledNetlist`] compiles a
 //! netlist **once** into a flat, cache-friendly instruction stream
 //! (topologically levelized combinational ops, flip-flop records, port
-//! tables) and then evaluates **64 fault experiments at a time** over
-//! two-plane packed trits ([`TritWord`]): every gate becomes a handful of
-//! bitwise operations shared by all 64 lanes, with the exact
-//! completion-enumeration `X` semantics of the interpreter preserved
-//! (`maj(X, v, v) = v`).
+//! tables, per-net successor-level wake lists) and then evaluates **up to
+//! 256 fault experiments at a time** over two-plane packed trits
+//! ([`TritVec`]): every gate becomes a handful of bitwise operations shared
+//! by all lanes, with the exact completion-enumeration `X` semantics of the
+//! interpreter preserved (`maj(X, v, v) = v`). The engine picks the word
+//! width per batch — wide `4×u64` vectors for full batches, scalar `1×u64`
+//! tails for the rest.
 //!
-//! Fault simulation is *incremental* on top of that: each experiment word is
-//! seeded from the cached fault-free run ([`PackedGolden`]), only the static
-//! fan-out cone of the faulted cells/nets
-//! ([`tmr_netlist::FanoutIndex`]) is re-evaluated, everything outside the
-//! cone is read straight from the golden per-cycle frames, and a lane exits
-//! early the cycle its outcome is decided — either because its voted outputs
-//! diverged (first error cycle found) or because its state re-converged with
-//! golden (a pure state fault can never diverge again).
+//! Fault simulation is *incremental* and *event-driven* on top of that:
+//! each experiment word is seeded from the cached fault-free run
+//! ([`PackedGolden`]), only the static fan-out cone of the faulted
+//! cells/nets ([`tmr_netlist::FanoutIndex`]) is re-evaluated, and within the
+//! cone three exact skipping layers compose. A **dirty-level mask** —
+//! seeded from the word's injection points and re-armed by flip-flop state
+//! divergence — skips every level whose operand words are unchanged against
+//! the golden frame. A **per-instruction divergence check** then skips any
+//! visited instruction whose operand lanes are all golden-equal and which no
+//! overlay targets: its output is provably the golden value, and epoch
+//! stamps on the net scratch route downstream reads to the golden frame.
+//! Finally, evaluated instructions enumerate **only the diverged lanes**
+//! (the completion enumeration starts from the need mask, and the golden
+//! value is merged back into the clean lanes), so the bitwise work tracks
+//! the number of diverged lanes instead of the word width. A lane exits
+//! early the cycle its outcome is decided — either because its voted
+//! outputs diverged (first error cycle found) or because its state
+//! re-converged with golden (a pure state fault can never diverge again).
 //!
 //! Faults that bridge two nets (`shorted_nets`) couple values *backwards*
-//! against the topological order; for words containing such lanes the engine
-//! falls back to a full-netlist evaluation that mirrors the interpreter's
-//! multi-pass settling loop — including its per-run `changed` bookkeeping
-//! and the oscillation poisoning after the fourth pass — so results stay
+//! against the topological order; words containing such lanes keep the
+//! interpreter's multi-pass settling loop — including its per-pass `changed`
+//! bookkeeping and the oscillation poisoning after the fourth pass — but run
+//! it *inside the cone* (both bridge endpoints seed the cone, which closes
+//! it over every short-affected reader), with the same per-instruction
+//! divergence skipping carrying the event-driven savings, so results stay
 //! bit-identical there too. The interpreter remains available as a
-//! differential oracle (`TMR_SIM=interp` in the campaign layer).
+//! differential oracle (`TMR_SIM=interp` in the campaign layer), and the
+//! exhaustive evaluation of every cone op over all lanes stays reachable for
+//! A/B measurement (`TMR_SIM=compiled-full`, the `event_driven: false` mode
+//! of [`CompiledNetlist::run_lanes`]).
 
 use crate::compare::majority;
-use crate::packed::{majority_word, TritWord};
+use crate::packed::{majority_word, LaneMask, TritVec, TritWord};
+use crate::stats::SimStats;
 use crate::{FaultOverlay, GoldenRun, OutputGroups, SimError, SinkRef, Trit};
 use std::collections::HashMap;
 use tmr_netlist::{CellKind, FanoutIndex, Netlist};
 
 /// Sentinel for "this cell has no op / flip-flop slot".
 const NONE: u32 = u32::MAX;
+
+/// Maximum number of experiment lanes one [`CompiledNetlist::run_lanes`]
+/// batch evaluates in a single stream pass (the wide `4×u64` word).
+pub const MAX_LANES: usize = 256;
 
 /// One combinational instruction of the compiled stream.
 #[derive(Debug, Clone)]
@@ -66,7 +88,7 @@ struct CompiledFf {
     init: bool,
 }
 
-/// A netlist compiled for levelized, 64-lane bit-parallel evaluation.
+/// A netlist compiled for levelized, event-driven, bit-parallel evaluation.
 ///
 /// Built once per netlist with [`CompiledNetlist::compile`]; immutable and
 /// self-contained afterwards (it borrows nothing from the netlist), so it
@@ -96,6 +118,59 @@ pub struct CompiledNetlist {
     groups: Vec<Vec<usize>>,
     /// The static fan-out cone index used for incremental re-simulation.
     index: FanoutIndex,
+    /// Logic level of every op (parallel to `ops`), from the levelization.
+    op_level: Vec<u32>,
+    /// Number of distinct combinational levels (`max(op_level) + 1`).
+    level_count: usize,
+    /// Net index → the op driving it (or [`NONE`]). Bridged words pull the
+    /// drivers of shorted nets into the evaluated cone so partner reads
+    /// resolve against live values.
+    driver_op_of_net: Vec<u32>,
+    /// Net index → the flip-flop slot driving it (or [`NONE`]).
+    driver_ff_of_net: Vec<u32>,
+    /// CSR offsets into `net_wake_levels`, one slot per net plus a tail
+    /// sentinel.
+    net_wake_start: Vec<u32>,
+    /// Distinct, sorted levels of the combinational instructions reading
+    /// each net — the successor-level wake sets of the event-driven
+    /// scheduler, derived from the [`FanoutIndex`] sink relation.
+    net_wake_levels: Vec<u32>,
+}
+
+/// A small fixed-capacity bitset over the compiled stream's logic levels:
+/// the per-word dirty-level mask of the event-driven scheduler.
+#[derive(Debug, Clone)]
+struct LevelSet {
+    bits: Vec<u64>,
+}
+
+impl LevelSet {
+    fn new(levels: usize) -> Self {
+        Self {
+            bits: vec![0; levels.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, level: u32) {
+        self.bits[(level / 64) as usize] |= 1u64 << (level % 64);
+    }
+
+    #[inline]
+    fn contains(&self, level: u32) -> bool {
+        (self.bits[(level / 64) as usize] >> (level % 64)) & 1 == 1
+    }
+
+    /// Makes every level dirty (the always-full evaluation mode).
+    fn fill(&mut self) {
+        self.bits.fill(!0);
+    }
+
+    /// Resets this set to a copy of `other` (same capacity).
+    #[inline]
+    fn copy_from(&mut self, other: &LevelSet) {
+        self.bits.copy_from_slice(&other.bits);
+    }
 }
 
 /// The packed golden reference of a compiled campaign: the per-cycle settled
@@ -125,7 +200,8 @@ impl PackedGolden {
 
 impl CompiledNetlist {
     /// Compiles `netlist` into the flat instruction stream: one topological
-    /// levelization, one fan-out index, no further per-run graph work.
+    /// levelization, one fan-out index, one successor-level wake table — no
+    /// further per-run graph work.
     ///
     /// # Errors
     ///
@@ -137,7 +213,9 @@ impl CompiledNetlist {
             .map_err(|l| SimError::CombinationalLoop {
                 cells: l.cells.len(),
             })?;
+        let index = FanoutIndex::new(netlist);
         let mut ops = Vec::with_capacity(levelization.order.len());
+        let mut op_level = Vec::with_capacity(levelization.order.len());
         let mut operands = Vec::new();
         let mut op_of_cell = vec![NONE; netlist.cell_count()];
         for &cell_id in &levelization.order {
@@ -161,6 +239,30 @@ impl CompiledNetlist {
                 lut: cell.kind.is_lut(),
                 init,
             });
+            op_level.push(levelization.level[cell_id.index()] as u32);
+        }
+        let level_count = op_level.iter().max().map_or(0, |&max| max as usize + 1);
+
+        // The successor-level wake sets: for every net, the distinct levels
+        // of the combinational instructions that read it (flip-flop sinks
+        // are excluded — state capture always runs). When an evaluated
+        // instruction's output differs from the golden frame, these are the
+        // levels the event-driven scheduler must wake.
+        let mut net_wake_start = vec![0u32; netlist.net_count() + 1];
+        let mut net_wake_levels: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for net in 0..netlist.net_count() {
+            scratch.clear();
+            scratch.extend(index.cell_sinks(net).iter().filter_map(|&cell| {
+                match op_of_cell[cell as usize] {
+                    NONE => None,
+                    op => Some(op_level[op as usize]),
+                }
+            }));
+            scratch.sort_unstable();
+            scratch.dedup();
+            net_wake_levels.extend_from_slice(&scratch);
+            net_wake_start[net + 1] = net_wake_levels.len() as u32;
         }
 
         let mut ffs = Vec::new();
@@ -194,6 +296,15 @@ impl CompiledNetlist {
             .map(|(_, _, members)| members.to_vec())
             .collect();
 
+        let mut driver_op_of_net = vec![NONE; netlist.net_count()];
+        for (op_idx, op) in ops.iter().enumerate() {
+            driver_op_of_net[op.out as usize] = op_idx as u32;
+        }
+        let mut driver_ff_of_net = vec![NONE; netlist.net_count()];
+        for (ff_idx, ff) in ffs.iter().enumerate() {
+            driver_ff_of_net[ff.q_net as usize] = ff_idx as u32;
+        }
+
         Ok(Self {
             net_count: netlist.net_count(),
             ops,
@@ -205,7 +316,13 @@ impl CompiledNetlist {
             outputs,
             output_of_port,
             groups,
-            index: FanoutIndex::new(netlist),
+            index,
+            op_level,
+            level_count,
+            driver_op_of_net,
+            driver_ff_of_net,
+            net_wake_start,
+            net_wake_levels,
         })
     }
 
@@ -224,10 +341,98 @@ impl CompiledNetlist {
         self.ffs.len()
     }
 
+    /// Number of distinct combinational levels of the stream.
+    pub fn level_count(&self) -> usize {
+        self.level_count
+    }
+
     /// The operand nets of `op`.
     fn op_inputs(&self, op: &Op) -> &[u32] {
         let start = op.operand_start as usize;
         &self.operands[start..start + op.k as usize]
+    }
+
+    /// The successor levels woken when `net` diverges from golden.
+    #[inline]
+    fn net_wake(&self, net: usize) -> &[u32] {
+        let start = self.net_wake_start[net] as usize;
+        let end = self.net_wake_start[net + 1] as usize;
+        &self.net_wake_levels[start..end]
+    }
+
+    /// A cheap fan-out-cone fingerprint of one overlay: an order-independent
+    /// hash of its root-net seed set (cell roots by their output net, seed
+    /// nets, seeded output ports — exactly the seeds the word compiler hands
+    /// to [`FanoutIndex::cone`], tagged by seed kind). Overlays with equal
+    /// fingerprints share their fan-out cone, so the campaign layer groups
+    /// them into the same lane words and the union cone each word touches
+    /// stays small.
+    ///
+    /// The high half of the key is the smallest tagged root, so sorting by
+    /// key is locality-preserving: overlays seeded at nearby nets land in
+    /// adjacent words even when their seed sets differ, which keeps each
+    /// word's union cone compact. Equal seed sets always produce equal keys,
+    /// so the dedup semantics are unaffected by the ordering refinement.
+    pub fn cone_key(&self, overlay: &FaultOverlay) -> u128 {
+        const CELL_TAG: u64 = 1 << 33;
+        const NET_TAG: u64 = 2 << 33;
+        const PORT_TAG: u64 = 3 << 33;
+        let mut roots: Vec<u64> = Vec::new();
+        let cell_root = |cell: tmr_netlist::CellId, roots: &mut Vec<u64>| {
+            let out = match self.op_of_cell[cell.index()] {
+                NONE => match self.ff_of_cell[cell.index()] {
+                    NONE => return,
+                    ff => self.ffs[ff as usize].q_net,
+                },
+                op => self.ops[op as usize].out,
+            };
+            roots.push(CELL_TAG | u64::from(out));
+        };
+        for &(cell, _) in &overlay.lut_overrides {
+            let op = self.op_of_cell[cell.index()];
+            if op != NONE && self.ops[op as usize].lut {
+                cell_root(cell, &mut roots);
+            }
+        }
+        for &(cell, _) in &overlay.ff_init_overrides {
+            if self.ff_of_cell[cell.index()] != NONE {
+                cell_root(cell, &mut roots);
+            }
+        }
+        for sink in &overlay.opened_sinks {
+            match *sink {
+                SinkRef::CellPin { cell, .. } => cell_root(cell, &mut roots),
+                SinkRef::OutputPort(port) => {
+                    let position = self.output_of_port[port.index()];
+                    if position != NONE {
+                        roots.push(PORT_TAG | u64::from(position));
+                    }
+                }
+            }
+        }
+        for &net in &overlay.corrupted_nets {
+            roots.push(NET_TAG | net.index() as u64);
+        }
+        // Bridged nets seed the cone through both endpoints. Reusing the net
+        // tag cannot confuse a bridge with a corruption: clean and bridged
+        // faults are batched in separate streams by the campaign layer.
+        for &(a, b) in &overlay.shorted_nets {
+            roots.push(NET_TAG | a.index() as u64);
+            roots.push(NET_TAG | b.index() as u64);
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        // FNV-1a over the canonical root list, prefixed by the minimum root
+        // as the locality-ordering major key.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &root in &roots {
+            for byte in root.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let locality = roots.first().copied().unwrap_or(0);
+        (u128::from(locality) << 64) | u128::from(hash)
     }
 
     /// Runs the fault-free design on the compiled engine and packages the
@@ -266,7 +471,7 @@ impl CompiledNetlist {
                 for (pin, &net) in self.op_inputs(op).iter().enumerate() {
                     inputs[pin] = values[net as usize];
                 }
-                values[op.out as usize] = eval_op(op, &inputs, None);
+                values[op.out as usize] = eval_op(op, &inputs, None, LaneMask::FULL);
             }
             let frame: Vec<Trit> = values.iter().map(|w| w.lane(0)).collect();
             let trace_row: Vec<Trit> = self
@@ -301,11 +506,9 @@ impl CompiledNetlist {
     /// per lane, the first cycle at which the pad-voted outputs diverged
     /// from golden (`None` = the fault never produced a wrong answer).
     ///
-    /// The result is bit-identical to running the interpreting simulator on
-    /// each overlay individually and comparing with
-    /// [`OutputGroups::first_voted_mismatch`]. Words without bridged nets
-    /// run in the incremental fan-out-cone mode; words containing
-    /// `shorted_nets` fall back to the full-netlist multi-pass evaluation.
+    /// Equivalent to [`CompiledNetlist::run_lanes`] with event-driven
+    /// scheduling enabled and the statistics discarded — the compatibility
+    /// entry point for single-word callers.
     ///
     /// # Panics
     ///
@@ -320,6 +523,43 @@ impl CompiledNetlist {
             !overlays.is_empty() && overlays.len() <= 64,
             "a packed word holds 1..=64 experiment lanes"
         );
+        let mut stats = SimStats::default();
+        self.run_lanes(golden, overlays, true, &mut stats)
+    }
+
+    /// Simulates up to [`MAX_LANES`] fault experiments in one word batch and
+    /// returns, per lane, the first cycle at which the pad-voted outputs
+    /// diverged from golden (`None` = the fault never produced a wrong
+    /// answer).
+    ///
+    /// The result is bit-identical to running the interpreting simulator on
+    /// each overlay individually and comparing with
+    /// [`OutputGroups::first_voted_mismatch`] — for either value of
+    /// `event_driven`. Batches of more than 64 lanes evaluate on the wide
+    /// `4×u64` word, the rest on the scalar `1×u64` word. Every word runs
+    /// cone-restricted; `event_driven` additionally enables dirty-level
+    /// scheduling and the per-instruction per-lane divergence skipping
+    /// (`TMR_SIM=compiled-full` disables both, evaluating every cone
+    /// instruction over all lanes — the A/B baseline). Words containing
+    /// `shorted_nets` keep the interpreter's multi-pass settling loop,
+    /// restricted to the cone. `stats` accumulates the engine's
+    /// observability counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlays` is empty or holds more than [`MAX_LANES`]
+    /// lanes, or if `golden` was packed for a different netlist.
+    pub fn run_lanes(
+        &self,
+        golden: &PackedGolden,
+        overlays: &[&FaultOverlay],
+        event_driven: bool,
+        stats: &mut SimStats,
+    ) -> Vec<Option<usize>> {
+        assert!(
+            !overlays.is_empty() && overlays.len() <= MAX_LANES,
+            "a word batch holds 1..={MAX_LANES} experiment lanes"
+        );
         if let Some(frame) = golden.frames.first() {
             assert_eq!(
                 frame.len(),
@@ -327,29 +567,73 @@ impl CompiledNetlist {
                 "golden frames netlist mismatch"
             );
         }
-        let word = WordOverlays::build(self, overlays);
-        if word.has_shorts {
-            self.run_word_full(golden, &word, overlays.len())
+        stats.lanes_simulated += overlays.len() as u64;
+        stats.max_lanes_per_word = stats.max_lanes_per_word.max(overlays.len() as u64);
+        if overlays.len() <= 64 {
+            stats.words_narrow += 1;
+            self.run_lanes_at_width::<1>(golden, overlays, event_driven, stats)
         } else {
-            self.run_word_cone(golden, &word, overlays.len())
+            stats.words_wide += 1;
+            self.run_lanes_at_width::<4>(golden, overlays, event_driven, stats)
         }
     }
 
-    /// Incremental mode: evaluate only the union fan-out cone of the word's
-    /// fault sites, reading everything else from the golden frames.
-    ///
-    /// The per-word scratch (`values`, `in_cone_net`) is sized by the whole
-    /// netlist, so setup is O(nets) even for a tiny cone — a deliberate
-    /// trade: the per-*cycle* work (the dominant term, `cycles × passes`
-    /// deep) is O(cone), and at the workspace's netlist sizes the flat
-    /// zero-fill is cheaper than maintaining epoch-stamped sparse scratch.
-    fn run_word_cone(
+    /// Width-resolved body of [`CompiledNetlist::run_lanes`].
+    fn run_lanes_at_width<const W: usize>(
         &self,
         golden: &PackedGolden,
-        word: &WordOverlays,
-        lanes: usize,
+        overlays: &[&FaultOverlay],
+        event_driven: bool,
+        stats: &mut SimStats,
     ) -> Vec<Option<usize>> {
-        let all = lane_mask(lanes);
+        let word = WordOverlays::<W>::build(self, overlays);
+        if word.has_shorts {
+            stats.words_full_eval += 1;
+        }
+        self.run_word_inc(golden, &word, overlays.len(), event_driven, stats)
+    }
+
+    /// The unified incremental engine: evaluate only the union fan-out cone
+    /// of the word's fault sites (bridged nets seed the cone too), and within
+    /// it only the instructions whose operands actually diverged — reading
+    /// everything else from the golden frames.
+    ///
+    /// Three skipping layers compose, each exact rather than heuristic:
+    ///
+    /// 1. **Cone restriction** — instructions outside the union fan-out cone
+    ///    of the word's seeds can never differ from golden, so they are never
+    ///    visited. Bridges perturb *reads* of their two nets, so seeding both
+    ///    nets closes the cone over every short-affected reader.
+    /// 2. **Dirty-level scheduling** (`event_driven`, words without shorts) —
+    ///    a level is skipped when no always-dirty site sits on it, no
+    ///    diverged flip-flop woke it this cycle, and no earlier evaluated
+    ///    instruction published a golden-divergence wake to it: every operand
+    ///    of its instructions is then golden-equal by induction.
+    /// 3. **Per-instruction divergence checks** (`event_driven`) — within a
+    ///    dirty level, an instruction whose operand lanes are all
+    ///    golden-equal, whose stored output is golden-equal, and which no
+    ///    overlay targets must produce its golden output; it is skipped, and
+    ///    the epoch stamps (`net_cycle`) route downstream reads of its net to
+    ///    the golden frame. Evaluated instructions enumerate only the
+    ///    diverged lanes ([`TritVec::select_lanes`] merges the golden value
+    ///    back into the rest).
+    ///
+    /// Words with bridged lanes run the interpreter's multi-pass settling
+    /// loop *inside the cone*: values feed back through
+    /// [`TritVec::resolve_masked`] reads, passes repeat until no lane
+    /// changed, and oscillation through a short poisons the bridged nets on
+    /// the final pass — bit-identical to the full-netlist loop because every
+    /// instruction outside the perturbed region is at its golden fixed point
+    /// pass by pass.
+    fn run_word_inc<const W: usize>(
+        &self,
+        golden: &PackedGolden,
+        word: &WordOverlays<W>,
+        lanes: usize,
+        event_driven: bool,
+        stats: &mut SimStats,
+    ) -> Vec<Option<usize>> {
+        let all = LaneMask::<W>::first(lanes);
         let cone = self.index.cone(
             word.seed_cells.iter().copied(),
             word.seed_nets.iter().copied(),
@@ -362,7 +646,6 @@ impl CompiledNetlist {
                 op => Some(op),
             })
             .collect();
-        cone_ops.sort_unstable();
         let mut cone_ffs: Vec<u32> = cone
             .cells
             .iter()
@@ -371,7 +654,31 @@ impl CompiledNetlist {
                 ff => Some(ff),
             })
             .collect();
+        // Bridged words resolve partner reads against the *live* stored
+        // values (backwards reads through a short must see the previous
+        // pass, exactly like the interpreter) — so the drivers of the
+        // shorted nets must be evaluated too, keeping every bridged net's
+        // stored value in lock-step with a full-netlist walk. Shorted nets
+        // with no cell driver (primary inputs) are re-stamped from the
+        // golden frame at every cycle start instead.
+        let mut bridge_input_nets: Vec<u32> = Vec::new();
+        for &(a, b, _) in &word.short_pairs {
+            for net in [a as usize, b as usize] {
+                match self.driver_op_of_net[net] {
+                    NONE => match self.driver_ff_of_net[net] {
+                        NONE => bridge_input_nets.push(net as u32),
+                        ff => cone_ffs.push(ff),
+                    },
+                    op => cone_ops.push(op),
+                }
+            }
+        }
+        bridge_input_nets.sort_unstable();
+        bridge_input_nets.dedup();
+        cone_ops.sort_unstable();
+        cone_ops.dedup();
         cone_ffs.sort_unstable();
+        cone_ffs.dedup();
         let mut affected_outputs: Vec<u32> = cone
             .ports
             .iter()
@@ -392,242 +699,400 @@ impl CompiledNetlist {
             .map(|(g, _)| g)
             .collect();
 
-        let mut in_cone_net = vec![false; self.net_count];
-        for &op in &cone_ops {
-            in_cone_net[self.ops[op as usize].out as usize] = true;
+        // Dirty-level scheduling only applies to words without bridges —
+        // multi-pass settling re-walks the stream anyway, and the
+        // per-instruction checks below carry the skipping there. The
+        // always-dirty seed: levels holding an instruction whose evaluation
+        // is itself perturbed — truth-table overrides, opened input pins, or
+        // reads of corrupted nets — must be visited every cycle.
+        let use_levels = event_driven && !word.has_shorts;
+        let mut always_dirty = LevelSet::new(self.level_count);
+        if use_levels {
+            for &(op, _, _) in &word.lut {
+                always_dirty.insert(self.op_level[op as usize]);
+            }
+            for &(key, _) in &word.pin_opens {
+                always_dirty.insert(self.op_level[(key >> 3) as usize]);
+            }
+            for &net in &word.corrupt_nets {
+                for &level in self.net_wake(net as usize) {
+                    always_dirty.insert(level);
+                }
+            }
+        } else {
+            always_dirty.fill();
         }
-        for &ff in &cone_ffs {
-            in_cone_net[self.ffs[ff as usize].q_net as usize] = true;
+        let mut dirty = always_dirty.clone();
+        // The distinct levels present in the cone, for the skip counters of
+        // level-scheduled words.
+        let mut cone_levels: Vec<u32> = Vec::new();
+        if !word.has_shorts {
+            cone_levels.extend(cone_ops.iter().map(|&op| self.op_level[op as usize]));
+            cone_levels.sort_unstable();
+            cone_levels.dedup();
         }
 
-        let mut values = vec![TritWord::X; self.net_count];
-        let mut state: Vec<TritWord> = cone_ffs
+        // Epoch stamps: `values[net]` (and its golden-divergence mask
+        // `diffg[net]`) is only meaningful in the cycle it was written;
+        // everything else reads the golden frame (sound, because a skipped
+        // driver is golden-equal by construction).
+        let mut net_cycle = vec![u32::MAX; self.net_count];
+        let mut values = vec![TritVec::<W>::X; self.net_count];
+        let mut diffg = vec![LaneMask::<W>::EMPTY; self.net_count];
+        let mut state: Vec<TritVec<W>> = cone_ffs
             .iter()
             .map(|&ff| word.initial_state(self, ff))
             .collect();
         let mut found = vec![None; lanes];
         let mut active = all;
-        let mut inputs = [TritWord::ZERO; 6];
-        let mut member_buf: Vec<TritWord> = Vec::new();
+        let mut inputs = [TritVec::<W>::ZERO; 6];
+        let mut pin_poison = [LaneMask::<W>::EMPTY; 6];
+        let mut member_buf: Vec<TritVec<W>> = Vec::new();
+        let max_passes = if word.has_shorts { 4 } else { 1 };
+        let last_cycle = golden.cycles().saturating_sub(1);
 
         for cycle in 0..golden.cycles() {
             let frame = &golden.frames[cycle];
+            let stamp = cycle as u32;
             // Pure state faults whose flip-flop state re-converged with
             // golden can never diverge again: retire those lanes now.
-            if word.state_only & active != 0 {
-                let mut state_diff = 0u64;
+            if (word.state_only & active).any() {
+                let mut state_diff = LaneMask::<W>::EMPTY;
                 for (st, &ff) in state.iter().zip(cone_ffs.iter()) {
                     let q = self.ffs[ff as usize].q_net as usize;
-                    state_diff |= st.diff(TritWord::broadcast(frame[q]));
+                    state_diff |= st.diff(TritVec::broadcast(frame[q]));
                 }
-                active &= !(word.state_only & !state_diff);
-                if active == 0 {
+                let retired = word.state_only & !state_diff & active;
+                if retired.any() {
+                    stats.lanes_retired_early += u64::from(retired.count());
+                    active &= !retired;
+                    if active.is_empty() {
+                        break;
+                    }
+                }
+            }
+            dirty.copy_from(&always_dirty);
+            for (st, &ff) in state.iter().zip(cone_ffs.iter()) {
+                let record = &self.ffs[ff as usize];
+                let q = record.q_net as usize;
+                values[q] = *st;
+                net_cycle[q] = stamp;
+                let dg = st.diff(TritVec::broadcast(frame[q]));
+                diffg[q] = dg;
+                // A flip-flop whose state diverged from golden wakes the
+                // levels reading its Q net.
+                if use_levels && dg.any() {
+                    for &level in self.net_wake(q) {
+                        dirty.insert(level);
+                    }
+                }
+            }
+            // Bridged primary inputs carry this cycle's stimulus for raw
+            // partner reads (the full-netlist loop writes input nets at
+            // every cycle start).
+            for &net in &bridge_input_nets {
+                let net = net as usize;
+                values[net] = TritVec::broadcast(frame[net]);
+                net_cycle[net] = stamp;
+                diffg[net] = LaneMask::EMPTY;
+            }
+            // Backwards-read lane window. Instruction order is topological,
+            // so within one settling pass every plain operand read sees its
+            // driver's final value — the only reads that can miss a
+            // same-pass update are the raw partner reads through a short
+            // whose driver runs later in the order. A lane therefore needs
+            // another pass exactly when one of its *shorted* nets changed
+            // value this pass; all other lanes are self-consistent and the
+            // next pass provably reproduces them. Passes after the first
+            // restrict all work to that window, and an empty window ends
+            // the settling loop without a confirmation walk. The
+            // always-full baseline keeps the window wide open (and runs
+            // its confirmation pass) instead.
+            let mut settle_window = LaneMask::<W>::FULL;
+            for pass in 0..max_passes {
+                let window = if event_driven && pass > 0 {
+                    settle_window
+                } else {
+                    LaneMask::FULL
+                };
+                let mut pass_change = LaneMask::<W>::EMPTY;
+                let mut short_delta = LaneMask::<W>::EMPTY;
+                let mut lut_cursor = 0;
+                let mut open_cursor = 0;
+                for &op_idx in &cone_ops {
+                    if use_levels && !dirty.contains(self.op_level[op_idx as usize]) {
+                        continue;
+                    }
+                    let op = &self.ops[op_idx as usize];
+                    let out_net = op.out as usize;
+                    let lut_entry = word.lut_entry(op_idx, &mut lut_cursor);
+                    // The need mask: lanes in which any operand read — or the
+                    // instruction's own stored output — diverges from the
+                    // golden frame, or an overlay perturbs the evaluation.
+                    // Every other lane provably reproduces its golden output.
+                    let mut need = LaneMask::<W>::EMPTY;
+                    for (pin, &net) in self.op_inputs(op).iter().enumerate() {
+                        let net = net as usize;
+                        if net_cycle[net] == stamp {
+                            need |= diffg[net];
+                        }
+                        let mut poison = word.corrupt[net];
+                        let key = (u64::from(op_idx) << 3) | pin as u64;
+                        while open_cursor < word.pin_opens.len()
+                            && word.pin_opens[open_cursor].0 < key
+                        {
+                            open_cursor += 1;
+                        }
+                        if open_cursor < word.pin_opens.len()
+                            && word.pin_opens[open_cursor].0 == key
+                        {
+                            poison |= word.pin_opens[open_cursor].1;
+                        }
+                        pin_poison[pin] = poison;
+                        need |= poison;
+                        if word.has_shorts {
+                            need |= word.short_mask[net];
+                        }
+                    }
+                    if let Some((overridden, _)) = lut_entry {
+                        need |= overridden;
+                    }
+                    if net_cycle[out_net] == stamp {
+                        need |= diffg[out_net];
+                    }
+                    if event_driven {
+                        need &= active & window;
+                        if need.is_empty() {
+                            stats.ops_skipped += 1;
+                            if word.has_shorts && pass == 0 {
+                                // Keep the stored value in lock-step with a
+                                // full-netlist walk: a skipped instruction
+                                // would have produced its golden output, and
+                                // raw partner reads (plus the settling
+                                // bookkeeping) must see it. Later passes
+                                // need no store — the first pass stamped
+                                // every cone output, and an empty need
+                                // means the stored window lanes are already
+                                // golden.
+                                let golden_out = TritVec::broadcast(frame[out_net]);
+                                let d = golden_out.diff(values[out_net]);
+                                pass_change |= d;
+                                short_delta |= d & word.short_mask[out_net];
+                                values[out_net] = golden_out;
+                                net_cycle[out_net] = stamp;
+                                diffg[out_net] = LaneMask::EMPTY;
+                            }
+                            continue;
+                        }
+                    } else {
+                        need = all;
+                    }
+                    stats.ops_evaluated += 1;
+                    for (pin, &net) in self.op_inputs(op).iter().enumerate() {
+                        let net = net as usize;
+                        let mut w = if net_cycle[net] == stamp {
+                            values[net]
+                        } else {
+                            TritVec::broadcast(frame[net])
+                        };
+                        w = w.poison(pin_poison[pin]);
+                        if word.has_shorts {
+                            w = word.resolve_shorts(w, net, &values);
+                        }
+                        inputs[pin] = w;
+                    }
+                    let golden_out = TritVec::broadcast(frame[out_net]);
+                    let masks = lut_entry.map(|(_, masks)| masks);
+                    // Sub-word narrowing: when every diverged lane of a wide
+                    // word sits in one 64-lane sub-word (common after the
+                    // locality-ordered cone batching), run the truth-table
+                    // enumeration at 1×u64 and splice the result into the
+                    // golden broadcast — lane-exact, since eval lanes are
+                    // independent and all other sub-words are golden.
+                    let narrow_sub = if W > 1 && masks.is_none() {
+                        need.only_subword()
+                    } else {
+                        None
+                    };
+                    let fresh = if let Some(sub) = narrow_sub {
+                        let mut narrow_inputs = [TritVec::<1>::ZERO; 6];
+                        for (pin, input) in inputs.iter().enumerate() {
+                            narrow_inputs[pin] = input.subword(sub);
+                        }
+                        let narrow_need = need.subword(sub);
+                        let narrow = eval_op(op, &narrow_inputs, None, narrow_need)
+                            .select_lanes(golden_out.subword(sub), narrow_need);
+                        let mut fresh = golden_out;
+                        fresh.set_subword(sub, narrow);
+                        fresh
+                    } else {
+                        eval_op(op, &inputs, masks, need).select_lanes(golden_out, need)
+                    };
+                    // Outside the fixpoint window the fresh value is not
+                    // provably golden — those lanes keep their settled
+                    // stored value (a no-op on the wide-open first pass).
+                    let out = fresh.select_lanes(values[out_net], window);
+                    // Settling deltas compare against the raw stored value
+                    // (previous pass or cycle), exactly like the
+                    // full-netlist loop; stale stores of level-scheduled
+                    // words read as golden instead.
+                    let prev = if word.has_shorts || net_cycle[out_net] == stamp {
+                        values[out_net]
+                    } else {
+                        golden_out
+                    };
+                    let d = out.diff(prev);
+                    pass_change |= d;
+                    if word.has_shorts {
+                        short_delta |= d & word.short_mask[out_net];
+                    }
+                    values[out_net] = out;
+                    net_cycle[out_net] = stamp;
+                    let dg = out.diff(golden_out);
+                    diffg[out_net] = dg;
+                    if use_levels && dg.any() {
+                        for &level in self.net_wake(out_net) {
+                            dirty.insert(level);
+                        }
+                    }
+                }
+                if pass_change.is_empty() {
                     break;
                 }
-            }
-            for (st, &ff) in state.iter().zip(cone_ffs.iter()) {
-                values[self.ffs[ff as usize].q_net as usize] = *st;
-            }
-            let mut lut_cursor = 0;
-            let mut open_cursor = 0;
-            for &op_idx in &cone_ops {
-                let op = &self.ops[op_idx as usize];
-                for (pin, &net) in self.op_inputs(op).iter().enumerate() {
-                    let net = net as usize;
-                    let mut w = if in_cone_net[net] {
-                        values[net]
-                    } else {
-                        TritWord::broadcast(frame[net])
-                    };
-                    w = word.apply_read_faults(w, net, op_idx, pin, &mut open_cursor);
-                    inputs[pin] = w;
+                if event_driven && short_delta.is_empty() {
+                    // Every change this pass landed on an un-shorted net (or
+                    // an un-shorted lane of one), so no backwards raw read
+                    // can have missed it — the next pass provably changes
+                    // nothing, and the full-netlist walk would only run it
+                    // to confirm that. Stop without the confirmation pass.
+                    break;
                 }
-                let masks = word.lut_masks(op_idx, &mut lut_cursor);
-                values[op.out as usize] = eval_op(op, &inputs, masks);
+                settle_window = short_delta;
+                if pass + 1 == max_passes {
+                    // Oscillation through a short: poison the shorted nets
+                    // of the lanes that were still changing.
+                    for &(a, b, mask) in &word.short_pairs {
+                        let poison = mask & pass_change;
+                        if poison.any() {
+                            // Every bridged net is stamped by now (its
+                            // driver is in the cone, or it was written at
+                            // cycle start), so the raw store is current.
+                            for net in [a as usize, b as usize] {
+                                let v = values[net].poison(poison);
+                                values[net] = v;
+                                net_cycle[net] = stamp;
+                                diffg[net] = v.diff(TritVec::broadcast(frame[net]));
+                            }
+                        }
+                    }
+                }
             }
-            let mut mismatch = 0u64;
+            if !word.has_shorts {
+                for &level in &cone_levels {
+                    if dirty.contains(level) {
+                        stats.levels_evaluated += 1;
+                    } else {
+                        stats.levels_skipped += 1;
+                    }
+                }
+            }
+            let mut mismatch = LaneMask::<W>::EMPTY;
             for &g in &affected_groups {
                 member_buf.clear();
                 for &m in &self.groups[g] {
                     let net = self.outputs[m] as usize;
-                    let mut w = if in_cone_net[net] {
+                    let mut w = if net_cycle[net] == stamp {
                         values[net]
                     } else {
-                        TritWord::broadcast(frame[net])
+                        TritVec::broadcast(frame[net])
                     };
-                    w = w.poison(word.corrupt[net] | word.port_open[m]);
+                    w = w.poison(word.corrupt[net]);
+                    if word.has_shorts {
+                        w = word.resolve_shorts(w, net, &values);
+                    }
+                    w = w.poison(word.port_open[m]);
                     member_buf.push(w);
                 }
                 let dut = majority_word(&member_buf);
-                mismatch |= dut.diff(TritWord::broadcast(golden.voted[cycle][g]));
+                mismatch |= dut.diff(TritVec::broadcast(golden.voted[cycle][g]));
             }
             let hits = mismatch & active;
-            if hits != 0 {
+            if hits.any() {
                 record_hits(&mut found, hits, cycle);
+                if cycle < last_cycle {
+                    stats.lanes_retired_early += u64::from(hits.count());
+                }
                 active &= !hits;
-                if active == 0 {
+                if active.is_empty() {
                     break;
                 }
             }
             for (st, &ff) in state.iter_mut().zip(cone_ffs.iter()) {
                 let record = &self.ffs[ff as usize];
                 let net = record.d_net as usize;
-                let mut w = if in_cone_net[net] {
+                let mut w = if net_cycle[net] == stamp {
                     values[net]
                 } else {
-                    TritWord::broadcast(frame[net])
+                    TritVec::broadcast(frame[net])
                 };
-                w = w.poison(word.corrupt[net] | word.ff_open[ff as usize]);
+                w = w.poison(word.corrupt[net]);
+                if word.has_shorts {
+                    w = word.resolve_shorts(w, net, &values);
+                }
+                w = w.poison(word.ff_open[ff as usize]);
                 *st = w;
             }
         }
         found
-    }
-
-    /// Full-netlist mode for words with bridged nets: a faithful packed
-    /// replica of the interpreter's multi-pass settling loop, including the
-    /// per-lane `changed` bookkeeping and the oscillation poisoning on the
-    /// final pass.
-    fn run_word_full(
-        &self,
-        golden: &PackedGolden,
-        word: &WordOverlays,
-        lanes: usize,
-    ) -> Vec<Option<usize>> {
-        let all = lane_mask(lanes);
-        let mut values = vec![TritWord::X; self.net_count];
-        let mut state: Vec<TritWord> = (0..self.ffs.len() as u32)
-            .map(|ff| word.initial_state(self, ff))
-            .collect();
-        let mut found = vec![None; lanes];
-        let mut active = all;
-        let mut inputs = [TritWord::ZERO; 6];
-        let mut member_buf: Vec<TritWord> = Vec::new();
-        let max_passes = if word.has_shorts { 4 } else { 1 };
-
-        for cycle in 0..golden.cycles() {
-            let frame = &golden.frames[cycle];
-            for &net in &self.input_nets {
-                values[net as usize] = TritWord::broadcast(frame[net as usize]);
-            }
-            for (ff, st) in self.ffs.iter().zip(state.iter()) {
-                values[ff.q_net as usize] = *st;
-            }
-            for pass in 0..max_passes {
-                let mut changed = 0u64;
-                let mut lut_cursor = 0;
-                let mut open_cursor = 0;
-                for (op_idx, op) in self.ops.iter().enumerate() {
-                    let op_idx = op_idx as u32;
-                    for (pin, &net) in self.op_inputs(op).iter().enumerate() {
-                        let net = net as usize;
-                        let mut w = values[net];
-                        w = word.apply_read_faults(w, net, op_idx, pin, &mut open_cursor);
-                        w = word.apply_shorts(w, net, &values);
-                        inputs[pin] = w;
-                    }
-                    let masks = word.lut_masks(op_idx, &mut lut_cursor);
-                    let out = eval_op(op, &inputs, masks);
-                    let slot = &mut values[op.out as usize];
-                    let delta = out.diff(*slot);
-                    if delta != 0 {
-                        *slot = out;
-                        changed |= delta;
-                    }
-                }
-                if changed == 0 {
-                    break;
-                }
-                if pass + 1 == max_passes {
-                    // Oscillation through a short: poison the shorted nets
-                    // of the lanes that were still changing.
-                    for &(a, b, mask) in &word.short_pairs {
-                        let poison = mask & changed;
-                        if poison != 0 {
-                            values[a as usize] = values[a as usize].poison(poison);
-                            values[b as usize] = values[b as usize].poison(poison);
-                        }
-                    }
-                }
-            }
-            let mut mismatch = 0u64;
-            for (g, members) in self.groups.iter().enumerate() {
-                member_buf.clear();
-                for &m in members {
-                    let net = self.outputs[m] as usize;
-                    let mut w = values[net].poison(word.corrupt[net]);
-                    w = word.apply_shorts(w, net, &values);
-                    w = w.poison(word.port_open[m]);
-                    member_buf.push(w);
-                }
-                let dut = majority_word(&member_buf);
-                mismatch |= dut.diff(TritWord::broadcast(golden.voted[cycle][g]));
-            }
-            let hits = mismatch & active;
-            if hits != 0 {
-                record_hits(&mut found, hits, cycle);
-                active &= !hits;
-                if active == 0 {
-                    break;
-                }
-            }
-            for (ff_idx, (ff, st)) in self.ffs.iter().zip(state.iter_mut()).enumerate() {
-                let net = ff.d_net as usize;
-                let mut w = values[net].poison(word.corrupt[net]);
-                w = word.apply_shorts(w, net, &values);
-                w = w.poison(word.ff_open[ff_idx]);
-                *st = w;
-            }
-        }
-        found
-    }
-}
-
-/// The lane mask covering `lanes` experiments.
-fn lane_mask(lanes: usize) -> u64 {
-    if lanes == 64 {
-        u64::MAX
-    } else {
-        (1u64 << lanes) - 1
     }
 }
 
 /// Records `cycle` as the first error cycle of every lane in `hits`.
-fn record_hits(found: &mut [Option<usize>], hits: u64, cycle: usize) {
-    let mut remaining = hits;
-    while remaining != 0 {
-        let lane = remaining.trailing_zeros() as usize;
-        found[lane] = Some(cycle);
-        remaining &= remaining - 1;
-    }
+fn record_hits<const W: usize>(found: &mut [Option<usize>], hits: LaneMask<W>, cycle: usize) {
+    hits.for_each(|lane| found[lane] = Some(cycle));
 }
 
-/// Evaluates one compiled op over packed inputs with exact `X` semantics.
+/// Evaluates one compiled op over packed inputs with exact `X` semantics,
+/// restricted to the lanes in `restrict` — the completion enumeration
+/// starts from `restrict` instead of all lanes, so the work is proportional
+/// to the diverged lanes and the other lanes come out as `X` (callers merge
+/// the golden value back in with [`TritVec::select_lanes`]).
 ///
 /// `masks`, when present, holds one lane mask per truth-table assignment
 /// (lanes whose — possibly overridden — truth table has that bit set);
 /// otherwise the op's shared `init` is used for every lane.
 #[inline]
-fn eval_op(op: &Op, inputs: &[TritWord; 6], masks: Option<&[u64]>) -> TritWord {
+fn eval_op<const W: usize>(
+    op: &Op,
+    inputs: &[TritVec<W>; 6],
+    masks: Option<&[LaneMask<W>]>,
+    restrict: LaneMask<W>,
+) -> TritVec<W> {
     if op.copy {
         return inputs[0];
     }
     let k = op.k as usize;
-    let mut can_one = 0u64;
-    let mut can_zero = 0u64;
+    let mut ones = [LaneMask::<W>::EMPTY; 6];
+    let mut zeros = [LaneMask::<W>::EMPTY; 6];
+    for (i, input) in inputs.iter().enumerate().take(k) {
+        ones[i] = input.can_be_one();
+        zeros[i] = input.can_be_zero();
+    }
+    let mut can_one = LaneMask::<W>::EMPTY;
+    let mut can_zero = LaneMask::<W>::EMPTY;
     for assignment in 0..(1usize << k) {
-        let mut matching = u64::MAX;
-        for (i, input) in inputs.iter().enumerate().take(k) {
+        let mut matching = restrict;
+        for i in 0..k {
             matching &= if (assignment >> i) & 1 == 1 {
-                input.can_be_one()
+                ones[i]
             } else {
-                input.can_be_zero()
+                zeros[i]
             };
-            if matching == 0 {
+            if matching.is_empty() {
                 break;
             }
         }
-        if matching == 0 {
+        if matching.is_empty() {
             continue;
         }
         match masks {
@@ -644,63 +1109,72 @@ fn eval_op(op: &Op, inputs: &[TritWord; 6], masks: Option<&[u64]>) -> TritWord {
             }
         }
     }
-    TritWord::from_possibilities(can_one, can_zero)
+    TritVec::from_possibilities(can_one, can_zero)
 }
 
-/// The per-word compilation of up to 64 fault overlays into lane masks.
-struct WordOverlays {
-    /// Truth-table overrides: `(op index, per-assignment lane masks)`,
-    /// sorted by op index (consumed with a cursor during the ascending op
-    /// walk).
-    lut: Vec<(u32, Vec<u64>)>,
+/// The per-word compilation of up to `64 * W` fault overlays into lane
+/// masks.
+struct WordOverlays<const W: usize> {
+    /// Truth-table overrides: `(op index, overridden-lane mask,
+    /// per-assignment lane masks)`, sorted by op index (consumed with a
+    /// cursor during the ascending op walk).
+    lut: Vec<(u32, LaneMask<W>, Vec<LaneMask<W>>)>,
     /// Opened cell-input pins: `((op << 3) | pin, lane mask)`, sorted.
-    pin_opens: Vec<(u64, u64)>,
+    pin_opens: Vec<(u64, LaneMask<W>)>,
     /// Opened flip-flop `D` pins, dense per flip-flop slot.
-    ff_open: Vec<u64>,
+    ff_open: Vec<LaneMask<W>>,
     /// Opened output ports, dense per output position.
-    port_open: Vec<u64>,
+    port_open: Vec<LaneMask<W>>,
     /// Corrupted (antenna) nets, dense per net.
-    corrupt: Vec<u64>,
+    corrupt: Vec<LaneMask<W>>,
+    /// The distinct corrupted nets (the sparse view of `corrupt`, for the
+    /// always-dirty level seed).
+    corrupt_nets: Vec<u32>,
     /// Bridged partners per net.
-    shorts: HashMap<u32, Vec<(u32, u64)>>,
+    shorts: HashMap<u32, Vec<(u32, LaneMask<W>)>>,
     /// Every bridged pair with its lane mask (for oscillation poisoning).
-    short_pairs: Vec<(u32, u32, u64)>,
-    /// Any lane bridges nets (selects the full-evaluation mode).
+    short_pairs: Vec<(u32, u32, LaneMask<W>)>,
+    /// Lanes bridging each net, dense per net (forces evaluation of every
+    /// instruction reading a bridged net in those lanes).
+    short_mask: Vec<LaneMask<W>>,
+    /// Any lane bridges nets (selects the multi-pass settling loop).
     has_shorts: bool,
     /// Flip-flop initialisation overrides, dense per flip-flop slot:
     /// lanes overridden, and their override value.
-    ff_init_set: Vec<u64>,
-    ff_init_val: Vec<u64>,
+    ff_init_set: Vec<LaneMask<W>>,
+    ff_init_val: Vec<LaneMask<W>>,
     /// Lanes whose overlay perturbs *only* flip-flop initial state.
-    state_only: u64,
+    state_only: LaneMask<W>,
     /// Fan-out cone seeds of the word (union over lanes).
     seed_cells: Vec<tmr_netlist::CellId>,
     seed_nets: Vec<tmr_netlist::NetId>,
     seed_ports: Vec<u32>,
 }
 
-impl WordOverlays {
+impl<const W: usize> WordOverlays<W> {
     fn build(compiled: &CompiledNetlist, overlays: &[&FaultOverlay]) -> Self {
         let mut lut_raw: HashMap<u32, Vec<(usize, u64)>> = HashMap::new();
-        let mut pin_opens: HashMap<u64, u64> = HashMap::new();
+        let mut pin_opens: HashMap<u64, LaneMask<W>> = HashMap::new();
         let mut word = Self {
             lut: Vec::new(),
             pin_opens: Vec::new(),
-            ff_open: vec![0; compiled.ffs.len()],
-            port_open: vec![0; compiled.outputs.len()],
-            corrupt: vec![0; compiled.net_count],
+            ff_open: vec![LaneMask::EMPTY; compiled.ffs.len()],
+            port_open: vec![LaneMask::EMPTY; compiled.outputs.len()],
+            corrupt: vec![LaneMask::EMPTY; compiled.net_count],
+            corrupt_nets: Vec::new(),
             shorts: HashMap::new(),
             short_pairs: Vec::new(),
+            short_mask: Vec::new(),
             has_shorts: false,
-            ff_init_set: vec![0; compiled.ffs.len()],
-            ff_init_val: vec![0; compiled.ffs.len()],
-            state_only: 0,
+            ff_init_set: vec![LaneMask::EMPTY; compiled.ffs.len()],
+            ff_init_val: vec![LaneMask::EMPTY; compiled.ffs.len()],
+            state_only: LaneMask::EMPTY,
             seed_cells: Vec::new(),
             seed_nets: Vec::new(),
             seed_ports: Vec::new(),
         };
         for (lane, overlay) in overlays.iter().enumerate() {
-            let bit = 1u64 << lane;
+            let bit = LaneMask::<W>::bit(lane);
             let combinational = !overlay.lut_overrides.is_empty()
                 || !overlay.opened_sinks.is_empty()
                 || !overlay.shorted_nets.is_empty()
@@ -753,11 +1227,19 @@ impl WordOverlays {
                 }
             }
             for &net in &overlay.corrupted_nets {
+                if word.corrupt[net.index()].is_empty() {
+                    word.corrupt_nets.push(net.index() as u32);
+                }
                 word.corrupt[net.index()] |= bit;
                 word.seed_nets.push(net);
             }
             for &(a, b) in &overlay.shorted_nets {
-                word.has_shorts = true;
+                if !word.has_shorts {
+                    word.has_shorts = true;
+                    word.short_mask = vec![LaneMask::EMPTY; compiled.net_count];
+                }
+                word.short_mask[a.index()] |= bit;
+                word.short_mask[b.index()] |= bit;
                 word.shorts
                     .entry(a.index() as u32)
                     .or_default()
@@ -768,6 +1250,11 @@ impl WordOverlays {
                     .push((a.index() as u32, bit));
                 word.short_pairs
                     .push((a.index() as u32, b.index() as u32, bit));
+                // A bridge perturbs every *read* of its two nets, so seeding
+                // both closes the fan-out cone over all short-affected
+                // consumers.
+                word.seed_nets.push(a);
+                word.seed_nets.push(b);
             }
         }
         word.lut = lut_raw
@@ -775,68 +1262,55 @@ impl WordOverlays {
             .map(|(op, lanes)| {
                 let record = &compiled.ops[op as usize];
                 let assignments = 1usize << record.k;
-                let overridden = lanes
-                    .iter()
-                    .fold(0u64, |mask, &(lane, _)| mask | (1u64 << lane));
-                let mut masks = vec![0u64; assignments];
+                let overridden = lanes.iter().fold(LaneMask::<W>::EMPTY, |mask, &(lane, _)| {
+                    mask | LaneMask::bit(lane)
+                });
+                let mut masks = vec![LaneMask::<W>::EMPTY; assignments];
                 for (assignment, mask) in masks.iter_mut().enumerate() {
                     if (record.init >> assignment) & 1 == 1 {
                         *mask = !overridden;
                     }
                     for &(lane, init) in &lanes {
                         if (init >> assignment) & 1 == 1 {
-                            *mask |= 1u64 << lane;
+                            *mask |= LaneMask::bit(lane);
                         }
                     }
                 }
-                (op, masks)
+                (op, overridden, masks)
             })
             .collect();
-        word.lut.sort_unstable_by_key(|&(op, _)| op);
+        word.lut.sort_unstable_by_key(|&(op, _, _)| op);
         word.pin_opens = pin_opens.into_iter().collect();
         word.pin_opens.sort_unstable_by_key(|&(key, _)| key);
         word
     }
 
     /// The initial packed state of flip-flop slot `ff`, overrides applied.
-    fn initial_state(&self, compiled: &CompiledNetlist, ff: u32) -> TritWord {
+    fn initial_state(&self, compiled: &CompiledNetlist, ff: u32) -> TritVec<W> {
         let record = &compiled.ffs[ff as usize];
-        let mut state = TritWord::broadcast(Trit::from_bool(record.init));
+        let mut state = TritVec::broadcast(Trit::from_bool(record.init));
         let set = self.ff_init_set[ff as usize];
         state.val = (state.val & !set) | (self.ff_init_val[ff as usize] & set);
         state
     }
 
-    /// Applies corruption and pin opens to a value read by `(op, pin)`.
-    /// `open_cursor` must advance monotonically with the `(op, pin)` walk.
-    #[inline]
-    fn apply_read_faults(
-        &self,
-        mut value: TritWord,
-        net: usize,
-        op: u32,
-        pin: usize,
-        open_cursor: &mut usize,
-    ) -> TritWord {
-        let corrupt = self.corrupt[net];
-        if corrupt != 0 {
-            value = value.poison(corrupt);
-        }
-        let key = (u64::from(op) << 3) | pin as u64;
-        while *open_cursor < self.pin_opens.len() && self.pin_opens[*open_cursor].0 < key {
-            *open_cursor += 1;
-        }
-        if *open_cursor < self.pin_opens.len() && self.pin_opens[*open_cursor].0 == key {
-            value = value.poison(self.pin_opens[*open_cursor].1);
-        }
-        value
-    }
-
     /// Applies bridged-net resolution against the raw stored partner values
-    /// (mirrors the interpreter's sequential `Trit::resolve` fold).
+    /// (mirrors the interpreter's sequential `Trit::resolve` fold). Raw is
+    /// essential: a backwards read through a short must see the partner's
+    /// previous-pass (or previous-cycle) value, which is why the engine pulls
+    /// every shorted net's driver into the evaluated cone and has skipped
+    /// instructions of bridged words still store their golden output.
     #[inline]
-    fn apply_shorts(&self, mut value: TritWord, net: usize, values: &[TritWord]) -> TritWord {
-        if !self.has_shorts {
+    fn resolve_shorts(
+        &self,
+        mut value: TritVec<W>,
+        net: usize,
+        values: &[TritVec<W>],
+    ) -> TritVec<W> {
+        // The dense mask answers "is this net bridged anywhere?" with one
+        // array probe, keeping the hash lookup off the unbridged-net reads
+        // that dominate a word's evaluations.
+        if !self.short_mask[net].any() {
             return value;
         }
         if let Some(partners) = self.shorts.get(&(net as u32)) {
@@ -847,15 +1321,18 @@ impl WordOverlays {
         value
     }
 
-    /// Truth-table lane masks for `op`, if any lane overrides it.
-    /// `cursor` must advance monotonically with the ascending op walk.
+    /// Truth-table override entry for `op`, if any lane overrides it: the
+    /// overridden-lane mask and the per-assignment lane masks. `cursor` must
+    /// advance monotonically with the ascending op walk.
     #[inline]
-    fn lut_masks(&self, op: u32, cursor: &mut usize) -> Option<&[u64]> {
+    fn lut_entry(&self, op: u32, cursor: &mut usize) -> Option<(LaneMask<W>, &[LaneMask<W>])> {
         while *cursor < self.lut.len() && self.lut[*cursor].0 < op {
             *cursor += 1;
         }
         match self.lut.get(*cursor) {
-            Some(&(candidate, ref masks)) if candidate == op => Some(masks),
+            Some(&(candidate, overridden, ref masks)) if candidate == op => {
+                Some((overridden, masks))
+            }
             _ => None,
         }
     }
@@ -903,13 +1380,20 @@ mod tests {
         golden.groups().first_voted_mismatch(golden.trace(), &trace)
     }
 
-    /// Exhaustive per-overlay differential check of one word.
+    /// Exhaustive per-overlay differential check of one word, through both
+    /// the event-driven and the always-full-level evaluation modes.
     fn check_word(netlist: &Netlist, cycles: usize, seed: u64, overlays: Vec<FaultOverlay>) {
         let golden = GoldenRun::compute(netlist, cycles, seed).unwrap();
         let compiled = CompiledNetlist::compile(netlist).unwrap();
         let packed = compiled.pack_golden(&golden);
         let refs: Vec<&FaultOverlay> = overlays.iter().collect();
         let got = compiled.run_word(&packed, &refs);
+        let mut stats = SimStats::default();
+        let full_levels = compiled.run_lanes(&packed, &refs, false, &mut stats);
+        assert_eq!(
+            got, full_levels,
+            "event-driven and full-level evaluation must agree"
+        );
         for (lane, overlay) in overlays.iter().enumerate() {
             let expected = interpreter_outcome(netlist, &golden, overlay);
             assert_eq!(got[lane], expected, "lane {lane}: {overlay:?}");
@@ -923,6 +1407,7 @@ mod tests {
         assert_eq!(compiled.op_count(), 2);
         assert_eq!(compiled.ff_count(), 1);
         assert_eq!(compiled.net_count(), nl.net_count());
+        assert!(compiled.level_count() >= 2, "two chained LUTs, two levels");
     }
 
     #[test]
@@ -1025,6 +1510,21 @@ mod tests {
     }
 
     #[test]
+    fn oversized_lane_batches_are_rejected() {
+        let nl = sample();
+        let golden = GoldenRun::compute(&nl, 4, 1).unwrap();
+        let compiled = CompiledNetlist::compile(&nl).unwrap();
+        let packed = compiled.pack_golden(&golden);
+        let overlay = FaultOverlay::none();
+        let overlays: Vec<&FaultOverlay> = std::iter::repeat_n(&overlay, MAX_LANES + 1).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut stats = SimStats::default();
+            compiled.run_lanes(&packed, &overlays, true, &mut stats)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
     fn full_word_of_64_lanes_runs() {
         let nl = sample();
         let and_cell = nl.find_cell("u_and").unwrap().0;
@@ -1041,6 +1541,143 @@ mod tests {
             })
             .collect();
         check_word(&nl, 8, 11, overlays);
+    }
+
+    /// A wide (more than 64 lanes) batch evaluates on the `4×u64` word and
+    /// agrees with the per-overlay interpreter outcomes and the narrow
+    /// words' results.
+    #[test]
+    fn wide_word_batches_match_interpreter_and_narrow_words() {
+        let nl = sample();
+        let and_cell = nl.find_cell("u_and").unwrap().0;
+        let ff_cell = nl.find_cell("u_ff").unwrap().0;
+        let overlays: Vec<FaultOverlay> = (0..200)
+            .map(|i| match i % 3 {
+                0 => FaultOverlay {
+                    lut_overrides: vec![(and_cell, i as u64 & 0xf)],
+                    ..FaultOverlay::none()
+                },
+                1 => FaultOverlay {
+                    ff_init_overrides: vec![(ff_cell, i % 2 == 0)],
+                    ..FaultOverlay::none()
+                },
+                _ => FaultOverlay::none(),
+            })
+            .collect();
+        let golden = GoldenRun::compute(&nl, 10, 3).unwrap();
+        let compiled = CompiledNetlist::compile(&nl).unwrap();
+        let packed = compiled.pack_golden(&golden);
+        let refs: Vec<&FaultOverlay> = overlays.iter().collect();
+        let mut stats = SimStats::default();
+        let wide = compiled.run_lanes(&packed, &refs, true, &mut stats);
+        assert_eq!(stats.words_wide, 1);
+        assert_eq!(stats.words_narrow, 0);
+        assert_eq!(stats.max_lanes_per_word, 200);
+        assert_eq!(stats.lanes_simulated, 200);
+        let narrow: Vec<Option<usize>> = refs
+            .chunks(64)
+            .flat_map(|chunk| compiled.run_word(&packed, chunk))
+            .collect();
+        assert_eq!(wide, narrow, "wide and narrow words must agree");
+        for (lane, overlay) in overlays.iter().enumerate() {
+            let expected = interpreter_outcome(&nl, &golden, overlay);
+            assert_eq!(wide[lane], expected, "lane {lane}");
+        }
+    }
+
+    /// The event-driven scheduler actually skips clean levels (the counters
+    /// prove it) while staying bit-identical to full-level evaluation.
+    #[test]
+    fn event_driven_mode_skips_levels_and_full_mode_does_not() {
+        // A 4-deep buffer chain after the faulted LUT gives the scheduler
+        // levels to skip once a masked fault's effect dies out.
+        let mut nl = Netlist::new("deep");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_net("g");
+        nl.add_cell("u_and", CellKind::Lut { k: 2, init: 0b1000 }, vec![a, b], g)
+            .unwrap();
+        let mut prev = g;
+        for i in 0..4 {
+            let next = nl.add_net(format!("n{i}"));
+            nl.add_cell(format!("u_buf{i}"), CellKind::Buf, vec![prev], next)
+                .unwrap();
+            prev = next;
+        }
+        nl.add_output("y", prev);
+        let ff_q = nl.add_net("q");
+        nl.add_cell("u_ff", CellKind::Dff { init: false }, vec![prev], ff_q)
+            .unwrap();
+        nl.add_output("q", ff_q);
+
+        let and_cell = nl.find_cell("u_and").unwrap().0;
+        // A masked fault: the override reproduces the original truth table,
+        // so the faulted level re-evaluates every cycle but never diverges —
+        // the four buffer levels downstream stay clean and skippable.
+        let overlays = [FaultOverlay {
+            lut_overrides: vec![(and_cell, 0b1000)],
+            ..FaultOverlay::none()
+        }];
+        let golden = GoldenRun::compute(&nl, 12, 9).unwrap();
+        let compiled = CompiledNetlist::compile(&nl).unwrap();
+        let packed = compiled.pack_golden(&golden);
+        let refs: Vec<&FaultOverlay> = overlays.iter().collect();
+        let mut event = SimStats::default();
+        let got = compiled.run_lanes(&packed, &refs, true, &mut event);
+        let mut full = SimStats::default();
+        let full_result = compiled.run_lanes(&packed, &refs, false, &mut full);
+        assert_eq!(got, full_result);
+        assert!(
+            event.levels_skipped > 0,
+            "a state-only fault must leave clean levels to skip: {event}"
+        );
+        assert_eq!(
+            full.levels_skipped, 0,
+            "full-level mode must never skip: {full}"
+        );
+        assert!(full.levels_evaluated >= event.levels_evaluated);
+    }
+
+    /// Overlays perturbing the same cells/nets share a cone fingerprint;
+    /// unrelated overlays do not collide on this design.
+    #[test]
+    fn cone_keys_group_by_root_net_set() {
+        let nl = sample();
+        let and_cell = nl.find_cell("u_and").unwrap().0;
+        let or_cell = nl.find_cell("u_or").unwrap().0;
+        let ab_net = nl.find_cell("u_and").unwrap().1.output;
+        let compiled = CompiledNetlist::compile(&nl).unwrap();
+        let lut_a = FaultOverlay {
+            lut_overrides: vec![(and_cell, 0b0111)],
+            ..FaultOverlay::none()
+        };
+        let lut_b = FaultOverlay {
+            lut_overrides: vec![(and_cell, 0b0001)],
+            ..FaultOverlay::none()
+        };
+        let lut_other = FaultOverlay {
+            lut_overrides: vec![(or_cell, 0b0001)],
+            ..FaultOverlay::none()
+        };
+        let corrupt = FaultOverlay {
+            corrupted_nets: vec![ab_net],
+            ..FaultOverlay::none()
+        };
+        assert_eq!(
+            compiled.cone_key(&lut_a),
+            compiled.cone_key(&lut_b),
+            "different truth tables on one cell share the cone"
+        );
+        assert_ne!(compiled.cone_key(&lut_a), compiled.cone_key(&lut_other));
+        assert_ne!(
+            compiled.cone_key(&lut_a),
+            compiled.cone_key(&corrupt),
+            "a cell seed and a net seed on the same net differ (readers-only cone)"
+        );
+        assert_eq!(compiled.cone_key(&FaultOverlay::none()), {
+            let empty = FaultOverlay::none();
+            compiled.cone_key(&empty)
+        });
     }
 
     #[test]

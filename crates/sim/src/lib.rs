@@ -46,14 +46,16 @@ mod fault;
 mod golden;
 mod netsim;
 mod packed;
+mod stats;
 mod stimulus;
 mod value;
 
 pub use compare::{majority, OutputGroups};
-pub use compiled::{CompiledNetlist, PackedGolden};
+pub use compiled::{CompiledNetlist, PackedGolden, MAX_LANES};
 pub use fault::{FaultOverlay, SinkRef};
 pub use golden::GoldenRun;
 pub use netsim::{SimError, SimTrace, Simulator};
-pub use packed::{majority_word, TritWord};
+pub use packed::{majority_word, LaneMask, TritVec, TritWord};
+pub use stats::SimStats;
 pub use stimulus::{random_vectors, word_vectors, Stimulus};
 pub use value::Trit;

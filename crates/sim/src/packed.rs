@@ -1,7 +1,8 @@
 //! Two-plane packed three-valued words: 64 fault experiments per machine
-//! word.
+//! word, 256 per wide vector.
 //!
-//! A [`TritWord`] carries one [`Trit`] per *lane* in two bit planes:
+//! A [`TritVec`] carries one [`Trit`] per *lane* in two bit planes of `W`
+//! machine words each:
 //!
 //! | plane | lane bit | meaning |
 //! |-------|----------|---------|
@@ -10,35 +11,211 @@
 //!
 //! The representation is kept **canonical**: a lane whose `unk` bit is set
 //! always has its `val` bit cleared. Canonical words compare per-lane trit
-//! equality with two XORs ([`TritWord::diff`]), and the derived masks
+//! equality with two XORs ([`TritVec::diff`]), and the derived masks
 //! `can_be_one = val | unk` and `can_be_zero = !val` make the exact
 //! completion-enumeration semantics of the scalar simulator (`maj(X,v,v) =
 //! v`, an AND with a 0 input is 0 regardless of `X`) a handful of bitwise
-//! operations per 64 lanes.
+//! operations per lane word.
+//!
+//! The width is a const generic: [`TritWord`] (`W = 1`, 64 lanes) is the
+//! scalar-tail instantiation, `TritVec<4>` (256 lanes) the wide one the
+//! compiled engine deals full word batches into. Per-lane predicates
+//! ([`LaneMask`]) share the same width so every derived mask stays a few
+//! register-sized bitwise ops regardless of `W`.
 
 use crate::Trit;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not};
 
-/// 64 three-valued lanes packed into two `u64` bit planes.
+/// A per-lane boolean predicate over `64 * W` lanes: the mask type every
+/// [`TritVec`] plane and derived mask (`diff`, `can_be_one`, …) is made of.
 ///
-/// Lane `i` lives in bit `i` of both planes. See the module documentation
-/// for the encoding and the canonical-form invariant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct TritWord {
-    /// Known-value plane (bit set = logic 1); always 0 where `unk` is set.
-    pub val: u64,
-    /// Unknown plane (bit set = `X`).
-    pub unk: u64,
+/// Lane `i` lives in bit `i % 64` of word `i / 64`. The bitwise operators
+/// (`& | !`) apply lane-wise, so engine code reads identically at any width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneMask<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> LaneMask<W> {
+    /// No lane set.
+    pub const EMPTY: Self = Self([0; W]);
+    /// Every lane set.
+    pub const FULL: Self = Self([!0; W]);
+
+    /// The mask with exactly `lane` set.
+    pub fn bit(lane: usize) -> Self {
+        debug_assert!(lane < 64 * W);
+        let mut mask = Self::EMPTY;
+        mask.0[lane / 64] = 1u64 << (lane % 64);
+        mask
+    }
+
+    /// The mask covering the first `lanes` lanes (`0 < lanes <= 64 * W`).
+    pub fn first(lanes: usize) -> Self {
+        debug_assert!(lanes <= 64 * W);
+        let mut mask = Self::EMPTY;
+        for (i, word) in mask.0.iter_mut().enumerate() {
+            let low = i * 64;
+            if lanes >= low + 64 {
+                *word = !0;
+            } else if lanes > low {
+                *word = (1u64 << (lanes - low)) - 1;
+            }
+        }
+        mask
+    }
+
+    /// `true` if any lane is set.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&w| w != 0)
+    }
+
+    /// `true` if no lane is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        !self.any()
+    }
+
+    /// Whether `lane` is set.
+    #[inline]
+    pub fn get(self, lane: usize) -> bool {
+        debug_assert!(lane < 64 * W);
+        (self.0[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    /// Number of set lanes.
+    pub fn count(self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The index of the single 64-lane sub-word holding set bits, if exactly
+    /// one does. Lets wide evaluators narrow an operation whose diverged
+    /// lanes are confined to one sub-word down to 1×u64 mask arithmetic.
+    #[inline]
+    pub fn only_subword(self) -> Option<usize> {
+        let mut found = None;
+        for (i, &word) in self.0.iter().enumerate() {
+            if word != 0 {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    /// The 64-lane sub-word `sub` as a narrow mask.
+    #[inline]
+    pub fn subword(self, sub: usize) -> LaneMask<1> {
+        LaneMask([self.0[sub]])
+    }
+
+    /// Calls `f` with the index of every set lane, in ascending order.
+    #[inline]
+    pub fn for_each(self, mut f: impl FnMut(usize)) {
+        for (i, &word) in self.0.iter().enumerate() {
+            let mut remaining = word;
+            while remaining != 0 {
+                f(i * 64 + remaining.trailing_zeros() as usize);
+                remaining &= remaining - 1;
+            }
+        }
+    }
 }
 
-impl TritWord {
-    /// All 64 lanes at logic 0.
-    pub const ZERO: TritWord = TritWord { val: 0, unk: 0 };
-    /// All 64 lanes at logic 1.
-    pub const ONE: TritWord = TritWord { val: !0, unk: 0 };
-    /// All 64 lanes unknown.
-    pub const X: TritWord = TritWord { val: 0, unk: !0 };
+impl<const W: usize> Default for LaneMask<W> {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl<const W: usize> BitAnd for LaneMask<W> {
+    type Output = Self;
+    #[inline]
+    fn bitand(mut self, rhs: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a &= b;
+        }
+        self
+    }
+}
+
+impl<const W: usize> BitOr for LaneMask<W> {
+    type Output = Self;
+    #[inline]
+    fn bitor(mut self, rhs: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a |= b;
+        }
+        self
+    }
+}
+
+impl<const W: usize> Not for LaneMask<W> {
+    type Output = Self;
+    #[inline]
+    fn not(mut self) -> Self {
+        for a in self.0.iter_mut() {
+            *a = !*a;
+        }
+        self
+    }
+}
+
+impl<const W: usize> BitAndAssign for LaneMask<W> {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        *self = *self & rhs;
+    }
+}
+
+impl<const W: usize> BitOrAssign for LaneMask<W> {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = *self | rhs;
+    }
+}
+
+/// `64 * W` three-valued lanes packed into two [`LaneMask`] bit planes.
+///
+/// See the module documentation for the encoding and the canonical-form
+/// invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TritVec<const W: usize> {
+    /// Known-value plane (bit set = logic 1); always 0 where `unk` is set.
+    pub val: LaneMask<W>,
+    /// Unknown plane (bit set = `X`).
+    pub unk: LaneMask<W>,
+}
+
+/// The 64-lane scalar-tail instantiation of [`TritVec`].
+pub type TritWord = TritVec<1>;
+
+impl<const W: usize> Default for TritVec<W> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const W: usize> TritVec<W> {
+    /// All lanes at logic 0.
+    pub const ZERO: Self = Self {
+        val: LaneMask::EMPTY,
+        unk: LaneMask::EMPTY,
+    };
+    /// All lanes at logic 1.
+    pub const ONE: Self = Self {
+        val: LaneMask::FULL,
+        unk: LaneMask::EMPTY,
+    };
+    /// All lanes unknown.
+    pub const X: Self = Self {
+        val: LaneMask::EMPTY,
+        unk: LaneMask::FULL,
+    };
 
     /// The same trit in every lane.
+    #[inline]
     pub fn broadcast(value: Trit) -> Self {
         match value {
             Trit::Zero => Self::ZERO,
@@ -47,22 +224,20 @@ impl TritWord {
         }
     }
 
-    /// The trit in `lane` (0..64).
+    /// The trit in `lane` (0..64 * W).
     pub fn lane(self, lane: usize) -> Trit {
-        debug_assert!(lane < 64);
-        if (self.unk >> lane) & 1 == 1 {
+        if self.unk.get(lane) {
             Trit::X
-        } else if (self.val >> lane) & 1 == 1 {
+        } else if self.val.get(lane) {
             Trit::One
         } else {
             Trit::Zero
         }
     }
 
-    /// Replaces the trit in `lane` (0..64).
+    /// Replaces the trit in `lane` (0..64 * W).
     pub fn set_lane(&mut self, lane: usize, value: Trit) {
-        debug_assert!(lane < 64);
-        let bit = 1u64 << lane;
+        let bit = LaneMask::bit(lane);
         self.val &= !bit;
         self.unk &= !bit;
         match value {
@@ -72,15 +247,37 @@ impl TritWord {
         }
     }
 
+    /// The 64-lane sub-word `sub` as a narrow word.
+    #[inline]
+    pub fn subword(self, sub: usize) -> TritVec<1> {
+        TritVec {
+            val: self.val.subword(sub),
+            unk: self.unk.subword(sub),
+        }
+    }
+
+    /// Replaces the 64-lane sub-word `sub` with a narrow word.
+    #[inline]
+    pub fn set_subword(&mut self, sub: usize, narrow: TritVec<1>) {
+        self.val.0[sub] = narrow.val.0[0];
+        self.unk.0[sub] = narrow.unk.0[0];
+    }
+
     /// Lane mask of the positions where the two words carry *different*
     /// trits (`X` equals `X`). Requires both words to be canonical.
-    pub fn diff(self, other: TritWord) -> u64 {
-        (self.val ^ other.val) | (self.unk ^ other.unk)
+    #[inline]
+    pub fn diff(self, other: Self) -> LaneMask<W> {
+        let mut mask = LaneMask::EMPTY;
+        for i in 0..W {
+            mask.0[i] = (self.val.0[i] ^ other.val.0[i]) | (self.unk.0[i] ^ other.unk.0[i]);
+        }
+        mask
     }
 
     /// Forces the lanes in `mask` to `X`, leaving the others untouched.
-    pub fn poison(self, mask: u64) -> TritWord {
-        TritWord {
+    #[inline]
+    pub fn poison(self, mask: LaneMask<W>) -> Self {
+        Self {
             val: self.val & !mask,
             unk: self.unk | mask,
         }
@@ -88,28 +285,44 @@ impl TritWord {
 
     /// Lane mask of the positions that *could* be 1 under some completion of
     /// the unknowns (`1` or `X`).
-    pub fn can_be_one(self) -> u64 {
+    #[inline]
+    pub fn can_be_one(self) -> LaneMask<W> {
         self.val | self.unk
     }
 
     /// Lane mask of the positions that *could* be 0 under some completion of
     /// the unknowns (`0` or `X`). Relies on the canonical form (`val` clear
     /// where `unk` is set).
-    pub fn can_be_zero(self) -> u64 {
+    #[inline]
+    pub fn can_be_zero(self) -> LaneMask<W> {
         !self.val
     }
 
     /// Lane mask of the positions known to be 0.
-    pub fn known_zero(self) -> u64 {
+    #[inline]
+    pub fn known_zero(self) -> LaneMask<W> {
         !self.val & !self.unk
     }
 
     /// Reconstructs a canonical word from "can be 1" / "can be 0" masks
     /// (each lane must satisfy at least one of the two).
-    pub fn from_possibilities(can_one: u64, can_zero: u64) -> TritWord {
-        TritWord {
+    #[inline]
+    pub fn from_possibilities(can_one: LaneMask<W>, can_zero: LaneMask<W>) -> Self {
+        Self {
             val: can_one & !can_zero,
             unk: can_one & can_zero,
+        }
+    }
+
+    /// Lane-wise selection: the lanes in `mask` from `self`, the rest from
+    /// `fallback` — the merge step of restricted evaluation, where only the
+    /// lanes whose operands diverged are enumerated and every other lane
+    /// keeps its golden value.
+    #[inline]
+    pub fn select_lanes(self, fallback: Self, mask: LaneMask<W>) -> Self {
+        Self {
+            val: (self.val & mask) | (fallback.val & !mask),
+            unk: (self.unk & mask) | (fallback.unk & !mask),
         }
     }
 
@@ -117,23 +330,25 @@ impl TritWord {
     /// lanes where the two words agree on a known value keep it, lanes where
     /// they differ (or either is `X`) become `X` — the packed form of
     /// [`Trit::resolve`] used for bridged nets.
-    pub fn resolve_masked(self, other: TritWord, mask: u64) -> TritWord {
+    #[inline]
+    pub fn resolve_masked(self, other: Self, mask: LaneMask<W>) -> Self {
         let conflict = self.diff(other) | self.unk | other.unk;
         self.poison(conflict & mask)
     }
 }
 
 /// The packed majority vote of `values` across every lane — the bit-parallel
-/// form of [`crate::majority`]: a value wins a lane when strictly more than
-/// half of the members carry it there; a single member passes through.
-pub fn majority_word(values: &[TritWord]) -> TritWord {
+/// form of [`crate::majority`] at any lane width: a value wins a lane when
+/// strictly more than half of the members carry it there; a single member
+/// passes through.
+pub fn majority_word<const W: usize>(values: &[TritVec<W>]) -> TritVec<W> {
     match values {
-        [] => TritWord::X,
+        [] => TritVec::X,
         [single] => *single,
         [a, b] => {
             let one = a.val & b.val;
             let zero = a.known_zero() & b.known_zero();
-            TritWord {
+            TritVec {
                 val: one,
                 unk: !(one | zero),
             }
@@ -142,7 +357,7 @@ pub fn majority_word(values: &[TritWord]) -> TritWord {
             let one = (a.val & b.val) | (a.val & c.val) | (b.val & c.val);
             let (za, zb, zc) = (a.known_zero(), b.known_zero(), c.known_zero());
             let zero = (za & zb) | (za & zc) | (zb & zc);
-            TritWord {
+            TritVec {
                 val: one,
                 unk: !(one | zero),
             }
@@ -151,7 +366,7 @@ pub fn majority_word(values: &[TritWord]) -> TritWord {
             let n = many.len();
             let ones = count_exceeds_half(many.iter().map(|w| w.val), n);
             let zeros = count_exceeds_half(many.iter().map(|w| w.known_zero()), n);
-            TritWord {
+            TritVec {
                 val: ones,
                 unk: !(ones | zeros),
             }
@@ -159,12 +374,15 @@ pub fn majority_word(values: &[TritWord]) -> TritWord {
     }
 }
 
-/// Lane mask where the population count of the indicator words is strictly
+/// Lane mask where the population count of the indicator masks is strictly
 /// greater than `n / 2` (the majority threshold for `n` members).
-fn count_exceeds_half(indicators: impl Iterator<Item = u64>, n: usize) -> u64 {
+fn count_exceeds_half<const W: usize>(
+    indicators: impl Iterator<Item = LaneMask<W>>,
+    n: usize,
+) -> LaneMask<W> {
     // Bit-serial carry-save accumulation: `planes[k]` holds bit `k` of the
     // per-lane count.
-    let mut planes: Vec<u64> = Vec::new();
+    let mut planes: Vec<LaneMask<W>> = Vec::new();
     for word in indicators {
         let mut carry = word;
         for plane in planes.iter_mut() {
@@ -172,7 +390,7 @@ fn count_exceeds_half(indicators: impl Iterator<Item = u64>, n: usize) -> u64 {
             *plane ^= carry;
             carry = overflow;
         }
-        if carry != 0 {
+        if carry.any() {
             planes.push(carry);
         }
     }
@@ -181,10 +399,10 @@ fn count_exceeds_half(indicators: impl Iterator<Item = u64>, n: usize) -> u64 {
     let width = planes
         .len()
         .max(usize::BITS as usize - threshold.leading_zeros() as usize);
-    let mut greater = 0u64;
-    let mut equal_so_far = !0u64;
+    let mut greater = LaneMask::EMPTY;
+    let mut equal_so_far = LaneMask::FULL;
     for k in (0..width).rev() {
-        let plane = planes.get(k).copied().unwrap_or(0);
+        let plane = planes.get(k).copied().unwrap_or(LaneMask::EMPTY);
         if (threshold >> k) & 1 == 0 {
             greater |= equal_so_far & plane;
             equal_so_far &= !plane;
@@ -193,6 +411,15 @@ fn count_exceeds_half(indicators: impl Iterator<Item = u64>, n: usize) -> u64 {
         }
     }
     greater
+}
+
+impl<const W: usize> std::ops::BitXorAssign for LaneMask<W> {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Self) {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a ^= b;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +442,38 @@ mod tests {
         // Overwriting X with a known value restores the canonical form.
         word.set_lane(7, Trit::One);
         assert_eq!(word.lane(7), Trit::One);
-        assert_eq!(word.unk & (1 << 7), 0);
+        assert!(!word.unk.get(7));
+    }
+
+    #[test]
+    fn wide_lane_round_trip_crosses_word_boundaries() {
+        let mut wide = TritVec::<4>::broadcast(Trit::Zero);
+        for lane in [0usize, 63, 64, 127, 128, 255] {
+            wide.set_lane(lane, Trit::One);
+            assert_eq!(wide.lane(lane), Trit::One, "lane {lane}");
+            wide.set_lane(lane, Trit::X);
+            assert_eq!(wide.lane(lane), Trit::X, "lane {lane}");
+        }
+        assert_eq!(wide.lane(200), Trit::Zero);
+        assert_eq!(TritVec::<4>::broadcast(Trit::X).lane(255), Trit::X);
+    }
+
+    #[test]
+    fn lane_mask_first_and_bit_ops() {
+        let first = LaneMask::<4>::first(130);
+        assert_eq!(first.count(), 130);
+        assert!(first.get(129) && !first.get(130));
+        assert_eq!(LaneMask::<4>::first(256), LaneMask::FULL);
+        assert_eq!(LaneMask::<1>::first(64), LaneMask::FULL);
+        assert_eq!(LaneMask::<1>::first(3).0[0], 0b111);
+        let bit = LaneMask::<4>::bit(70);
+        assert!(bit.get(70));
+        assert_eq!(bit.count(), 1);
+        assert!((bit & !bit).is_empty());
+        assert!((bit | LaneMask::bit(3)).get(3));
+        let mut seen = Vec::new();
+        (bit | LaneMask::bit(3)).for_each(|lane| seen.push(lane));
+        assert_eq!(seen, [3, 70]);
     }
 
     #[test]
@@ -224,7 +482,11 @@ mod tests {
             for &b in &TRITS {
                 let wa = TritWord::broadcast(a);
                 let wb = TritWord::broadcast(b);
-                let expect = if a == b { 0 } else { !0u64 };
+                let expect = if a == b {
+                    LaneMask::EMPTY
+                } else {
+                    LaneMask::FULL
+                };
                 assert_eq!(wa.diff(wb), expect, "{a} vs {b}");
             }
         }
@@ -234,17 +496,20 @@ mod tests {
     fn resolve_masked_matches_scalar_resolve() {
         for &a in &TRITS {
             for &b in &TRITS {
-                let resolved = TritWord::broadcast(a).resolve_masked(TritWord::broadcast(b), !0);
+                let resolved =
+                    TritWord::broadcast(a).resolve_masked(TritWord::broadcast(b), LaneMask::FULL);
                 assert_eq!(resolved.lane(0), a.resolve(b), "{a} resolve {b}");
                 // Outside the mask the value is untouched.
-                let untouched = TritWord::broadcast(a).resolve_masked(TritWord::broadcast(b), 0);
+                let untouched =
+                    TritWord::broadcast(a).resolve_masked(TritWord::broadcast(b), LaneMask::EMPTY);
                 assert_eq!(untouched.lane(0), a, "{a} unmasked vs {b}");
             }
         }
     }
 
     /// Exhaustive check of the packed majority against the scalar one for
-    /// every member-count up to 4 and every trit combination.
+    /// every member-count up to 4 and every trit combination, at both
+    /// instantiated widths.
     #[test]
     fn majority_word_matches_scalar_majority() {
         for n in 1..=4usize {
@@ -254,6 +519,9 @@ mod tests {
                 let words: Vec<TritWord> = trits.iter().map(|&t| TritWord::broadcast(t)).collect();
                 let packed = majority_word(&words);
                 assert_eq!(packed.lane(17), majority(&trits), "{trits:?}");
+                let wide: Vec<TritVec<4>> = trits.iter().map(|&t| TritVec::broadcast(t)).collect();
+                let packed_wide = majority_word(&wide);
+                assert_eq!(packed_wide.lane(201), majority(&trits), "wide {trits:?}");
                 // Advance the odometer.
                 let mut done = true;
                 for digit in combo.iter_mut() {
@@ -273,22 +541,24 @@ mod tests {
 
     #[test]
     fn majority_votes_lanes_independently() {
-        let mut a = TritWord::broadcast(Trit::One);
-        let mut b = TritWord::broadcast(Trit::One);
-        let c = TritWord::broadcast(Trit::Zero);
-        a.set_lane(5, Trit::Zero);
-        b.set_lane(5, Trit::X);
+        let mut a = TritVec::<4>::broadcast(Trit::One);
+        let mut b = TritVec::<4>::broadcast(Trit::One);
+        let c = TritVec::<4>::broadcast(Trit::Zero);
+        a.set_lane(69, Trit::Zero);
+        b.set_lane(69, Trit::X);
         let voted = majority_word(&[a, b, c]);
         assert_eq!(voted.lane(0), Trit::One, "2-of-3 ones");
-        assert_eq!(voted.lane(5), Trit::Zero, "0, X, 0 votes zero");
+        assert_eq!(voted.lane(69), Trit::Zero, "0, X, 0 votes zero");
     }
 
     #[test]
     fn count_exceeds_half_thresholds() {
         // 5 members, threshold > 2: exactly 3 set indicators fire.
-        let set = [!0u64, !0, !0, 0, 0];
-        assert_eq!(count_exceeds_half(set.iter().copied(), 5), !0);
-        let two = [!0u64, !0, 0, 0, 0];
-        assert_eq!(count_exceeds_half(two.iter().copied(), 5), 0);
+        let full = LaneMask::<1>::FULL;
+        let empty = LaneMask::<1>::EMPTY;
+        let set = [full, full, full, empty, empty];
+        assert_eq!(count_exceeds_half(set.iter().copied(), 5), full);
+        let two = [full, full, empty, empty, empty];
+        assert_eq!(count_exceeds_half(two.iter().copied(), 5), empty);
     }
 }

@@ -346,4 +346,16 @@ impl SweepReport {
             .find(|(name, _)| *name == stage)
             .map(|&(_, stats)| stats)
     }
+
+    /// The simulator observability counters merged over every campaign of
+    /// the sweep (all zero when no variant ran a campaign, or on the
+    /// interpreter backend). Campaign results served from the artifact cache
+    /// contribute the counters recorded when they were first computed.
+    pub fn sim_stats(&self) -> tmr_faultsim::SimStats {
+        let mut stats = tmr_faultsim::SimStats::default();
+        for (_, campaign) in self.campaigns() {
+            stats.merge(&campaign.stats);
+        }
+        stats
+    }
 }

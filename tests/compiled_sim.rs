@@ -1,7 +1,8 @@
 //! Differential harness for the compiled bit-parallel fault simulator.
 //!
 //! The contract under test: the compiled engine (levelized instruction
-//! stream, 64 experiments per packed word, fan-out-cone incremental
+//! stream, event-driven dirty-level scheduling, 64- and 256-lane packed
+//! words, cone-deduplicated fault batching, fan-out-cone incremental
 //! re-simulation, full multi-pass mode for bridging faults) produces
 //! **bit-for-bit identical** [`CampaignResult`]s to the interpreting
 //! simulator — the semantics oracle kept alive behind `TMR_SIM=interp` —
@@ -11,9 +12,13 @@
 //!   `tmr_p3_nv`),
 //! * all three fault models (single-bit, geometric MBU clusters,
 //!   accumulated upsets per scrub interval),
-//! * 1 / 2 / 8 worker shards, and
-//! * arbitrary fault-sample sizes, including counts that do not fill the
-//!   last 64-lane word (property test).
+//! * 1 / 2 / 8 worker shards,
+//! * both event-driven (`TMR_SIM=compiled`) and always-full-level
+//!   (`TMR_SIM=compiled-full`) scheduling, and
+//! * arbitrary fault-sample sizes and orderings, including counts that
+//!   cross the 64- and 256-lane word boundaries and random sampling seeds
+//!   that reshuffle which faults share a cone-batched word (property
+//!   tests).
 //!
 //! Everything here compares whole `CampaignResult` values, so any
 //! divergence in outcome, first-error cycle, classification or simulated
@@ -71,12 +76,29 @@ fn run(
     shards: usize,
     backend: SimBackend,
 ) -> CampaignResult {
+    run_seeded(device, routed, model, faults, shards, backend, 1)
+}
+
+/// Runs one campaign on the chosen backend with an explicit sampling seed
+/// (the seed shuffles which bits are drawn, and with them the fault order
+/// the cone batcher regroups).
+#[allow(clippy::too_many_arguments)]
+fn run_seeded(
+    device: &Device,
+    routed: &RoutedDesign,
+    model: FaultModel,
+    faults: usize,
+    shards: usize,
+    backend: SimBackend,
+    sampling_seed: u64,
+) -> CampaignResult {
     CampaignBuilder::new()
         .faults(faults)
         .cycles(8)
         .fault_model(model)
         .shards(shards)
         .backend(backend)
+        .sampling_seed(sampling_seed)
         .run(device, routed)
         .expect("flow netlists are always simulable")
 }
@@ -202,12 +224,14 @@ fn facade_campaigns_use_the_compiled_stage_and_stay_bit_identical() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Random fault-sample sizes — including sizes that leave the last
-    /// packed word partially filled and sizes below one word — match the
-    /// sequential interpreter on every fault model family.
+    /// Random fault-sample sizes — spanning sub-word counts, counts that
+    /// leave the last packed word partially filled, and counts that cross
+    /// both the 64-lane and the 256-lane word boundaries — match the
+    /// sequential interpreter on every fault model family, for both the
+    /// event-driven and the always-full-level compiled engine.
     #[test]
     fn random_lane_counts_match_the_sequential_interpreter(
-        faults in 1usize..=200,
+        faults in 1usize..=300,
         model_index in 0usize..3,
         shards_index in 0usize..3,
     ) {
@@ -217,6 +241,62 @@ proptest! {
         let shards = [1usize, 3, 8][shards_index];
         let oracle = run(device, routed, model, faults, 1, SimBackend::Interpreter);
         let compiled = run(device, routed, model, faults, shards, SimBackend::Compiled);
+        prop_assert_eq!(&compiled, &oracle);
+        let full = run(device, routed, model, faults, shards, SimBackend::CompiledFull);
+        prop_assert_eq!(&full, &oracle);
+    }
+
+    /// Random sampling seeds reshuffle the fault order — and with it which
+    /// faults the cone batcher packs into one word, how much their fan-out
+    /// cones overlap, and which lanes sit next to faults with empty or
+    /// disjoint cones. The per-lane outcomes must come back in fault-list
+    /// order regardless, bit-identical to the interpreter.
+    #[test]
+    fn random_fault_order_and_cone_overlap_match_the_interpreter(
+        sampling_seed in 0u64..1_000_000,
+        faults in 32usize..=160,
+        shards_index in 0usize..3,
+    ) {
+        let (device, variants) = routed_variants();
+        let (_, routed) = &variants[2]; // tmr_p2
+        let shards = [1usize, 2, 8][shards_index];
+        let model = FaultModel::SingleBit;
+        let oracle = run_seeded(
+            device, routed, model, faults, 1, SimBackend::Interpreter, sampling_seed,
+        );
+        let compiled = run_seeded(
+            device, routed, model, faults, shards, SimBackend::Compiled, sampling_seed,
+        );
+        prop_assert_eq!(compiled, oracle);
+    }
+
+    /// Clustered MBU faults are the cone-overlap stress case: every cluster
+    /// perturbs several adjacent configuration bits, so neighbouring faults
+    /// share large parts of their fan-out cones (and bridging members force
+    /// words into the multi-pass mode). All geometric patterns must stay
+    /// bit-identical to the interpreter across shard counts.
+    #[test]
+    fn clustered_mbu_cone_overlap_matches_the_interpreter(
+        pattern_index in 0usize..3,
+        sampling_seed in 0u64..1_000_000,
+        faults in 16usize..=120,
+        shards_index in 0usize..3,
+    ) {
+        let (device, variants) = routed_variants();
+        let (_, routed) = &variants[2]; // tmr_p2
+        let pattern = [
+            MbuPattern::PairInFrame,
+            MbuPattern::PairAcrossFrames,
+            MbuPattern::Tile2x2,
+        ][pattern_index];
+        let model = FaultModel::Mbu { pattern };
+        let shards = [1usize, 2, 8][shards_index];
+        let oracle = run_seeded(
+            device, routed, model, faults, 1, SimBackend::Interpreter, sampling_seed,
+        );
+        let compiled = run_seeded(
+            device, routed, model, faults, shards, SimBackend::Compiled, sampling_seed,
+        );
         prop_assert_eq!(compiled, oracle);
     }
 }
