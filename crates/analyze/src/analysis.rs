@@ -83,9 +83,12 @@ fn domains_from_mask(mask: u8) -> BTreeSet<Domain> {
 impl StaticAnalysis {
     /// Analyzes every configuration bit of `routed` on `device`.
     pub fn run(device: &Device, routed: &RoutedDesign) -> Self {
+        let mut trace_span = tmr_trace::span("analyze.static");
         let netlist = routed.netlist();
         let voted_tmr = outputs_fully_voted(netlist) && merging_confined_to_voters(netlist);
         let layout = device.config_layout();
+        trace_span.attr("design", netlist.name());
+        trace_span.attr("bits", layout.bit_count());
 
         let mut verdicts = Vec::with_capacity(layout.bit_count());
         let mut classes = Vec::with_capacity(layout.bit_count());
@@ -107,6 +110,8 @@ impl StaticAnalysis {
             classes.push(effect.class);
             domain_masks.push(domain_mask(&affected));
         }
+        trace_span.attr("observable", observable.len());
+        trace_span.attr("design_related", design_related);
 
         Self {
             design: netlist.name().to_string(),

@@ -19,7 +19,7 @@
 //! sweep reused across variants.
 
 use tmr_analyze::Json;
-use tmr_bench::report::{markdown_table, perf_summary, sweep_campaign_document};
+use tmr_bench::report::{emit_stderr, flush_trace, markdown_table, sweep_campaign_document};
 use tmr_bench::{campaign_from_env, cycles_from_env, faults_from_env, json_requested, paper_sweep};
 
 fn main() {
@@ -34,11 +34,8 @@ fn main() {
         .campaign(campaign_from_env())
         .run()
         .expect("the paper variants implement on the auto-sized device");
-    eprintln!(
-        "  sweep done in {:.1} s; {}",
-        start.elapsed().as_secs_f64(),
-        perf_summary(&report)
-    );
+    emit_stderr("sweep done", Some(start.elapsed()), &report);
+    flush_trace();
 
     if json {
         let document = sweep_campaign_document(

@@ -16,7 +16,7 @@
 //! markdown.
 
 use tmr_analyze::Json;
-use tmr_bench::report::{markdown_table, perf_summary, sweep_campaign_document};
+use tmr_bench::report::{emit_stderr, flush_trace, markdown_table, sweep_campaign_document};
 use tmr_bench::{campaign_from_env, cycles_from_env, faults_from_env, json_requested, paper_sweep};
 use tmr_faultsim::FaultClass;
 
@@ -29,7 +29,8 @@ fn main() {
         .campaign(campaign_from_env())
         .run()
         .expect("the paper variants implement on the auto-sized device");
-    eprintln!("  {}", perf_summary(&report));
+    emit_stderr("", None, &report);
+    flush_trace();
 
     if json {
         let document = sweep_campaign_document(

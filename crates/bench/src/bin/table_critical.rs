@@ -13,7 +13,7 @@
 //! cargo run --release -p tmr-bench --bin table_critical -- --json
 //! ```
 
-use tmr_bench::report::{markdown_table, perf_summary, sweep_criticality_document};
+use tmr_bench::report::{emit_stderr, flush_trace, markdown_table, sweep_criticality_document};
 use tmr_bench::{json_requested, paper_sweep};
 use tmr_faultsim::FaultClass;
 
@@ -24,7 +24,8 @@ fn main() {
         .analyze(true)
         .run()
         .expect("the paper variants implement on the auto-sized device");
-    eprintln!("  {}", perf_summary(&sweep_report));
+    emit_stderr("", None, &sweep_report);
+    flush_trace();
 
     let reports: Vec<(&str, tmr_analyze::CriticalityReport)> = sweep_report
         .variants

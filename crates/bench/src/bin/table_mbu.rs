@@ -23,7 +23,9 @@
 
 use tmr_analyze::Json;
 use tmr_arch::MbuPattern;
-use tmr_bench::report::{campaign_json, device_json, markdown_table, perf_summary, sim_json};
+use tmr_bench::report::{
+    campaign_json, device_json, emit_stderr, flush_trace, markdown_table, sim_json,
+};
 use tmr_bench::{campaign_from_env, cycles_from_env, faults_from_env, json_requested, paper_sweep};
 use tmr_faultsim::{FaultModel, SimStats};
 use tmr_fpga::{ArtifactCache, SweepReport};
@@ -59,11 +61,7 @@ fn run_axis(
                 .campaign(campaign_from_env().fault_model(*model))
                 .run()
                 .expect("the paper variants implement on the auto-sized device");
-            eprintln!(
-                "  {model}: swept in {:.1} s; {}",
-                start.elapsed().as_secs_f64(),
-                perf_summary(&report)
-            );
+            emit_stderr(&format!("{model}: swept"), Some(start.elapsed()), &report);
             (model.label(), report)
         })
         .collect()
@@ -126,6 +124,7 @@ fn main() {
     let accumulated = run_axis(&accumulate_models(), &cache);
     let stats = cache.stats();
     eprintln!("  shared artifact cache over both axes: {stats}");
+    flush_trace();
 
     if json {
         // Merge the simulator counters over both axes' sweeps — one `perf`

@@ -194,6 +194,30 @@ pub fn perf_summary(report: &SweepReport) -> String {
     format!("sweep artifact cache: {}{compiled}{sim_line}", report.cache)
 }
 
+/// The shared stderr perf report of the table binaries: one line (indented
+/// under the table output) with an optional `label`/`elapsed` prefix and the
+/// [`perf_summary`] of the sweep. All four binaries report through this one
+/// helper, so the stderr format changes in exactly one place.
+pub fn emit_stderr(label: &str, elapsed: Option<std::time::Duration>, report: &SweepReport) {
+    match elapsed {
+        Some(elapsed) => eprintln!(
+            "  {label} in {:.1} s; {}",
+            elapsed.as_secs_f64(),
+            perf_summary(report)
+        ),
+        None => eprintln!("  {}", perf_summary(report)),
+    }
+}
+
+/// Flushes pending trace records to the sink configured via `TMR_TRACE`
+/// (a no-op returning `None` when tracing is off) and reports the file
+/// written, if any. The table binaries call this once after their sweeps.
+pub fn flush_trace() {
+    if let Some(path) = tmr_trace::flush() {
+        eprintln!("  trace written to {}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

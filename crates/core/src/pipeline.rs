@@ -205,8 +205,24 @@ impl ArtifactCache {
         T: Send + Sync + 'static,
     {
         if let Some(found) = self.lookup::<T>(key) {
+            if tmr_trace::enabled() {
+                tmr_trace::event("cache.hit")
+                    .attr("stage", key.stage)
+                    .attr("fingerprint", format!("{:016x}", key.fingerprint));
+                tmr_trace::counter_add("cache.hits", 1);
+            }
             return Ok(found);
         }
+        // Every cache miss wraps its compute in a `stage.<label>` span — this
+        // one instrumentation point gives the whole pipeline (synth, place,
+        // route, analyze, compiled, campaign, …) its stage timings.
+        let mut stage_span = if tmr_trace::enabled() {
+            let mut span = tmr_trace::span(format!("stage.{}", key.stage));
+            span.attr("fingerprint", format!("{:016x}", key.fingerprint));
+            Some(span)
+        } else {
+            None
+        };
         // The lock is NOT held while computing: stages are slow (synthesis,
         // routing) and other flows must be able to hit the cache meanwhile.
         // Two threads may race to compute the same artifact; the first store
@@ -215,6 +231,10 @@ impl ArtifactCache {
         let computed = Arc::new(compute()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.bump_stage(key.stage, false);
+        if let Some(span) = &mut stage_span {
+            span.attr("cache", "miss");
+            tmr_trace::counter_add("cache.misses", 1);
+        }
         let mut map = self.map.lock().expect("artifact cache poisoned");
         let entry = map
             .entry(key)
@@ -348,6 +368,27 @@ mod tests {
         assert_eq!(failed.unwrap_err(), "boom");
         let ok = cache.get_or_try_insert::<u32, &str>(key, || Ok(9)).unwrap();
         assert_eq!(*ok, 9);
+    }
+
+    #[test]
+    fn cache_instrumentation_records_stage_spans_and_hit_events() {
+        tmr_trace::configure(tmr_trace::TraceConfig::memory());
+        let cache = ArtifactCache::new();
+        let key = CacheKey::new("demo", 9);
+        let a = cache.get_or_insert(key, || 1u32);
+        let b = cache.get_or_insert(key, || 2u32);
+        assert_eq!((*a, *b), (1, 1));
+        let tree = tmr_trace::drain_tree();
+        // Other tests may trace concurrently into the process-global
+        // collector; assert only on this test's unique stage label.
+        assert_eq!(tree.count("stage.demo"), 1, "one miss span");
+        fn demo_hits(node: &tmr_trace::TraceNode) -> usize {
+            let own = node.name == "cache.hit"
+                && node.attr("stage").map(|v| v.to_string()) == Some("demo".to_string());
+            usize::from(own) + node.children.iter().map(demo_hits).sum::<usize>()
+        }
+        assert_eq!(tree.roots.iter().map(demo_hits).sum::<usize>(), 1);
+        tmr_trace::configure(tmr_trace::TraceConfig::off());
     }
 
     #[test]

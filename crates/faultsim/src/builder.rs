@@ -198,6 +198,18 @@ impl CampaignBuilder {
         self
     }
 
+    /// Installs `config` as the process-global trace configuration (the
+    /// tracer is a process singleton, so this affects every instrumented
+    /// layer, not just this campaign). Equivalent to calling
+    /// [`tmr_trace::configure`] directly; provided here so campaign code can
+    /// opt into tracing without importing the trace crate. Campaign results
+    /// are bit-identical with tracing on, off, or at any sink.
+    #[must_use]
+    pub fn trace(self, config: tmr_trace::TraceConfig) -> Self {
+        tmr_trace::configure(config);
+        self
+    }
+
     /// The accumulated campaign options.
     pub fn options(&self) -> &CampaignOptions {
         &self.options

@@ -80,6 +80,16 @@ impl SimBackend {
     pub fn is_compiled(&self) -> bool {
         matches!(self, SimBackend::Compiled | SimBackend::CompiledFull)
     }
+
+    /// A stable short label (the `TMR_SIM` spelling), used in traces and
+    /// reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimBackend::Compiled => "compiled",
+            SimBackend::CompiledFull => "compiled-full",
+            SimBackend::Interpreter => "interp",
+        }
+    }
 }
 
 /// A configured fault-injection campaign over one routed design.
@@ -197,6 +207,9 @@ impl<'a> CampaignEngine<'a> {
     pub fn session(&self) -> Result<CampaignSession<'a>, SimError> {
         let netlist = self.routed.netlist();
         let backend = self.backend.unwrap_or_else(SimBackend::from_env);
+        let mut trace_span = tmr_trace::span("campaign.prepare");
+        trace_span.attr("design", netlist.name());
+        trace_span.attr("backend", backend.label());
         // Each backend builds only its own evaluation state: the compiled
         // engine its instruction stream + golden pack, the interpreter its
         // levelized `Simulator` — neither pays for the other.
@@ -250,6 +263,9 @@ impl<'a> CampaignEngine<'a> {
             self.options.faults,
             self.options.sampling_seed,
         );
+        trace_span.attr("fault_list", fault_list.len());
+        trace_span.attr("sampled", sample.len());
+        trace_span.attr("shards", self.shards);
         Ok(CampaignSession::new(
             self.device,
             self.routed,

@@ -260,12 +260,21 @@ impl<'a> CampaignSession<'a> {
         if let Some(rule) = &self.early_stop {
             if rule.satisfied(self.outcomes.len(), self.wrong_answers) {
                 self.stopped_early = true;
+                if tmr_trace::enabled() {
+                    tmr_trace::event("campaign.early_stop")
+                        .attr("design", self.design.as_str())
+                        .attr("injected", self.outcomes.len())
+                        .attr("wrong_answers", self.wrong_answers)
+                        .attr("ci_half_width", self.ci_half_width())
+                        .attr("target_half_width", rule.half_width());
+                }
                 return None;
             }
         }
         let start = self.cursor;
         let end = (start + self.batch_size).min(self.sample.len());
         self.cursor = end;
+        let mut batch_span = tmr_trace::span("campaign.batch");
         let backends = BackendRefs {
             backend: self.backend,
             compiled: self.compiled.as_deref(),
@@ -286,6 +295,13 @@ impl<'a> CampaignSession<'a> {
         self.simulated += simulated;
         self.stats.merge(&stats);
         self.outcomes.extend(outcomes);
+        if tmr_trace::enabled() {
+            batch_span.attr("design", self.design.as_str());
+            batch_span.attr("faults", end - start);
+            batch_span.attr("injected", self.outcomes.len());
+            batch_span.attr("wrong_answers", self.wrong_answers);
+            batch_span.attr("ci_half_width", self.ci_half_width());
+        }
         Some(&self.outcomes[start..end])
     }
 
@@ -405,13 +421,19 @@ fn run_faults(
             compiled: backends.compiled,
             packed: backends.packed,
         };
-        return run_shard(&ctx, faults);
+        let (outcomes, simulated, stats) = traced_shard(0, &ctx, faults);
+        attach_merged_stats(simulated, &stats);
+        return (outcomes, simulated, stats);
     }
     let chunk = faults.len().div_ceil(shard_count);
+    // Captured before spawning so every worker's spans merge under the span
+    // open on the coordinating thread (the session's `campaign.batch`).
+    let trace_parent = tmr_trace::current_span();
     let shard_results: Vec<(Vec<FaultOutcome>, usize, SimStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = faults
             .chunks(chunk)
-            .map(|chunk_faults| {
+            .enumerate()
+            .map(|(index, chunk_faults)| {
                 let ctx = ShardContext {
                     device,
                     routed,
@@ -423,7 +445,11 @@ fn run_faults(
                     compiled: backends.compiled,
                     packed: backends.packed,
                 };
-                scope.spawn(move || run_shard(&ctx, chunk_faults))
+                scope.spawn(move || {
+                    let _task = tmr_trace::enabled()
+                        .then(|| tmr_trace::task(format!("shard-{index:02}"), trace_parent));
+                    traced_shard(index, &ctx, chunk_faults)
+                })
             })
             .collect();
         handles
@@ -439,7 +465,49 @@ fn run_faults(
         simulated += shard_simulated;
         stats.merge(&shard_stats);
     }
+    attach_merged_stats(simulated, &stats);
     (merged, simulated, stats)
+}
+
+/// Runs one shard inside a `campaign.shard` span carrying the shard index,
+/// fault count and achieved faults/sec.
+fn traced_shard(
+    index: usize,
+    ctx: &ShardContext<'_>,
+    faults: &[Vec<usize>],
+) -> (Vec<FaultOutcome>, usize, SimStats) {
+    if !tmr_trace::enabled() {
+        return run_shard(ctx, faults);
+    }
+    let mut span = tmr_trace::span("campaign.shard");
+    span.attr("shard", index);
+    span.attr("faults", faults.len());
+    let started = std::time::Instant::now();
+    let result = run_shard(ctx, faults);
+    let seconds = started.elapsed().as_secs_f64();
+    if seconds > 0.0 {
+        span.attr("faults_per_sec", faults.len() as f64 / seconds);
+    }
+    span.attr("simulated", result.1);
+    span.attr("lanes_simulated", result.2.lanes_simulated);
+    result
+}
+
+/// Attaches the merged engine counters of one `run_faults` call to the
+/// innermost open span — the session's `campaign.batch` — so a trace shows
+/// the merged `SimStats` next to the batch that produced them.
+fn attach_merged_stats(simulated: usize, stats: &SimStats) {
+    if !tmr_trace::enabled() {
+        return;
+    }
+    tmr_trace::attr_current("simulated", simulated);
+    tmr_trace::attr_current("sim.levels_evaluated", stats.levels_evaluated);
+    tmr_trace::attr_current("sim.levels_skipped", stats.levels_skipped);
+    tmr_trace::attr_current("sim.ops_evaluated", stats.ops_evaluated);
+    tmr_trace::attr_current("sim.lanes_simulated", stats.lanes_simulated);
+    tmr_trace::attr_current("sim.lanes_retired_early", stats.lanes_retired_early);
+    tmr_trace::attr_current("sim.cone_dedup_hits", stats.cone_dedup_hits);
+    tmr_trace::counter_add("campaign.faults_simulated", simulated as u64);
 }
 
 #[cfg(test)]

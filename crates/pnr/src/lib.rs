@@ -60,5 +60,5 @@ mod routed;
 
 pub use error::PnrError;
 pub use place::{place, Placement, PlacerOptions};
-pub use route::{route, RouterOptions};
+pub use route::{route, route_with_telemetry, RouteIteration, RouteTelemetry, RouterOptions};
 pub use routed::{place_and_route, site_usage, BitReport, RouteTree, RoutedDesign};

@@ -74,6 +74,53 @@ struct NetTerminals {
     sinks: Vec<(NodeId, tmr_netlist::CellId, usize)>,
 }
 
+/// One negotiation iteration's congestion signals.
+///
+/// These are the numbers that expose the divergence class fixed in the
+/// present-factor schedule (see [`RouterOptions::default`]): a healthy run
+/// shows `overused_nodes` trending to zero while `present_factor` grows
+/// gently; an oscillating run shows overuse flat or growing as the factor
+/// explodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteIteration {
+    /// 1-based negotiation iteration number.
+    pub iteration: usize,
+    /// Nets ripped up (previous tree discarded) this iteration.
+    pub ripped_up: usize,
+    /// Nets routed (first-time or re-routed) this iteration.
+    pub rerouted: usize,
+    /// Nodes with more than one occupant after this iteration.
+    pub overused_nodes: usize,
+    /// Present-congestion penalty factor used during this iteration.
+    pub present_factor: f64,
+}
+
+/// Per-iteration telemetry of one [`route_with_telemetry`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteTelemetry {
+    /// One entry per negotiation iteration, in order.
+    pub iterations: Vec<RouteIteration>,
+}
+
+impl RouteTelemetry {
+    /// Number of negotiation iterations performed.
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Whether the run ended with zero overused nodes.
+    pub fn converged(&self) -> bool {
+        self.iterations
+            .last()
+            .is_some_and(|last| last.overused_nodes == 0)
+    }
+
+    /// Total nets ripped up across all iterations.
+    pub fn total_rip_ups(&self) -> usize {
+        self.iterations.iter().map(|it| it.ripped_up).sum()
+    }
+}
+
 /// Routes every cell-to-cell net of a placed netlist.
 ///
 /// # Errors
@@ -86,6 +133,31 @@ pub fn route(
     netlist: &Netlist,
     placement: &Placement,
     options: &RouterOptions,
+) -> Result<HashMap<NetId, RouteTree>, PnrError> {
+    route_with_telemetry(device, netlist, placement, options).0
+}
+
+/// [`route`], additionally returning the per-iteration negotiation
+/// telemetry — which is populated (and emitted as `route.iteration` trace
+/// events when tracing is enabled) even when routing fails, so a diverging
+/// run leaves its congestion history behind for inspection.
+pub fn route_with_telemetry(
+    device: &Device,
+    netlist: &Netlist,
+    placement: &Placement,
+    options: &RouterOptions,
+) -> (Result<HashMap<NetId, RouteTree>, PnrError>, RouteTelemetry) {
+    let mut telemetry = RouteTelemetry::default();
+    let result = route_inner(device, netlist, placement, options, &mut telemetry);
+    (result, telemetry)
+}
+
+fn route_inner(
+    device: &Device,
+    netlist: &Netlist,
+    placement: &Placement,
+    options: &RouterOptions,
+    telemetry: &mut RouteTelemetry,
 ) -> Result<HashMap<NetId, RouteTree>, PnrError> {
     let nets = collect_terminals(device, netlist, placement);
 
@@ -102,6 +174,8 @@ pub fn route(
     let mut present_factor = options.present_factor;
 
     for iteration in 1..=options.max_iterations {
+        let mut ripped_up = 0usize;
+        let mut rerouted = 0usize;
         for terminals in &nets {
             let needs_reroute = match trees.get(&terminals.net) {
                 None => true,
@@ -112,6 +186,7 @@ pub fn route(
             }
             // Rip up.
             if let Some(old) = trees.remove(&terminals.net) {
+                ripped_up += 1;
                 for node in &old.nodes {
                     occupancy[node.index()] -= 1;
                 }
@@ -134,9 +209,25 @@ pub fn route(
                 occupancy[node.index()] += 1;
             }
             trees.insert(terminals.net, tree);
+            rerouted += 1;
         }
 
         let overused: usize = occupancy.iter().filter(|&&o| o > 1).count();
+        telemetry.iterations.push(RouteIteration {
+            iteration,
+            ripped_up,
+            rerouted,
+            overused_nodes: overused,
+            present_factor,
+        });
+        if tmr_trace::enabled() {
+            tmr_trace::event("route.iteration")
+                .attr("iteration", iteration)
+                .attr("overused", overused)
+                .attr("ripped_up", ripped_up)
+                .attr("rerouted", rerouted)
+                .attr("present_factor", present_factor);
+        }
         if overused == 0 {
             return Ok(trees);
         }
@@ -404,6 +495,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn telemetry_records_every_iteration_and_convergence() {
+        let device = Device::small(5, 5);
+        let netlist = techmap(&optimize(&lower(&counter(4)).unwrap())).unwrap();
+        let placement = place(&device, &netlist, &PlacerOptions::default()).unwrap();
+        let (result, telemetry) =
+            route_with_telemetry(&device, &netlist, &placement, &RouterOptions::default());
+        assert!(result.is_ok());
+        assert!(telemetry.converged());
+        assert!(telemetry.iteration_count() >= 1);
+        let first = &telemetry.iterations[0];
+        assert_eq!((first.iteration, first.ripped_up), (1, 0));
+        assert!(first.rerouted > 0, "every net is routed in iteration 1");
+        assert_eq!(telemetry.iterations.last().unwrap().overused_nodes, 0);
+        // route() must agree with the telemetry variant it delegates to.
+        let direct = route(&device, &netlist, &placement, &RouterOptions::default()).unwrap();
+        assert_eq!(direct.len(), result.unwrap().len());
     }
 
     #[test]

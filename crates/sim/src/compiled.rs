@@ -208,6 +208,7 @@ impl CompiledNetlist {
     /// Returns [`SimError::CombinationalLoop`] if the netlist cannot be
     /// levelized.
     pub fn compile(netlist: &Netlist) -> Result<Self, SimError> {
+        let mut trace_span = tmr_trace::span("sim.compile");
         let levelization = netlist
             .levelize()
             .map_err(|l| SimError::CombinationalLoop {
@@ -305,6 +306,10 @@ impl CompiledNetlist {
             driver_ff_of_net[ff.q_net as usize] = ff_idx as u32;
         }
 
+        trace_span.attr("ops", ops.len());
+        trace_span.attr("ffs", ffs.len());
+        trace_span.attr("levels", level_count);
+        trace_span.attr("nets", netlist.net_count());
         Ok(Self {
             net_count: netlist.net_count(),
             ops,
@@ -445,7 +450,9 @@ impl CompiledNetlist {
     /// trace inside `golden` — that would be a compiler bug, and this check
     /// keeps every campaign differentially guarded against it.
     pub fn pack_golden(&self, golden: &GoldenRun) -> PackedGolden {
+        let mut trace_span = tmr_trace::span("sim.pack_golden");
         let vectors = golden.stimulus().vectors();
+        trace_span.attr("cycles", vectors.len());
         let mut values = vec![TritWord::X; self.net_count];
         let mut state: Vec<TritWord> = self
             .ffs

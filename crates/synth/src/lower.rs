@@ -64,7 +64,11 @@ impl From<NetlistError> for LowerError {
 /// no driver, or [`LowerError::Netlist`] if netlist construction fails (which
 /// indicates an internal inconsistency).
 pub fn lower(design: &Design) -> Result<Netlist, LowerError> {
-    Lowering::new(design).run()
+    let mut trace_span = tmr_trace::span("synth.lower");
+    let netlist = Lowering::new(design).run()?;
+    trace_span.attr("cells", netlist.cell_count());
+    trace_span.attr("nets", netlist.net_count());
+    Ok(netlist)
 }
 
 /// Truth-table of a 3-input function as a LUT init word.

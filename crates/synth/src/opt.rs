@@ -10,6 +10,7 @@ use tmr_netlist::{CellId, NetDriver, NetId, Netlist};
 /// The result preserves all ports, the relative order of surviving cells, and
 /// every cell's TMR domain.
 pub fn optimize(netlist: &Netlist) -> Netlist {
+    let mut trace_span = tmr_trace::span("synth.optimize");
     let mut live_cells: HashSet<CellId> = HashSet::new();
     let mut visited_nets: HashSet<NetId> = HashSet::new();
     let mut stack: Vec<NetId> = netlist.output_ports().map(|(_, p)| p.net).collect();
@@ -25,6 +26,8 @@ pub fn optimize(netlist: &Netlist) -> Netlist {
         }
     }
 
+    trace_span.attr("cells_in", netlist.cell_count());
+    trace_span.attr("cells_live", live_cells.len());
     netlist.filtered(|id, _| live_cells.contains(&id))
 }
 

@@ -80,6 +80,7 @@ const LUT_K: usize = 4;
 /// and [`TechmapError::AlreadyMapped`] if the netlist already contains I/O
 /// buffers.
 pub fn techmap(netlist: &Netlist) -> Result<Netlist, TechmapError> {
+    let mut trace_span = tmr_trace::span("synth.techmap");
     let mut out = Netlist::new(netlist.name());
     let mut net_map: HashMap<NetId, NetId> = HashMap::new();
 
@@ -163,6 +164,8 @@ pub fn techmap(netlist: &Netlist) -> Result<Netlist, TechmapError> {
         out.add_output_in_domain(port.name.clone(), pad, port.domain);
     }
 
+    trace_span.attr("cells", out.cell_count());
+    trace_span.attr("nets", out.net_count());
     Ok(out)
 }
 

@@ -1,0 +1,134 @@
+//! Attribute values attached to spans and events.
+
+use std::fmt;
+
+/// A typed attribute value. Conversions exist from the primitive types the
+/// instrumentation sites use, so call sites write `span.attr("faults", n)`
+/// without ceremony.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A boolean flag.
+    Bool(bool),
+    /// An unsigned count or size.
+    U64(u64),
+    /// A signed quantity.
+    I64(i64),
+    /// A rate or ratio.
+    F64(f64),
+    /// Free-form text.
+    Str(String),
+}
+
+impl AttrValue {
+    /// Renders the value as a JSON fragment (numbers bare, strings escaped,
+    /// non-finite floats as `null` so the output stays valid JSON).
+    pub fn to_json(&self) -> String {
+        match self {
+            AttrValue::Bool(value) => value.to_string(),
+            AttrValue::U64(value) => value.to_string(),
+            AttrValue::I64(value) => value.to_string(),
+            AttrValue::F64(value) if value.is_finite() => format!("{value:?}"),
+            AttrValue::F64(_) => "null".to_string(),
+            AttrValue::Str(value) => crate::json::escape(value),
+        }
+    }
+
+    /// The value as `u64`, when it is an unsigned count.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::U64(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::U64(value) => Some(*value as f64),
+            AttrValue::I64(value) => Some(*value as f64),
+            AttrValue::F64(value) => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Bool(value) => write!(f, "{value}"),
+            AttrValue::U64(value) => write!(f, "{value}"),
+            AttrValue::I64(value) => write!(f, "{value}"),
+            AttrValue::F64(value) => write!(f, "{value:.3}"),
+            AttrValue::Str(value) => write!(f, "{value}"),
+        }
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(value: bool) -> Self {
+        AttrValue::Bool(value)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(value: u64) -> Self {
+        AttrValue::U64(value)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(value: u32) -> Self {
+        AttrValue::U64(value as u64)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(value: usize) -> Self {
+        AttrValue::U64(value as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(value: i64) -> Self {
+        AttrValue::I64(value)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(value: i32) -> Self {
+        AttrValue::I64(value as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(value: f64) -> Self {
+        AttrValue::F64(value)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(value: &str) -> Self {
+        AttrValue::Str(value.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(value: String) -> Self {
+        AttrValue::Str(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_keeps_types() {
+        assert_eq!(AttrValue::from(3usize).to_json(), "3");
+        assert_eq!(AttrValue::from(true).to_json(), "true");
+        assert_eq!(AttrValue::from(-2i64).to_json(), "-2");
+        assert_eq!(AttrValue::from(1.5).to_json(), "1.5");
+        assert_eq!(AttrValue::from(f64::NAN).to_json(), "null");
+        assert_eq!(AttrValue::from("a\"b").to_json(), "\"a\\\"b\"");
+    }
+}

@@ -1,0 +1,140 @@
+//! Tracer configuration: sink selection and output path, from the
+//! environment (`TMR_TRACE`, `TMR_TRACE_FILE`) or programmatically.
+
+use std::path::PathBuf;
+
+/// Where rendered trace output goes on [`flush`](crate::flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sink {
+    /// Tracing disabled; instrumentation is a single atomic branch.
+    Off,
+    /// Indented span tree plus counters on stderr.
+    Human,
+    /// One JSON object per record, to a `.jsonl` file.
+    Jsonl,
+    /// Chrome `trace_event` JSON, loadable in Perfetto / `chrome://tracing`.
+    Chrome,
+    /// Records retained in memory for [`drain_tree`](crate::drain_tree);
+    /// used by tests and embedding tools.
+    Memory,
+}
+
+/// Programmatic tracer configuration. Install with
+/// [`configure`](crate::configure), or let the first instrumentation call
+/// read [`TraceConfig::from_env`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    sink: Sink,
+    file: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        TraceConfig {
+            sink: Sink::Off,
+            file: None,
+        }
+    }
+
+    /// Human-readable stderr output.
+    pub fn human() -> Self {
+        TraceConfig {
+            sink: Sink::Human,
+            file: None,
+        }
+    }
+
+    /// JSONL event-log output.
+    pub fn jsonl() -> Self {
+        TraceConfig {
+            sink: Sink::Jsonl,
+            file: None,
+        }
+    }
+
+    /// Chrome `trace_event` output.
+    pub fn chrome() -> Self {
+        TraceConfig {
+            sink: Sink::Chrome,
+            file: None,
+        }
+    }
+
+    /// In-memory collection for [`drain_tree`](crate::drain_tree).
+    pub fn memory() -> Self {
+        TraceConfig {
+            sink: Sink::Memory,
+            file: None,
+        }
+    }
+
+    /// Reads `TMR_TRACE` (`off|human|jsonl|chrome|memory`; unset, empty or
+    /// unknown values mean off) and `TMR_TRACE_FILE`.
+    pub fn from_env() -> Self {
+        let sink = match std::env::var("TMR_TRACE").as_deref() {
+            Ok("human") => Sink::Human,
+            Ok("jsonl") => Sink::Jsonl,
+            Ok("chrome") => Sink::Chrome,
+            Ok("memory") => Sink::Memory,
+            _ => Sink::Off,
+        };
+        let file = std::env::var_os("TMR_TRACE_FILE")
+            .filter(|path| !path.is_empty())
+            .map(PathBuf::from);
+        TraceConfig { sink, file }
+    }
+
+    /// Overrides the output path of the file sinks.
+    pub fn with_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.file = Some(path.into());
+        self
+    }
+
+    /// The configured sink.
+    pub fn sink(&self) -> Sink {
+        self.sink
+    }
+
+    /// The output path for file sinks: the configured one, or the sink's
+    /// default (`tmr_trace.json` for Chrome, `tmr_trace.jsonl` for JSONL).
+    pub fn file_or_default(&self) -> PathBuf {
+        if let Some(path) = &self.file {
+            return path.clone();
+        }
+        match self.sink {
+            Sink::Jsonl => PathBuf::from("tmr_trace.jsonl"),
+            _ => PathBuf::from("tmr_trace.json"),
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off_with_sinkwise_file_names() {
+        assert_eq!(TraceConfig::default().sink(), Sink::Off);
+        assert_eq!(
+            TraceConfig::chrome().file_or_default(),
+            PathBuf::from("tmr_trace.json")
+        );
+        assert_eq!(
+            TraceConfig::jsonl().file_or_default(),
+            PathBuf::from("tmr_trace.jsonl")
+        );
+        assert_eq!(
+            TraceConfig::chrome()
+                .with_file("/tmp/t.json")
+                .file_or_default(),
+            PathBuf::from("/tmp/t.json")
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal JSON helpers: string escaping for the sinks and a recursive
+//! descent validator used by tests and the `trace_check` CI gate to assert
+//! emitted documents are well-formed without a JSON dependency.
+
+/// Escapes `text` as a JSON string literal, including the surrounding
+/// quotes.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Validates that `text` is one complete, well-formed JSON value. Returns
+/// the byte offset and a message on the first error.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, what: &str) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(_) => Err(fail(*pos, "unexpected character")),
+        None => Err(fail(*pos, "unexpected end of input")),
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(expected) {
+        *pos += expected.len();
+        Ok(())
+    } else {
+        Err(fail(*pos, "malformed literal"))
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(fail(*pos, "expected object key"));
+        }
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(fail(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(fail(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(fail(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening quote
+    while let Some(&byte) = bytes.get(*pos) {
+        match byte {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !bytes.get(*pos).is_some_and(|byte| byte.is_ascii_hexdigit()) {
+                                return Err(fail(*pos, "bad \\u escape"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(fail(*pos, "bad escape")),
+                }
+            }
+            byte if byte < 0x20 => return Err(fail(*pos, "control character in string")),
+            _ => *pos += 1,
+        }
+    }
+    Err(fail(*pos, "unterminated string"))
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while bytes.get(*pos).is_some_and(|byte| byte.is_ascii_digit()) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(bytes, pos) {
+        return Err(fail(start, "malformed number"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(fail(*pos, "malformed fraction"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(fail(*pos, "malformed exponent"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_wellformed_documents() {
+        for text in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":"c\nd"}],"e":true}"#,
+            r#"  {"traceEvents":[{"ph":"X","ts":0.5,"dur":1.25}]} "#,
+        ] {
+            assert_eq!(validate(text), Ok(()), "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in ["", "{", "[1,]", "{\"a\":}", "01x", "\"abc", "{}extra"] {
+            assert!(validate(text).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), r#""a\"b\\c\nd\u0001""#);
+        assert_eq!(validate(&escape("any\ntext\u{7}")), Ok(()));
+    }
+}

@@ -1,0 +1,242 @@
+//! Renderers for the three output sinks: human-readable stderr, JSONL event
+//! logs, and Chrome `trace_event` JSON (Perfetto / `chrome://tracing`).
+
+use crate::attr::AttrValue;
+use crate::json::escape;
+use crate::record::Record;
+use crate::tree::{TraceNode, TraceTree};
+use std::fmt::Write as _;
+
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_attrs(attrs: &[(String, AttrValue)]) -> String {
+    let mut out = String::new();
+    for (key, value) in attrs {
+        let _ = write!(out, " {key}={value}");
+    }
+    out
+}
+
+fn render_node(node: &TraceNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match node.dur_ns {
+        Some(dur) => {
+            let _ = writeln!(
+                out,
+                "{} ({}){}",
+                node.name,
+                fmt_dur(dur),
+                fmt_attrs(&node.attrs)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "· {}{}", node.name, fmt_attrs(&node.attrs));
+        }
+    }
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+/// The `Sink::Human` rendering: an indented span tree (durations and
+/// attributes inline, events marked `·`) followed by the counter registry.
+pub(crate) fn render_human(tree: &TraceTree) -> String {
+    let mut out = String::from("trace:\n");
+    for root in &tree.roots {
+        render_node(root, 1, &mut out);
+    }
+    if !tree.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &tree.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    out
+}
+
+fn attrs_json(attrs: &[(std::borrow::Cow<'static, str>, AttrValue)]) -> String {
+    let mut out = String::from("{");
+    for (index, (key, value)) in attrs.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", escape(key), value.to_json());
+    }
+    out.push('}');
+    out
+}
+
+/// The `Sink::Jsonl` rendering: one JSON object per record (spans carry
+/// `dur_ns`, events don't), terminated by a `metrics` line with the counter
+/// registry. Every line is independently parseable.
+pub(crate) fn render_jsonl(records: &[Record], counters: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let kind = if record.dur_ns.is_some() {
+            "span"
+        } else {
+            "event"
+        };
+        let _ = write!(
+            out,
+            "{{\"type\":{},\"name\":{},\"task\":{},\"seq\":{},\"start_ns\":{}",
+            escape(kind),
+            escape(&record.name),
+            escape(&record.task),
+            record.seq,
+            record.start_ns,
+        );
+        if let Some(dur) = record.dur_ns {
+            let _ = write!(out, ",\"dur_ns\":{dur}");
+        }
+        let _ = writeln!(out, ",\"attrs\":{}}}", attrs_json(&record.attrs));
+    }
+    let mut metrics = String::from("{");
+    for (index, (name, value)) in counters.iter().enumerate() {
+        if index > 0 {
+            metrics.push(',');
+        }
+        let _ = write!(metrics, "{}:{}", escape(name), value);
+    }
+    metrics.push('}');
+    let _ = writeln!(out, "{{\"type\":\"metrics\",\"counters\":{metrics}}}");
+    out
+}
+
+/// The `Sink::Chrome` rendering: a `trace_event` document. Spans become
+/// complete (`"ph":"X"`) events, instants become `"ph":"i"`, each task label
+/// becomes a named `tid` row, and counters are appended as `"ph":"C"`
+/// samples — drop the file on <https://ui.perfetto.dev> to browse it.
+pub(crate) fn render_chrome(records: &[Record], counters: &[(String, u64)]) -> String {
+    // Stable tid per task label, in first-appearance order of the sorted
+    // record stream (so numbering is deterministic too).
+    let mut tids: Vec<&str> = Vec::new();
+    for record in records {
+        if !tids.iter().any(|task| *task == &*record.task) {
+            tids.push(&record.task);
+        }
+    }
+    let tid_of = |task: &str| tids.iter().position(|t| *t == task).unwrap_or(0);
+    let mut events: Vec<String> = Vec::new();
+    for (tid, task) in tids.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+            escape(task)
+        ));
+    }
+    let mut last_ts = 0u64;
+    for record in records {
+        last_ts = last_ts.max(record.start_ns + record.dur_ns.unwrap_or(0));
+        let ts = record.start_ns as f64 / 1e3;
+        let tid = tid_of(&record.task);
+        let args = attrs_json(&record.attrs);
+        let event = match record.dur_ns {
+            Some(dur) => format!(
+                "{{\"name\":{},\"cat\":\"tmr\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{tid},\"args\":{args}}}",
+                escape(&record.name),
+                dur as f64 / 1e3,
+            ),
+            None => format!(
+                "{{\"name\":{},\"cat\":\"tmr\",\"ph\":\"i\",\"ts\":{ts:.3},\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"args\":{args}}}",
+                escape(&record.name),
+            ),
+        };
+        events.push(event);
+    }
+    for (name, value) in counters {
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+            escape(name),
+            last_ts as f64 / 1e3,
+        ));
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    for (index, event) in events.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(event);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use std::borrow::Cow;
+    use std::sync::Arc;
+
+    fn sample() -> Vec<Record> {
+        let task: Arc<str> = Arc::from("main");
+        vec![
+            Record {
+                name: Cow::Borrowed("flow"),
+                task: task.clone(),
+                seq: 0,
+                id: 1,
+                parent: 0,
+                start_ns: 100,
+                dur_ns: Some(5_000),
+                attrs: vec![(Cow::Borrowed("design"), AttrValue::from("fir \"8\""))],
+            },
+            Record {
+                name: Cow::Borrowed("cache.hit"),
+                task,
+                seq: 1,
+                id: 0,
+                parent: 1,
+                start_ns: 400,
+                dur_ns: None,
+                attrs: vec![(Cow::Borrowed("stage"), AttrValue::from("route"))],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_sink_is_valid_json_with_complete_and_instant_events() {
+        let rendered = render_chrome(&sample(), &[("faults".to_string(), 7)]);
+        validate(&rendered).expect("chrome trace must be well-formed JSON");
+        assert!(rendered.contains("\"traceEvents\""));
+        assert!(rendered.contains("\"ph\":\"X\""));
+        assert!(rendered.contains("\"ph\":\"i\""));
+        assert!(rendered.contains("\"ph\":\"C\""));
+        assert!(rendered.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_valid_object_per_line() {
+        let rendered = render_jsonl(&sample(), &[("faults".to_string(), 7)]);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            validate(line).expect("every JSONL line must be valid JSON");
+        }
+        assert!(lines[0].contains("\"dur_ns\":5000"));
+        assert!(!lines[1].contains("dur_ns"), "events have no duration");
+        assert!(lines[2].contains("\"type\":\"metrics\""));
+    }
+
+    #[test]
+    fn human_sink_indents_children_and_lists_counters() {
+        let tree = TraceTree::build(sample(), vec![("faults".to_string(), 7)]);
+        let rendered = render_human(&tree);
+        assert!(rendered.contains("  flow (5.0"));
+        assert!(rendered.contains("    · cache.hit stage=route"));
+        assert!(rendered.contains("  faults = 7"));
+    }
+}

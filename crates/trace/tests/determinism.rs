@@ -1,0 +1,96 @@
+//! The deterministic-merge contract: concurrent per-thread span buffers
+//! merge to the same tree regardless of shard count, thread interleaving, or
+//! whether the work ran on threads at all.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use tmr_trace::{configure, current_span, drain_tree, span, task, TraceConfig};
+
+/// The tracer is process-global; every test in this binary serializes on
+/// this lock.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One shard's scripted work: open a `shard` span, then run `ops` — even
+/// values record an event, odd values open (and close) a nested span.
+fn run_shard(index: usize, ops: &[u8], jitter: u64) {
+    let mut shard = span("shard");
+    shard.attr("index", index);
+    for (step, &op) in ops.iter().enumerate() {
+        if jitter > 0 && (step as u64 + jitter).is_multiple_of(3) {
+            // Perturb the interleaving, not the recorded content.
+            std::thread::yield_now();
+            std::thread::sleep(std::time::Duration::from_micros(jitter % 50));
+        }
+        if op % 2 == 0 {
+            tmr_trace::event("tick").attr("op", op as u64);
+        } else {
+            let mut inner = span("work");
+            inner.attr("op", op as u64);
+        }
+    }
+}
+
+/// Runs the whole workload and returns the merged tree's structure string.
+/// `parallel` runs each shard on its own scoped thread (with per-run timing
+/// `jitter`); otherwise shards run sequentially on the calling thread under
+/// the same task labels.
+fn run_workload(shards: &[Vec<u8>], parallel: bool, jitter: u64) -> String {
+    configure(TraceConfig::memory());
+    {
+        let root = span("campaign");
+        let parent = current_span();
+        if parallel {
+            std::thread::scope(|scope| {
+                for (index, ops) in shards.iter().enumerate() {
+                    scope.spawn(move || {
+                        let _task = task(format!("shard-{index:02}"), parent);
+                        run_shard(index, ops, jitter.wrapping_add(index as u64 * 7));
+                    });
+                }
+            });
+        } else {
+            for (index, ops) in shards.iter().enumerate() {
+                let _task = task(format!("shard-{index:02}"), parent);
+                run_shard(index, ops, 0);
+            }
+        }
+        drop(root);
+    }
+    let tree = drain_tree();
+    configure(TraceConfig::off());
+    tree.structure()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merged_tree_is_independent_of_interleaving(
+        shards in prop::collection::vec(prop::collection::vec(0u8..8, 0..6), 1..7),
+        jitter_a in 0u64..1000,
+        jitter_b in 0u64..1000,
+    ) {
+        let _guard = lock();
+        let sequential = run_workload(&shards, false, 0);
+        let parallel_a = run_workload(&shards, true, jitter_a);
+        let parallel_b = run_workload(&shards, true, jitter_b);
+        prop_assert_eq!(&parallel_a, &sequential);
+        prop_assert_eq!(&parallel_b, &sequential);
+    }
+}
+
+#[test]
+fn structure_shows_shards_in_label_order() {
+    let _guard = lock();
+    let shards = vec![vec![1u8], vec![2u8], vec![3u8]];
+    let structure = run_workload(&shards, true, 123);
+    assert_eq!(
+        structure,
+        "campaign[main](shard[shard-00](work[shard-00]) \
+         shard[shard-01](tick[shard-01]) \
+         shard[shard-02](work[shard-02]))"
+    );
+}

@@ -19,8 +19,11 @@ fn main() -> Result<(), tmr_fpga::Error> {
     let campaign = CampaignBuilder::new().faults(1500).cycles(16);
 
     // One sweep call covers all five variants; every flow shares the cache.
+    // The static analysis rides along so a `TMR_TRACE` run of this example
+    // exercises every pipeline stage.
     let sweep = Sweep::paper(&base)
         .on_device(&device)
+        .analyze(true)
         .campaign(campaign.clone());
     let report = sweep.run()?;
 
@@ -83,5 +86,11 @@ fn main() -> Result<(), tmr_fpga::Error> {
         campaign.options().faults(),
         streamed.wrong_answer_percent()
     );
+
+    // With TMR_TRACE=human|jsonl|chrome set, write out everything recorded
+    // above; a no-op (returning `None`) when tracing is off.
+    if let Some(path) = tmr_fpga::trace::flush() {
+        eprintln!("trace written to {}", path.display());
+    }
     Ok(())
 }

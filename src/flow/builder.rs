@@ -82,6 +82,17 @@ impl FlowBuilder {
         self
     }
 
+    /// Installs `config` as the process-global trace configuration (the
+    /// tracer is a process singleton — see [`crate::trace::configure`] — so
+    /// this affects every instrumented layer, not just this flow). Stage
+    /// artifacts and campaign results are bit-identical with tracing on,
+    /// off, or at any sink.
+    #[must_use]
+    pub fn trace(self, config: tmr_trace::TraceConfig) -> Self {
+        tmr_trace::configure(config);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Flow {
         let identity = fingerprint(&[&self.design, &self.tmr]);
@@ -182,6 +193,10 @@ impl Flow {
                         ..PlacerOptions::default()
                     },
                 )?;
+                if tmr_trace::enabled() {
+                    tmr_trace::attr_current("cells", placement.iter().count());
+                    tmr_trace::attr_current("wirelength", placement.wirelength());
+                }
                 Ok::<_, Error>(Placed {
                     placement,
                     fingerprint: fp,
@@ -208,13 +223,18 @@ impl Flow {
                     placed.placement(),
                     &RouterOptions::default(),
                 )?;
+                let design = RoutedDesign::assemble(
+                    &self.device,
+                    synthesized.netlist(),
+                    placed.placement().clone(),
+                    routes,
+                );
+                if tmr_trace::enabled() {
+                    tmr_trace::attr_current("config_bits", design.bitstream().len());
+                    tmr_trace::attr_current("bits_set", design.bitstream().count_ones());
+                }
                 Ok::<_, Error>(Routed {
-                    design: RoutedDesign::assemble(
-                        &self.device,
-                        synthesized.netlist(),
-                        placed.placement().clone(),
-                        routes,
-                    ),
+                    design,
                     fingerprint: fp,
                 })
             })
@@ -246,8 +266,12 @@ impl Flow {
         let routed = self.routed()?;
         self.cache
             .get_or_try_insert(CacheKey::new("analyze", fp), || {
+                let analysis = StaticAnalysis::run(&self.device, routed.design());
+                if tmr_trace::enabled() {
+                    tmr_trace::attr_current("bits", analysis.bit_count());
+                }
                 Ok::<_, Error>(Analyzed {
-                    analysis: StaticAnalysis::run(&self.device, routed.design()),
+                    analysis,
                     fingerprint: fp,
                 })
             })
@@ -268,6 +292,9 @@ impl Flow {
         let synthesized = self.synthesized()?;
         self.cache
             .get_or_try_insert(CacheKey::new("golden", fp.finish()), || {
+                if tmr_trace::enabled() {
+                    tmr_trace::attr_current("cycles", cycles);
+                }
                 GoldenRun::compute(synthesized.netlist(), cycles, stimulus_seed)
                     .map_err(Error::from)
             })
@@ -313,9 +340,14 @@ impl Flow {
                 if let Some(shards) = self.shards {
                     configured = configured.shards(shards);
                 }
-                configured
+                let result = configured
                     .run(&self.device, routed.design())
-                    .map_err(Error::from)
+                    .map_err(Error::from)?;
+                if tmr_trace::enabled() {
+                    tmr_trace::attr_current("injected", result.injected());
+                    tmr_trace::attr_current("wrong_answers", result.wrong_answers());
+                }
+                Ok(result)
             })
     }
 

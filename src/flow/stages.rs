@@ -143,9 +143,15 @@ pub(crate) fn stage_protected(
     design: &Design,
     config: Option<&TmrConfig>,
 ) -> Result<Arc<Design>, Error> {
-    cache.get_or_try_insert(CacheKey::new("tmr", identity), || match config {
-        Some(config) => apply_tmr(design, config).map_err(Error::from),
-        None => Ok(design.clone()),
+    cache.get_or_try_insert(CacheKey::new("tmr", identity), || {
+        let protected = match config {
+            Some(config) => apply_tmr(design, config)?,
+            None => design.clone(),
+        };
+        if tmr_trace::enabled() {
+            tmr_trace::attr_current("nodes", protected.node_count());
+        }
+        Ok::<_, Error>(protected)
     })
 }
 
@@ -157,6 +163,10 @@ pub(crate) fn stage_synthesized(
 ) -> Result<Arc<Synthesized>, Error> {
     cache.get_or_try_insert(CacheKey::new("synth", identity), || {
         let netlist = techmap(&optimize(&lower(protected)?))?;
+        if tmr_trace::enabled() {
+            tmr_trace::attr_current("cells", netlist.cell_count());
+            tmr_trace::attr_current("nets", netlist.net_count());
+        }
         Ok::<_, Error>(Synthesized {
             netlist,
             fingerprint: identity,
@@ -172,6 +182,10 @@ pub(crate) fn stage_compiled(
 ) -> Result<Arc<Compiled>, Error> {
     cache.get_or_try_insert(CacheKey::new("compiled", identity), || {
         let compiled = CompiledNetlist::compile(synthesized.netlist())?;
+        if tmr_trace::enabled() {
+            tmr_trace::attr_current("ops", compiled.op_count());
+            tmr_trace::attr_current("levels", compiled.level_count());
+        }
         Ok::<_, Error>(Compiled {
             compiled: Arc::new(compiled),
             fingerprint: identity,

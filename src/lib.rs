@@ -55,6 +55,7 @@ pub use tmr_netlist as netlist;
 pub use tmr_pnr as pnr;
 pub use tmr_sim as sim;
 pub use tmr_synth as synth;
+pub use tmr_trace as trace;
 
 mod error;
 pub mod flow;

@@ -1,0 +1,77 @@
+//! PathFinder convergence regression (per-iteration router telemetry).
+//!
+//! The five small-FIR paper variants must route on the reference 24x24
+//! device within a pinned negotiation-iteration budget. A router or
+//! cost-schedule change that degrades convergence shows up here as an
+//! iteration-count regression long before it becomes a routing failure.
+
+use tmr_fpga::arch::Device;
+use tmr_fpga::designs::FirFilter;
+use tmr_fpga::flow::Sweep;
+use tmr_fpga::pnr::{route_with_telemetry, RouterOptions};
+
+/// Measured convergence today: standard 5, tmr_p3_nv 18, tmr_p3 22,
+/// tmr_p2 30 and tmr_p1 (the most congested variant on the deliberately
+/// tight 24x24 device) 97 iterations. The budget leaves ~50 % headroom for
+/// cost-schedule tweaks without letting convergence quietly decay toward
+/// the router's hard limit of 250, where `tmr_p1` would start failing.
+const ITERATION_BUDGET: usize = 150;
+
+#[test]
+fn paper_variants_route_within_the_iteration_budget() {
+    let base = FirFilter::small_filter().to_design();
+    let device = Device::small(24, 24);
+    let (device, flows) = Sweep::paper(&base)
+        .on_device(&device)
+        .flows()
+        .expect("the paper variants implement on the 24x24 device");
+
+    for (name, flow) in flows {
+        let synthesized = flow.synthesized().expect("synthesis succeeds");
+        let placed = flow.placed().expect("placement succeeds");
+        let (routes, telemetry) = route_with_telemetry(
+            &device,
+            synthesized.netlist(),
+            placed.placement(),
+            &RouterOptions::default(),
+        );
+        routes.unwrap_or_else(|error| panic!("variant {name} failed to route: {error}"));
+
+        assert!(
+            telemetry.converged(),
+            "variant {name}: successful route must end with zero overused nodes"
+        );
+        assert!(
+            telemetry.iteration_count() >= 1,
+            "variant {name}: telemetry must record every iteration"
+        );
+        assert!(
+            telemetry.iteration_count() <= ITERATION_BUDGET,
+            "variant {name}: router took {} negotiation iterations (budget {ITERATION_BUDGET}) \
+             — convergence regressed",
+            telemetry.iteration_count()
+        );
+
+        // The telemetry is self-consistent: iterations are numbered from 1,
+        // the present-congestion factor never decreases, and only the first
+        // iteration may route without any rip-ups.
+        for (index, iteration) in telemetry.iterations.iter().enumerate() {
+            assert_eq!(iteration.iteration, index + 1, "variant {name}");
+            if index > 0 {
+                assert!(
+                    iteration.present_factor >= telemetry.iterations[index - 1].present_factor,
+                    "variant {name}: present factor must be non-decreasing"
+                );
+                assert!(
+                    iteration.ripped_up > 0,
+                    "variant {name}: a non-first iteration only runs to resolve overuse"
+                );
+            }
+        }
+        assert_eq!(
+            telemetry.iterations.last().map(|last| last.overused_nodes),
+            Some(0),
+            "variant {name}"
+        );
+    }
+}
