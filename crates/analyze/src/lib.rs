@@ -34,13 +34,12 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
-mod json;
 mod prune;
 mod report;
 mod verdict;
 
 pub use analysis::StaticAnalysis;
-pub use json::Json;
 pub use prune::PruneWith;
 pub use report::CriticalityReport;
+pub use tmr_core::json::Json;
 pub use verdict::Verdict;

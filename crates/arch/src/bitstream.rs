@@ -22,6 +22,31 @@ impl Bitstream {
         }
     }
 
+    /// Rebuilds a bitstream from its backing words (see
+    /// [`Bitstream::words`]) — the inverse used by the `tmr-store` codec.
+    /// Bits at or beyond `len` in the last word must be zero, matching what
+    /// [`Bitstream::words`] produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `len.div_ceil(64)` words long or a
+    /// bit beyond `len` is set.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last() {
+                assert_eq!(last >> (len % 64), 0, "bits set beyond len");
+            }
+        }
+        Self { words, len }
+    }
+
+    /// The backing 64-bit words, least-significant bit first; bits at or
+    /// beyond [`Bitstream::len`] in the last word are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len

@@ -7,7 +7,10 @@
 //! (default 24) and the worker shards by `TMR_SHARDS` (default: one per CPU
 //! core; results are bit-identical for any shard count). Setting `TMR_CI`
 //! (e.g. `0.005`) stops each campaign early once the wrong-answer rate's
-//! 95 % confidence half-width is below that bound.
+//! 95 % confidence half-width is below that bound. `TMR_CACHE_DIR=dir`
+//! attaches a disk artifact store: a re-run over the same directory serves
+//! every implementation and campaign from disk (the stderr perf line shows
+//! the disk hit/miss counters).
 //!
 //! ```text
 //! TMR_FAULTS=4000 cargo run --release -p tmr-bench --bin table3

@@ -12,6 +12,10 @@
 //! cargo run --release -p tmr-bench --bin table_critical
 //! cargo run --release -p tmr-bench --bin table_critical -- --json
 //! ```
+//!
+//! `TMR_CACHE_DIR=dir` attaches a disk artifact store shared with the other
+//! table binaries, so the five implementations are read back instead of
+//! re-synthesized on repeat runs.
 
 use tmr_bench::report::{emit_stderr, flush_trace, markdown_table, sweep_criticality_document};
 use tmr_bench::{json_requested, paper_sweep};

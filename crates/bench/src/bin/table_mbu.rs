@@ -18,8 +18,9 @@
 //! ```
 //!
 //! Environment knobs as for `table3` (`TMR_FAULTS`, `TMR_CYCLES`,
-//! `TMR_SHARDS`, `TMR_CI`); `--json` emits one machine-readable document
-//! (shared serializer in `tmr_bench::report`) instead of markdown.
+//! `TMR_SHARDS`, `TMR_CI`, `TMR_CACHE_DIR`); `--json` emits one
+//! machine-readable document (shared serializer in `tmr_bench::report`)
+//! instead of markdown.
 
 use tmr_analyze::Json;
 use tmr_arch::MbuPattern;

@@ -1,0 +1,97 @@
+//! The campaign daemon: accepts fault-injection jobs over NDJSON and runs
+//! them concurrently, resumably, against a shared artifact store.
+//!
+//! ```text
+//! # stdin/stdout mode (used by pipelines and the CI smoke run):
+//! echo '{"cmd":"submit","spec":{"design":"counter:4","faults":200}}' \
+//!     | cargo run --release -p tmr-bench --bin tmr-campaignd
+//!
+//! # daemon mode on a Unix socket:
+//! TMR_CACHE_DIR=/tmp/tmr-cache \
+//!     cargo run --release -p tmr-bench --bin tmr-campaignd -- \
+//!     --socket /tmp/tmr-campaignd.sock --workers 4
+//! ```
+//!
+//! Options:
+//!
+//! * `--socket <path>` — serve connections on a Unix domain socket instead
+//!   of stdin/stdout; removed again on shutdown.
+//! * `--workers <n>` — worker threads sharing the job queue (default 2).
+//! * `--cache-dir <dir>` — disk artifact store; falls back to the
+//!   `TMR_CACHE_DIR` environment variable, and to memory-only operation
+//!   when neither is set (jobs then do not survive the process).
+//!
+//! One request per line; see `tmr_serve::protocol` for the wire format. A
+//! `{"cmd":"shutdown"}` request stops the daemon after the in-flight
+//! batches; interrupted jobs keep their persisted outcome prefixes and
+//! resume byte-identically when re-submitted over the same store.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use tmr_serve::{serve_stdio, serve_unix, ServiceConfig};
+use tmr_store::Store;
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut workers = 0usize;
+    let mut cache_dir: Option<PathBuf> = None;
+
+    let mut arguments = std::env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--socket" => socket = arguments.next().map(PathBuf::from),
+            "--workers" => {
+                workers = match arguments.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--workers needs a number"),
+                }
+            }
+            "--cache-dir" => cache_dir = arguments.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tmr-campaignd [--socket <path>] [--workers <n>] [--cache-dir <dir>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let store = match cache_dir {
+        Some(dir) => match Store::open(&dir) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(err) => {
+                eprintln!(
+                    "tmr-campaignd: cannot open store at {}: {err}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Store::from_env(),
+    };
+    match &store {
+        Some(store) => eprintln!("tmr-campaignd: store at {}", store.root().display()),
+        None => eprintln!("tmr-campaignd: no store configured; jobs will not survive restarts"),
+    }
+    let config = ServiceConfig { workers, store };
+
+    match socket {
+        Some(path) => {
+            eprintln!("tmr-campaignd: listening on {}", path.display());
+            if let Err(err) = serve_unix(&path, config) {
+                eprintln!("tmr-campaignd: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => serve_stdio(config),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("tmr-campaignd: {message}");
+    eprintln!("usage: tmr-campaignd [--socket <path>] [--workers <n>] [--cache-dir <dir>]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,187 @@
+//! Submits one fault-injection job to a running `tmr-campaignd` socket and
+//! streams the job's NDJSON events to stdout until its result arrives.
+//!
+//! ```text
+//! cargo run --release -p tmr-bench --bin tmr-submit -- \
+//!     --socket /tmp/tmr-campaignd.sock \
+//!     --design counter:4 --variant p2 --faults 200 --cycles 8
+//! ```
+//!
+//! Options:
+//!
+//! * `--socket <path>` — the daemon socket (required).
+//! * `--design <entry>` — registry entry: `fir`, `fir:paper`,
+//!   `counter:<w>`, `accumulator:<w>`, `moving_sum:<t>,<i>,<s>`
+//!   (default `fir`).
+//! * `--variant <v>` — `standard`, `p1`, `p2`, `p3` or `p3_nv`.
+//! * `--model <m>` — `single`, `mbu:<pattern>` or `accumulate:<k>`.
+//! * `--faults`, `--cycles`, `--batch`, `--seed`, `--ci <half-width>`,
+//!   `--device <cols>x<rows>`, `--id <job-id>` — campaign knobs
+//!   (`tmr_serve::protocol::JobSpec` defaults apply).
+//! * `--validate` — check every received line with the shared
+//!   `tmr_core::json` validator; exits 2 on the first malformed line.
+//! * `--status` / `--shutdown` — query or stop the daemon instead of
+//!   submitting.
+//!
+//! Exit code: 0 once the job's `result` event arrives, 1 on an `error`
+//! event (or connection problems), 2 on a validation failure.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tmr_serve::{Event, JobSpec, Request};
+
+enum Mode {
+    Submit,
+    Status,
+    Shutdown,
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut spec = JobSpec::default();
+    let mut id: Option<String> = None;
+    let mut validate = false;
+    let mut mode = Mode::Submit;
+
+    let mut arguments = std::env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            arguments
+                .next()
+                .ok_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match argument.as_str() {
+            "--socket" => match value("--socket") {
+                Ok(path) => socket = Some(PathBuf::from(path)),
+                Err(code) => return code,
+            },
+            "--design" => match value("--design") {
+                Ok(design) => spec.design = design,
+                Err(code) => return code,
+            },
+            "--variant" => match value("--variant") {
+                Ok(variant) => spec.variant = variant,
+                Err(code) => return code,
+            },
+            "--model" => match value("--model") {
+                Ok(model) => spec.model = model,
+                Err(code) => return code,
+            },
+            "--faults" => match parse_number(value("--faults"), "--faults") {
+                Ok(faults) => spec.faults = faults,
+                Err(code) => return code,
+            },
+            "--cycles" => match parse_number(value("--cycles"), "--cycles") {
+                Ok(cycles) => spec.cycles = cycles,
+                Err(code) => return code,
+            },
+            "--batch" => match parse_number(value("--batch"), "--batch") {
+                Ok(batch) => spec.batch = batch,
+                Err(code) => return code,
+            },
+            "--seed" => match parse_number(value("--seed"), "--seed") {
+                Ok(seed) => spec.seed = seed,
+                Err(code) => return code,
+            },
+            "--ci" => match parse_number(value("--ci"), "--ci") {
+                Ok(ci) => spec.ci = Some(ci),
+                Err(code) => return code,
+            },
+            "--device" => match value("--device") {
+                Ok(device) => match parse_device(&device) {
+                    Some(dims) => spec.device = Some(dims),
+                    None => return usage("--device wants <cols>x<rows>"),
+                },
+                Err(code) => return code,
+            },
+            "--id" => match value("--id") {
+                Ok(job_id) => id = Some(job_id),
+                Err(code) => return code,
+            },
+            "--validate" => validate = true,
+            "--status" => mode = Mode::Status,
+            "--shutdown" => mode = Mode::Shutdown,
+            "--help" | "-h" => {
+                eprintln!("usage: tmr-submit --socket <path> [spec options] [--validate]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let Some(socket) = socket else {
+        return usage("--socket is required");
+    };
+    let stream = match UnixStream::connect(&socket) {
+        Ok(stream) => stream,
+        Err(err) => {
+            eprintln!("tmr-submit: cannot connect to {}: {err}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let request = match mode {
+        Mode::Submit => Request::Submit { id, spec },
+        Mode::Status => Request::Status,
+        Mode::Shutdown => Request::Shutdown,
+    };
+    {
+        let mut stream = &stream;
+        if writeln!(stream, "{}", request.render()).is_err() {
+            eprintln!("tmr-submit: connection lost while sending the request");
+            return ExitCode::FAILURE;
+        }
+        let _ = stream.flush();
+    }
+
+    // Stream events until this request's terminal one.
+    let reader = BufReader::new(&stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if validate {
+            if let Err(err) = tmr_core::json::validate(line) {
+                eprintln!("tmr-submit: invalid JSON from daemon: {err}");
+                return ExitCode::from(2);
+            }
+        }
+        println!("{line}");
+        match Event::parse(line) {
+            Ok(Event::Result { .. }) => return ExitCode::SUCCESS,
+            Ok(Event::Error { .. }) => return ExitCode::FAILURE,
+            Ok(Event::Status { .. }) if matches!(mode, Mode::Status) => return ExitCode::SUCCESS,
+            Ok(Event::Shutdown) if matches!(mode, Mode::Shutdown) => return ExitCode::SUCCESS,
+            _ => {}
+        }
+    }
+    eprintln!("tmr-submit: daemon closed the connection before a terminal event");
+    ExitCode::FAILURE
+}
+
+fn parse_number<T: std::str::FromStr>(
+    value: Result<String, ExitCode>,
+    name: &str,
+) -> Result<T, ExitCode> {
+    match value {
+        Ok(text) => text
+            .parse()
+            .map_err(|_| usage(&format!("{name} wants a number, got {text:?}"))),
+        Err(code) => Err(code),
+    }
+}
+
+fn parse_device(text: &str) -> Option<(u16, u16)> {
+    let (cols, rows) = text.split_once('x')?;
+    Some((cols.trim().parse().ok()?, rows.trim().parse().ok()?))
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("tmr-submit: {message}");
+    eprintln!("usage: tmr-submit --socket <path> [spec options] [--validate]");
+    ExitCode::FAILURE
+}

@@ -175,8 +175,10 @@ pub fn sweep_criticality_document(table: &str, report: &SweepReport) -> Json {
 
 /// Performance lines for the table binaries' stderr and the CI bench log:
 /// sweep cache effectiveness (including the `compiled` simulator stage, so
-/// logs show when campaigns were served a cached compilation) and, when any
-/// campaign ran on the compiled engine, its merged [`SimStats`] block.
+/// logs show when campaigns were served a cached compilation), the disk
+/// store hit/miss counters when a store is attached (`TMR_CACHE_DIR` or an
+/// explicit [`tmr_fpga::Store`]) and, when any campaign ran on the compiled
+/// engine, its merged [`SimStats`] block.
 pub fn perf_summary(report: &SweepReport) -> String {
     let compiled = match report.stage_stats("compiled") {
         Some(stats) => format!(
@@ -185,13 +187,20 @@ pub fn perf_summary(report: &SweepReport) -> String {
         ),
         None => String::new(),
     };
+    let disk = match &report.disk {
+        Some(stats) => format!("; disk store: {stats}"),
+        None => String::new(),
+    };
     let sim = report.sim_stats();
     let sim_line = if sim.lanes_simulated > 0 {
         format!("\nsim stats: {sim}")
     } else {
         String::new()
     };
-    format!("sweep artifact cache: {}{compiled}{sim_line}", report.cache)
+    format!(
+        "sweep artifact cache: {}{compiled}{disk}{sim_line}",
+        report.cache
+    )
 }
 
 /// The shared stderr perf report of the table binaries: one line (indented

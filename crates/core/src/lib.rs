@@ -56,6 +56,7 @@
 mod analysis;
 mod area;
 mod error;
+pub mod json;
 pub mod pipeline;
 mod transform;
 

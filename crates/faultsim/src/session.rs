@@ -249,6 +249,47 @@ impl<'a> CampaignSession<'a> {
         self
     }
 
+    /// Seeds the session with the outcomes of a previous, interrupted run of
+    /// the *same* campaign: the cursor skips the already-injected prefix and
+    /// the next batch continues exactly where the previous session stopped.
+    ///
+    /// Because outcomes are a pure function of fault-list position (the
+    /// exact-prefix guarantee), a session resumed from a persisted prefix is
+    /// bit-identical to one that ran uninterrupted — this is the primitive
+    /// under crash-resumable campaign services. The caller is responsible for
+    /// only replaying a prefix produced by identical campaign options (the
+    /// store keys prefixes by the campaign fingerprint for exactly this
+    /// reason).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix is longer than the sampled fault list, or if
+    /// batches have already been run on this session.
+    #[must_use]
+    pub fn with_prefix(
+        mut self,
+        outcomes: Vec<FaultOutcome>,
+        simulated: usize,
+        stats: SimStats,
+    ) -> Self {
+        assert_eq!(
+            self.cursor, 0,
+            "prefix must be installed before batches run"
+        );
+        assert!(
+            outcomes.len() <= self.sample.len(),
+            "prefix ({} outcomes) exceeds the sampled fault list ({})",
+            outcomes.len(),
+            self.sample.len()
+        );
+        self.cursor = outcomes.len();
+        self.wrong_answers = outcomes.iter().filter(|o| o.wrong_answer).count();
+        self.simulated = simulated;
+        self.stats = stats;
+        self.outcomes = outcomes;
+        self
+    }
+
     /// Injects the next batch of faults and returns their outcomes (a slice
     /// into the accumulated outcome vector), or `None` when the session is
     /// finished — either because the sampled fault list is exhausted or
@@ -619,6 +660,45 @@ mod tests {
                 .run();
             assert_eq!(sequential, sharded, "shards = {shards}");
         }
+    }
+
+    #[test]
+    fn resumed_session_matches_uninterrupted_run() {
+        let (device, routed) = routed_counter(true);
+        let campaign = CampaignBuilder::new().faults(90).cycles(8).batch_size(20);
+        let reference = campaign.clone().session(&device, &routed).unwrap().run();
+
+        // Run two batches, "crash", and resume a fresh session from the
+        // accumulated prefix.
+        let mut first = campaign.clone().session(&device, &routed).unwrap();
+        first.next_batch().unwrap();
+        first.next_batch().unwrap();
+        let stats = first.sim_stats();
+        let partial = first.into_result();
+        assert_eq!(partial.injected(), 40);
+
+        let resumed = campaign
+            .session(&device, &routed)
+            .unwrap()
+            .with_prefix(partial.outcomes, partial.simulated, stats)
+            .run();
+        assert_eq!(resumed, reference);
+        assert_eq!(resumed.stats, reference.stats, "counters resume too");
+    }
+
+    #[test]
+    fn full_prefix_yields_no_further_batches() {
+        let (device, routed) = routed_counter(false);
+        let campaign = CampaignBuilder::new().faults(50).cycles(6);
+        let full = campaign.clone().session(&device, &routed).unwrap().run();
+        let mut session = campaign
+            .session(&device, &routed)
+            .unwrap()
+            .with_prefix(full.outcomes.clone(), full.simulated, full.stats)
+            .with_batch_size(10);
+        assert!(session.is_finished());
+        assert!(session.next_batch().is_none());
+        assert_eq!(session.into_result(), full);
     }
 
     #[test]

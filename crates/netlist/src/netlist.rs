@@ -33,6 +33,37 @@ impl Netlist {
         }
     }
 
+    /// Rebuilds a netlist from its flat parts — the inverse of iterating
+    /// [`Netlist::cells`] / [`Netlist::nets`] / [`Netlist::ports`], used by
+    /// the `tmr-store` codec to reconstitute persisted netlists. The caller
+    /// is trusted to supply internally consistent parts (the store guards
+    /// integrity with a checksum); id ranges are debug-asserted only.
+    pub fn from_parts(
+        name: impl Into<String>,
+        cells: Vec<Cell>,
+        nets: Vec<Net>,
+        ports: Vec<Port>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            for cell in &cells {
+                debug_assert!(cell.output.index() < nets.len(), "cell output in range");
+                for input in &cell.inputs {
+                    debug_assert!(input.index() < nets.len(), "cell input in range");
+                }
+            }
+            for port in &ports {
+                debug_assert!(port.net.index() < nets.len(), "port net in range");
+            }
+        }
+        Self {
+            name: name.into(),
+            cells,
+            nets,
+            ports,
+        }
+    }
+
     /// The top-level design name.
     pub fn name(&self) -> &str {
         &self.name

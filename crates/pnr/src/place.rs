@@ -35,6 +35,23 @@ pub struct Placement {
 }
 
 impl Placement {
+    /// Rebuilds a placement from the per-cell site assignment and the
+    /// recorded wirelength — the inverse of iterating [`Placement::iter`],
+    /// used by the `tmr-store` codec. The site-occupancy map is rebuilt from
+    /// the assignment.
+    pub fn from_parts(site_of_cell: Vec<SiteId>, wirelength: u64) -> Self {
+        let cell_at_site = site_of_cell
+            .iter()
+            .enumerate()
+            .map(|(i, &site)| (site, CellId::from_index(i)))
+            .collect();
+        Self {
+            site_of_cell,
+            cell_at_site,
+            wirelength,
+        }
+    }
+
     /// The site a cell is placed on.
     ///
     /// # Panics

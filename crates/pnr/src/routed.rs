@@ -323,6 +323,39 @@ impl RoutedDesign {
             design_bits: std::sync::OnceLock::new(),
         }
     }
+
+    /// Rebuilds the database from persisted parts — netlist, placement,
+    /// routing trees and the already-generated bitstream — without a
+    /// [`Device`]: unlike [`RoutedDesign::assemble`] the bitstream is taken
+    /// as given (it was generated when the design was first assembled), and
+    /// only the node/PIP occupancy indexes are rebuilt from the routes. Used
+    /// by the `tmr-store` codec.
+    pub fn from_parts(
+        netlist: Netlist,
+        placement: Placement,
+        routes: HashMap<NetId, RouteTree>,
+        bitstream: Bitstream,
+    ) -> RoutedDesign {
+        let mut node_net = HashMap::new();
+        let mut pip_net = HashMap::new();
+        for (&net, tree) in &routes {
+            for &node in &tree.nodes {
+                node_net.insert(node, net);
+            }
+            for &pip in &tree.pips {
+                pip_net.insert(pip, net);
+            }
+        }
+        RoutedDesign {
+            netlist,
+            placement,
+            routes,
+            bitstream,
+            node_net,
+            pip_net,
+            design_bits: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 /// Number of sites of each kind used by a placement — convenience for

@@ -1,0 +1,38 @@
+//! # tmr-serve
+//!
+//! Campaign service for the `tmr-fpga` workspace: a concurrent,
+//! **resumable** fault-injection job runner with an NDJSON wire protocol.
+//!
+//! * [`protocol`] — the wire format: [`JobSpec`] (design variant, TMR
+//!   config, fault model, budget, early-stop CI), [`Request`]s and the
+//!   [`Event`] stream.
+//! * [`service`] — [`CampaignService`]: a job table multiplexed over a
+//!   shared worker pool. Jobs advance **one batch per turn** (round-robin
+//!   fairness), persist their outcome prefix to the [`tmr_fpga::Store`]
+//!   after every batch, and therefore survive pause, shutdown and crashes
+//!   with byte-identical results. Completed campaigns dedup against the
+//!   store: re-submitting an identical job performs zero simulations.
+//! * [`daemon`] — [`serve_stdio`] / [`serve_unix`] transport loops; the
+//!   `tmr-campaignd` and `tmr-submit` binaries in `tmr-bench` wrap them.
+//!
+//! ```no_run
+//! use tmr_serve::{CampaignService, JobSpec, ServiceConfig};
+//!
+//! let (service, events) = CampaignService::new(ServiceConfig::default());
+//! service.submit(None, JobSpec::new("counter:4")).unwrap();
+//! service.wait_idle();
+//! for event in events.try_iter() {
+//!     println!("{}", event.render());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod daemon;
+pub mod protocol;
+pub mod service;
+
+pub use daemon::{serve_stdio, serve_unix};
+pub use protocol::{Event, JobSpec, JobStatus, Request, ResultSource};
+pub use service::{CampaignService, JobId, JobState, ServiceConfig};

@@ -55,6 +55,13 @@ impl OutputGroups {
         Self { groups }
     }
 
+    /// Rebuilds a grouping from its raw `(base name, bit, member indices)`
+    /// triples — the inverse of [`OutputGroups::groups`], used by the
+    /// `tmr-store` codec.
+    pub fn from_groups(groups: Vec<(String, u32, Vec<usize>)>) -> Self {
+        Self { groups }
+    }
+
     /// Number of voted output bits.
     pub fn len(&self) -> usize {
         self.groups.len()

@@ -60,6 +60,25 @@ impl GoldenRun {
         }
     }
 
+    /// Like [`GoldenRun::from_parts`], but preserving the recorded stimulus
+    /// seed — the codec in `tmr-store` uses this so a decoded golden run is
+    /// indistinguishable from the [`GoldenRun::compute`] call that produced
+    /// it (campaign engines verify an injected golden run's seed against
+    /// their options when one is recorded).
+    pub fn from_parts_with_seed(
+        stimulus: Stimulus,
+        trace: SimTrace,
+        groups: OutputGroups,
+        stimulus_seed: Option<u64>,
+    ) -> Self {
+        Self {
+            stimulus,
+            trace,
+            groups,
+            stimulus_seed,
+        }
+    }
+
     /// The replayable input stimulus.
     pub fn stimulus(&self) -> &Stimulus {
         &self.stimulus

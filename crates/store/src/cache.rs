@@ -1,0 +1,212 @@
+//! The two-level cache: the in-memory [`ArtifactCache`] in front, a
+//! [`Store`] behind it.
+//!
+//! Lookup order is memory → disk → compute. The disk probe and the
+//! write-back both happen *inside* the memory cache's miss closure, so the
+//! in-memory cache keeps its single-computation semantics and its
+//! `stage.<label>` span keeps wrapping exactly the work that was actually
+//! performed (a disk hit shows up as a fast stage span containing a
+//! `store.read`; a cold miss shows the full compute plus a `store.write`).
+
+use crate::codec::Persist;
+use crate::store::Store;
+use std::sync::Arc;
+use tmr_core::pipeline::{ArtifactCache, CacheKey};
+
+/// An [`ArtifactCache`] layered over an optional disk [`Store`].
+///
+/// With no store attached this is exactly the in-memory cache; flows treat
+/// the two cases uniformly.
+#[derive(Debug, Clone)]
+pub struct PersistentCache {
+    mem: Arc<ArtifactCache>,
+    disk: Option<Arc<Store>>,
+}
+
+impl PersistentCache {
+    /// Layers `mem` over `disk` (pass `None` for memory-only behaviour).
+    pub fn new(mem: Arc<ArtifactCache>, disk: Option<Arc<Store>>) -> Self {
+        Self { mem, disk }
+    }
+
+    /// The in-memory layer.
+    pub fn mem(&self) -> &Arc<ArtifactCache> {
+        &self.mem
+    }
+
+    /// The disk layer, if attached.
+    pub fn disk(&self) -> Option<&Arc<Store>> {
+        self.disk.as_ref()
+    }
+
+    /// Memory → disk → compute lookup for artifacts whose persisted form
+    /// differs from their in-memory form.
+    ///
+    /// * `from_payload` turns a decoded disk payload `P` into the artifact
+    ///   `T` (e.g. recompiling a persisted source netlist);
+    /// * `compute` produces both, so a cold miss can return the artifact
+    ///   and write the payload back in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from either closure; nothing is cached on error.
+    pub fn get_or_try_insert_persisted<T, P, E>(
+        &self,
+        key: CacheKey,
+        from_payload: impl FnOnce(P) -> Result<T, E>,
+        compute: impl FnOnce() -> Result<(T, P), E>,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        P: Persist,
+    {
+        self.mem.get_or_try_insert(key, || {
+            if let Some(disk) = &self.disk {
+                if let Some(payload) = disk.load_as::<P>(key) {
+                    return from_payload(payload);
+                }
+                let (artifact, payload) = compute()?;
+                disk.save_value(key, &payload);
+                return Ok(artifact);
+            }
+            compute().map(|(artifact, _)| artifact)
+        })
+    }
+
+    /// Convenience for artifacts that persist as themselves (`T = P`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `compute`; nothing is cached on error.
+    pub fn get_or_try_insert_self<T, E>(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Persist + Clone + Send + Sync + 'static,
+    {
+        self.get_or_try_insert_persisted(key, Ok, || {
+            compute().map(|artifact| (artifact.clone(), artifact))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+    use std::path::PathBuf;
+
+    fn temp_store(tag: &str) -> (PathBuf, Arc<Store>) {
+        let root =
+            std::env::temp_dir().join(format!("tmr-store-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(Store::open(&root).unwrap());
+        (root, store)
+    }
+
+    #[test]
+    fn cold_miss_computes_and_persists() {
+        let (root, store) = temp_store("cold");
+        let cache = PersistentCache::new(ArtifactCache::shared(), Some(store.clone()));
+        let key = CacheKey::new("unit", 11);
+        let mut computed = 0;
+        let value: Arc<Vec<u64>> = cache
+            .get_or_try_insert_self::<_, Infallible>(key, || {
+                computed += 1;
+                Ok(vec![5, 6])
+            })
+            .unwrap();
+        assert_eq!(*value, vec![5, 6]);
+        assert_eq!(computed, 1);
+        assert_eq!(store.stats().writes, 1);
+
+        // A fresh memory cache over the same store is served from disk.
+        let warm = PersistentCache::new(ArtifactCache::shared(), Some(store.clone()));
+        let value: Arc<Vec<u64>> = warm
+            .get_or_try_insert_self::<_, Infallible>(key, || {
+                computed += 1;
+                Ok(vec![0])
+            })
+            .unwrap();
+        assert_eq!(*value, vec![5, 6]);
+        assert_eq!(computed, 1, "disk hit skips the compute");
+        assert_eq!(store.stats().hits, 1);
+
+        // The memory layer now answers without touching disk again.
+        let value: Arc<Vec<u64>> = warm
+            .get_or_try_insert_self::<_, Infallible>(key, || unreachable!())
+            .unwrap();
+        assert_eq!(*value, vec![5, 6]);
+        assert_eq!(store.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn distinct_payload_form_round_trips() {
+        let (root, store) = temp_store("payload");
+        let key = CacheKey::new("unit", 12);
+        let cache = PersistentCache::new(ArtifactCache::shared(), Some(store.clone()));
+        // Artifact = String, persisted payload = Vec<u64> of char codes.
+        let artifact: Arc<String> = cache
+            .get_or_try_insert_persisted::<_, Vec<u64>, Infallible>(
+                key,
+                |codes| {
+                    Ok(codes
+                        .iter()
+                        .map(|&c| char::from_u32(c as u32).unwrap())
+                        .collect())
+                },
+                || Ok(("hi".to_string(), vec![104, 105])),
+            )
+            .unwrap();
+        assert_eq!(*artifact, "hi");
+
+        let warm = PersistentCache::new(ArtifactCache::shared(), Some(store));
+        let artifact: Arc<String> = warm
+            .get_or_try_insert_persisted::<_, Vec<u64>, Infallible>(
+                key,
+                |codes| {
+                    Ok(codes
+                        .iter()
+                        .map(|&c| char::from_u32(c as u32).unwrap())
+                        .collect())
+                },
+                || unreachable!("served from disk"),
+            )
+            .unwrap();
+        assert_eq!(*artifact, "hi");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn errors_are_not_cached_anywhere() {
+        let (root, store) = temp_store("errors");
+        let cache = PersistentCache::new(ArtifactCache::shared(), Some(store.clone()));
+        let key = CacheKey::new("unit", 13);
+        let failed: Result<Arc<Vec<u64>>, &str> = cache.get_or_try_insert_self(key, || Err("boom"));
+        assert_eq!(failed.unwrap_err(), "boom");
+        assert_eq!(store.stats().writes, 0);
+        assert!(!store.contains(key));
+        let ok: Arc<Vec<u64>> = cache
+            .get_or_try_insert_self::<_, &str>(key, || Ok(vec![1]))
+            .unwrap();
+        assert_eq!(*ok, vec![1]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn without_disk_layer_behaves_like_memory_cache() {
+        let cache = PersistentCache::new(ArtifactCache::shared(), None);
+        assert!(cache.disk().is_none());
+        let key = CacheKey::new("unit", 14);
+        let a: Arc<Vec<u64>> = cache
+            .get_or_try_insert_self::<_, Infallible>(key, || Ok(vec![9]))
+            .unwrap();
+        let b: Arc<Vec<u64>> = cache
+            .get_or_try_insert_self::<_, Infallible>(key, || unreachable!())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,427 @@
+//! The dependency-free binary codec under the artifact store: a byte writer,
+//! a checked byte reader and the [`Persist`] trait tying them together.
+//!
+//! The format is deliberately primitive — little-endian fixed-width integers,
+//! length-prefixed sequences, one tag byte per enum variant — because the
+//! store's integrity guarantees live one layer up: every persisted entry
+//! carries a length and an FNV-1a checksum (see [`crate::Store`]), so the
+//! decoder here only needs to be *safe* on arbitrary bytes (no panics, no
+//! unbounded allocations), not self-describing. Encodings are canonical —
+//! the same value always produces the same bytes — which the byte-identity
+//! guarantees of campaign resume rely on.
+
+use std::fmt;
+
+/// Decoding failure: the payload ended early or contained an impossible
+/// value. Corrupt store entries surface as this and are treated as misses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the value was complete.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        at: usize,
+    },
+    /// A tag or length field held a value outside the encodable range.
+    Invalid {
+        /// Byte offset of the offending field.
+        at: usize,
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { at } => write!(f, "payload truncated at byte {at}"),
+            CodecError::Invalid { at, what } => write!(f, "invalid {what} at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends primitive values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u64` (the format is
+    /// pointer-width independent).
+    pub fn usize(&mut self, value: usize) {
+        self.u64(value as u64);
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn bool(&mut self, value: bool) {
+        self.u8(u8::from(value));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, value: &str) {
+        self.usize(value.len());
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+}
+
+/// Reads primitive values back out of a byte slice, with bounds checking.
+#[derive(Debug)]
+pub struct ByteReader<'b> {
+    bytes: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> ByteReader<'b> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'b [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// The current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Returns `true` once every byte has been consumed — decoders assert
+    /// this to reject trailing garbage.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(CodecError::Truncated { at: self.pos })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `usize` (rejecting values beyond the platform's range).
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let at = self.pos;
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Invalid { at, what: "usize" })
+    }
+
+    /// Reads a sequence length and sanity-bounds it against the remaining
+    /// payload (`min_element_bytes` per element, 1 for unknown) so corrupt
+    /// lengths cannot trigger huge allocations before the data runs out.
+    pub fn len(&mut self, min_element_bytes: usize) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let len = self.usize()?;
+        let remaining = self.bytes.len() - self.pos;
+        if len
+            .checked_mul(min_element_bytes.max(1))
+            .is_none_or(|need| need > remaining)
+        {
+            return Err(CodecError::Invalid { at, what: "length" });
+        }
+        Ok(len)
+    }
+
+    /// Reads a boolean (rejecting bytes other than 0/1).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid { at, what: "bool" }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.len(1)?;
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid { at, what: "utf-8" })
+    }
+}
+
+/// A type with a canonical binary encoding for the artifact store.
+///
+/// The trait is local to `tmr-store`, which sits above the data crates in
+/// the workspace graph — so implementations for their types (netlists,
+/// placements, golden runs, campaign results) live here without orphan-rule
+/// contortions, and the data crates stay persistence-agnostic.
+pub trait Persist: Sized {
+    /// Appends the canonical encoding of `self`.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Decodes one value, consuming exactly the bytes [`Persist::encode`]
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or invalid input.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes `self` into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a value from a complete byte slice, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated, invalid or oversized input.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(CodecError::Invalid {
+                at: r.position(),
+                what: "trailing bytes",
+            });
+        }
+        Ok(value)
+    }
+}
+
+impl Persist for u64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u64(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.u64()
+    }
+}
+
+impl Persist for u32 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u32(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.u32()
+    }
+}
+
+impl Persist for usize {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.usize(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.usize()
+    }
+}
+
+impl Persist for bool {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.bool(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.bool()
+    }
+}
+
+impl Persist for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.str(self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.str()
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let len = r.len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.u8(0),
+            Some(value) => {
+                w.u8(1);
+                value.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let at = r.position();
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(CodecError::Invalid {
+                at,
+                what: "option tag",
+            }),
+        }
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        42u64.encode(&mut w);
+        7u32.encode(&mut w);
+        usize::MAX.encode(&mut w);
+        true.encode(&mut w);
+        "héllo\n".to_string().encode(&mut w);
+        vec![1usize, 2, 3].encode(&mut w);
+        Some(9u64).encode(&mut w);
+        Option::<u64>::None.encode(&mut w);
+        ("a".to_string(), 5u32, vec![1usize]).encode(&mut w);
+
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(u64::decode(&mut r), Ok(42));
+        assert_eq!(u32::decode(&mut r), Ok(7));
+        assert_eq!(usize::decode(&mut r), Ok(usize::MAX));
+        assert_eq!(bool::decode(&mut r), Ok(true));
+        assert_eq!(String::decode(&mut r).as_deref(), Ok("héllo\n"));
+        assert_eq!(Vec::<usize>::decode(&mut r), Ok(vec![1, 2, 3]));
+        assert_eq!(Option::<u64>::decode(&mut r), Ok(Some(9)));
+        assert_eq!(Option::<u64>::decode(&mut r), Ok(None));
+        assert_eq!(
+            <(String, u32, Vec<usize>)>::decode(&mut r),
+            Ok(("a".to_string(), 5, vec![1]))
+        );
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = 1234u64.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(u64::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = true.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            bool::from_bytes(&bytes),
+            Err(CodecError::Invalid {
+                at: 1,
+                what: "trailing bytes"
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u64>::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn corrupt_lengths_cannot_allocate_unboundedly() {
+        // A length claiming u64::MAX elements must fail before allocating.
+        let bytes = u64::MAX.to_bytes();
+        assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+        // Non-UTF-8 strings are invalid, not panics.
+        let mut w = ByteWriter::new();
+        w.usize(2);
+        w.u8(0xff);
+        w.u8(0xfe);
+        assert_eq!(
+            String::from_bytes(&w.into_bytes()),
+            Err(CodecError::Invalid {
+                at: 8,
+                what: "utf-8"
+            })
+        );
+    }
+}

@@ -3,6 +3,7 @@
 use super::stages::{stage_compiled, stage_protected, stage_synthesized};
 use super::{Analyzed, Compiled, Placed, Routed, Synthesized};
 use crate::Error;
+use std::path::PathBuf;
 use std::sync::Arc;
 use tmr_analyze::StaticAnalysis;
 use tmr_arch::Device;
@@ -11,6 +12,7 @@ use tmr_core::TmrConfig;
 use tmr_faultsim::{CampaignBuilder, CampaignResult, CampaignSession, SimBackend};
 use tmr_pnr::{place, route, PlacerOptions, RoutedDesign, RouterOptions};
 use tmr_sim::GoldenRun;
+use tmr_store::{PersistentCache, Store};
 use tmr_synth::Design;
 
 /// Builder for a single staged implementation [`Flow`].
@@ -37,6 +39,8 @@ pub struct FlowBuilder {
     seed: u64,
     shards: Option<usize>,
     cache: Option<Arc<ArtifactCache>>,
+    store: Option<Arc<Store>>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl FlowBuilder {
@@ -49,6 +53,8 @@ impl FlowBuilder {
             seed: 1,
             shards: None,
             cache: None,
+            store: None,
+            cache_dir: None,
         }
     }
 
@@ -82,6 +88,27 @@ impl FlowBuilder {
         self
     }
 
+    /// Backs the flow's cache with a disk [`Store`] rooted at `dir`, so
+    /// stage artifacts survive the process and warm-start later runs. The
+    /// directory is created on [`build`](Self::build); if it cannot be
+    /// opened the flow falls back to memory-only caching (with a warning on
+    /// stderr). An explicit [`store`](Self::store) takes precedence.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Shares an already-open disk [`Store`] with other flows (takes
+    /// precedence over [`cache_dir`](Self::cache_dir) and the
+    /// `TMR_CACHE_DIR` environment variable). A sweep passes one store to
+    /// all of its flows so the disk counters aggregate.
+    #[must_use]
+    pub fn store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Installs `config` as the process-global trace configuration (the
     /// tracer is a process singleton — see [`crate::trace::configure`] — so
     /// this affects every instrumented layer, not just this flow). Stage
@@ -94,16 +121,34 @@ impl FlowBuilder {
     }
 
     /// Finishes the builder.
+    ///
+    /// Disk-store resolution, in decreasing precedence: an explicit
+    /// [`store`](Self::store), a [`cache_dir`](Self::cache_dir), the
+    /// `TMR_CACHE_DIR` environment variable, none (memory-only).
     pub fn build(self) -> Flow {
         let identity = fingerprint(&[&self.design, &self.tmr]);
         let device_fp = fingerprint(&[self.device.params()]);
+        let disk = match (self.store, self.cache_dir) {
+            (Some(store), _) => Some(store),
+            (None, Some(dir)) => match Store::open(&dir) {
+                Ok(store) => Some(Arc::new(store)),
+                Err(err) => {
+                    eprintln!(
+                        "tmr-fpga: cannot open cache dir {}: {err}; continuing without disk cache",
+                        dir.display()
+                    );
+                    None
+                }
+            },
+            (None, None) => Store::from_env(),
+        };
         Flow {
             device: Arc::new(self.device),
             design: self.design,
             tmr: self.tmr,
             seed: self.seed,
             shards: self.shards,
-            cache: self.cache.unwrap_or_default(),
+            cache: PersistentCache::new(self.cache.unwrap_or_default(), disk),
             identity,
             device_fp,
         }
@@ -124,7 +169,7 @@ pub struct Flow {
     tmr: Option<TmrConfig>,
     seed: u64,
     shards: Option<usize>,
-    cache: Arc<ArtifactCache>,
+    cache: PersistentCache,
     /// Fingerprint of `(design, tmr config)`: since every stage is a
     /// deterministic function, downstream keys derive from this instead of
     /// hashing the (much larger) intermediate artifacts.
@@ -148,9 +193,21 @@ impl Flow {
         self.tmr.as_ref()
     }
 
-    /// The artifact cache backing this flow.
+    /// The in-memory artifact cache backing this flow.
     pub fn cache(&self) -> &Arc<ArtifactCache> {
+        self.cache.mem()
+    }
+
+    /// The two-level (memory over optional disk) cache backing this flow.
+    pub fn persistent_cache(&self) -> &PersistentCache {
         &self.cache
+    }
+
+    /// The disk store behind the cache, when one is attached (via
+    /// [`FlowBuilder::cache_dir`], [`FlowBuilder::store`] or
+    /// `TMR_CACHE_DIR`).
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.cache.disk()
     }
 
     /// The design entering synthesis: the TMR-transformed design when a
@@ -164,17 +221,19 @@ impl Flow {
     }
 
     /// Stage 1, [`Synthesized`]: lowering → dead-logic elimination → LUT
-    /// mapping + I/O insertion.
+    /// mapping + I/O insertion. Persisted to disk when a store is attached;
+    /// a warm disk skips the TMR transformation too.
     ///
     /// # Errors
     ///
     /// Propagates transformation, lowering and mapping errors.
     pub fn synthesized(&self) -> Result<Arc<Synthesized>, Error> {
-        let protected = self.protected()?;
-        stage_synthesized(&self.cache, self.identity, &protected)
+        stage_synthesized(&self.cache, self.identity, || self.protected())
     }
 
     /// Stage 2, [`Placed`]: seeded simulated-annealing placement.
+    /// Memory-only — a warm disk serves [`routed`](Self::routed) directly
+    /// and never needs the placement.
     ///
     /// # Errors
     ///
@@ -182,9 +241,10 @@ impl Flow {
     /// small, unplaceable cells).
     pub fn placed(&self) -> Result<Arc<Placed>, Error> {
         let fp = self.implementation_fp();
-        let synthesized = self.synthesized()?;
         self.cache
+            .mem()
             .get_or_try_insert(CacheKey::new("place", fp), || {
+                let synthesized = self.synthesized()?;
                 let placement = place(
                     &self.device,
                     synthesized.netlist(),
@@ -205,7 +265,8 @@ impl Flow {
     }
 
     /// Stage 3, [`Routed`]: negotiated-congestion routing plus bitstream
-    /// generation.
+    /// generation. Persisted to disk as the full [`RoutedDesign`]; a warm
+    /// disk serves it without synthesizing, placing or routing anything.
     ///
     /// # Errors
     ///
@@ -213,10 +274,21 @@ impl Flow {
     /// congestion, unreachable sinks).
     pub fn routed(&self) -> Result<Arc<Routed>, Error> {
         let fp = self.implementation_fp();
-        let synthesized = self.synthesized()?;
-        let placed = self.placed()?;
-        self.cache
-            .get_or_try_insert(CacheKey::new("route", fp), || {
+        self.cache.get_or_try_insert_persisted(
+            CacheKey::new("route", fp),
+            |design: RoutedDesign| {
+                if tmr_trace::enabled() {
+                    tmr_trace::attr_current("config_bits", design.bitstream().len());
+                    tmr_trace::attr_current("bits_set", design.bitstream().count_ones());
+                }
+                Ok(Routed {
+                    design,
+                    fingerprint: fp,
+                })
+            },
+            || {
+                let synthesized = self.synthesized()?;
+                let placed = self.placed()?;
                 let routes = route(
                     &self.device,
                     synthesized.netlist(),
@@ -233,11 +305,13 @@ impl Flow {
                     tmr_trace::attr_current("config_bits", design.bitstream().len());
                     tmr_trace::attr_current("bits_set", design.bitstream().count_ones());
                 }
-                Ok::<_, Error>(Routed {
-                    design,
+                let artifact = Routed {
+                    design: design.clone(),
                     fingerprint: fp,
-                })
-            })
+                };
+                Ok::<_, Error>((artifact, design))
+            },
+        )
     }
 
     /// The [`Compiled`] simulator stage: the synthesized netlist levelized
@@ -251,8 +325,7 @@ impl Flow {
     ///
     /// Propagates earlier-stage errors; flow netlists are always compilable.
     pub fn compiled(&self) -> Result<Arc<Compiled>, Error> {
-        let synthesized = self.synthesized()?;
-        stage_compiled(&self.cache, self.identity, &synthesized)
+        stage_compiled(&self.cache, self.identity, || self.synthesized())
     }
 
     /// Stage 4, [`Analyzed`]: exhaustive static criticality classification
@@ -263,9 +336,10 @@ impl Flow {
     /// Propagates earlier-stage errors; the analysis itself is infallible.
     pub fn analyzed(&self) -> Result<Arc<Analyzed>, Error> {
         let fp = self.implementation_fp();
-        let routed = self.routed()?;
         self.cache
+            .mem()
             .get_or_try_insert(CacheKey::new("analyze", fp), || {
+                let routed = self.routed()?;
                 let analysis = StaticAnalysis::run(&self.device, routed.design());
                 if tmr_trace::enabled() {
                     tmr_trace::attr_current("bits", analysis.bit_count());
@@ -278,8 +352,9 @@ impl Flow {
     }
 
     /// The golden (fault-free) reference run for campaigns of `cycles`
-    /// cycles under stimulus `seed` — cached per netlist, shared by every
-    /// campaign and session over this design, on any device.
+    /// cycles under stimulus `seed` — cached per netlist (persisted to disk
+    /// when a store is attached), shared by every campaign and session over
+    /// this design, on any device.
     ///
     /// # Errors
     ///
@@ -289,12 +364,12 @@ impl Flow {
         fp.write_u64(self.identity)
             .write_u64(cycles as u64)
             .write_u64(stimulus_seed);
-        let synthesized = self.synthesized()?;
         self.cache
-            .get_or_try_insert(CacheKey::new("golden", fp.finish()), || {
+            .get_or_try_insert_self(CacheKey::new("golden", fp.finish()), || {
                 if tmr_trace::enabled() {
                     tmr_trace::attr_current("cycles", cycles);
                 }
+                let synthesized = self.synthesized()?;
                 GoldenRun::compute(synthesized.netlist(), cycles, stimulus_seed)
                     .map_err(Error::from)
             })
@@ -309,30 +384,15 @@ impl Flow {
     ///
     /// Propagates earlier-stage errors; flow netlists are always simulable.
     pub fn campaign(&self, campaign: &CampaignBuilder) -> Result<Arc<CampaignResult>, Error> {
-        let routed = self.routed()?;
-        let golden = self.golden(
-            campaign.options().cycles(),
-            campaign.options().stimulus_seed(),
-        )?;
-        let compiled = self.compiled_for(campaign)?;
-        // The key covers exactly what can change the outcomes: the
-        // implemented design plus the campaign options (fault count, seeds,
-        // the fault model — single-bit, MBU cluster shape or upsets per
-        // scrub — and any static restriction), batch size and early-stop
-        // rule (an early stop lands on a batch boundary). Shard count, the
-        // simulation backend and any attached golden run or compiled
-        // netlist are deliberately absent — they never change results, only
-        // how (fast) they are computed.
-        let fp = fingerprint(&[
-            &self.identity,
-            &self.device_fp,
-            &self.seed,
-            campaign.options(),
-            &campaign.batch_size_hint(),
-            &campaign.early_stop_rule(),
-        ]);
+        let fp = self.campaign_fingerprint(campaign);
         self.cache
-            .get_or_try_insert(CacheKey::new("campaign", fp), || {
+            .get_or_try_insert_self(CacheKey::new("campaign", fp), || {
+                let routed = self.routed()?;
+                let golden = self.golden(
+                    campaign.options().cycles(),
+                    campaign.options().stimulus_seed(),
+                )?;
+                let compiled = self.compiled_for(campaign)?;
                 let mut configured = campaign.clone().golden(golden);
                 if let Some(compiled) = &compiled {
                     configured = configured.compiled(compiled.netlist().clone());
@@ -349,6 +409,31 @@ impl Flow {
                 }
                 Ok(result)
             })
+    }
+
+    /// The cache fingerprint of [`campaign`](Self::campaign) for this
+    /// configuration — the key the result is memoized and persisted under.
+    ///
+    /// The fingerprint covers exactly what can change the outcomes: the
+    /// implemented design (identity × device × seed) plus the campaign
+    /// options (fault count, seeds, the fault model — single-bit, MBU
+    /// cluster shape or upsets per scrub — and any static restriction),
+    /// batch size and early-stop rule (an early stop lands on a batch
+    /// boundary). Shard count, the simulation backend and any attached
+    /// golden run or compiled netlist are deliberately absent — they never
+    /// change results, only how (fast) they are computed.
+    ///
+    /// The campaign daemon (`tmr-serve`) keys its resumable outcome
+    /// prefixes under the same fingerprint (stage `campaign.partial`).
+    pub fn campaign_fingerprint(&self, campaign: &CampaignBuilder) -> u64 {
+        fingerprint(&[
+            &self.identity,
+            &self.device_fp,
+            &self.seed,
+            campaign.options(),
+            &campaign.batch_size_hint(),
+            &campaign.early_stop_rule(),
+        ])
     }
 
     /// Builds a streaming [`CampaignSession`] over the routed design for

@@ -6,11 +6,12 @@ use crate::Error;
 use std::sync::Arc;
 use tmr_analyze::{CriticalityReport, StaticAnalysis};
 use tmr_arch::Bitstream;
-use tmr_core::pipeline::{ArtifactCache, CacheKey};
+use tmr_core::pipeline::CacheKey;
 use tmr_core::{apply_tmr, TmrConfig};
 use tmr_netlist::Netlist;
 use tmr_pnr::{Placement, RoutedDesign};
 use tmr_sim::CompiledNetlist;
+use tmr_store::PersistentCache;
 use tmr_synth::{lower, optimize, techmap, Design};
 
 /// The synthesized stage artifact: the technology-mapped LUT netlist of one
@@ -136,52 +137,75 @@ impl Analyzed {
 /// The cache-backed TMR-transformation stage, shared by
 /// [`Flow::protected`](crate::flow::Flow::protected) and the
 /// device-independent synthesis pre-pass of
-/// [`Sweep::flows`](crate::flow::Sweep::flows).
+/// [`Sweep::flows`](crate::flow::Sweep::flows). Memory-only: word-level
+/// designs are cheap to recompute and feed the (persisted) synthesis stage.
 pub(crate) fn stage_protected(
-    cache: &ArtifactCache,
+    cache: &PersistentCache,
     identity: u64,
     design: &Design,
     config: Option<&TmrConfig>,
 ) -> Result<Arc<Design>, Error> {
-    cache.get_or_try_insert(CacheKey::new("tmr", identity), || {
-        let protected = match config {
-            Some(config) => apply_tmr(design, config)?,
-            None => design.clone(),
-        };
-        if tmr_trace::enabled() {
-            tmr_trace::attr_current("nodes", protected.node_count());
-        }
-        Ok::<_, Error>(protected)
-    })
-}
-
-/// The cache-backed synthesis stage.
-pub(crate) fn stage_synthesized(
-    cache: &ArtifactCache,
-    identity: u64,
-    protected: &Design,
-) -> Result<Arc<Synthesized>, Error> {
-    cache.get_or_try_insert(CacheKey::new("synth", identity), || {
-        let netlist = techmap(&optimize(&lower(protected)?))?;
-        if tmr_trace::enabled() {
-            tmr_trace::attr_current("cells", netlist.cell_count());
-            tmr_trace::attr_current("nets", netlist.net_count());
-        }
-        Ok::<_, Error>(Synthesized {
-            netlist,
-            fingerprint: identity,
+    cache
+        .mem()
+        .get_or_try_insert(CacheKey::new("tmr", identity), || {
+            let protected = match config {
+                Some(config) => apply_tmr(design, config)?,
+                None => design.clone(),
+            };
+            if tmr_trace::enabled() {
+                tmr_trace::attr_current("nodes", protected.node_count());
+            }
+            Ok::<_, Error>(protected)
         })
-    })
 }
 
-/// The cache-backed simulator-compilation stage.
-pub(crate) fn stage_compiled(
-    cache: &ArtifactCache,
+/// The cache-backed synthesis stage, persisted to disk as the mapped
+/// [`Netlist`]. `protected` is only invoked on a full (memory **and** disk)
+/// miss, so warm re-runs skip the TMR transformation entirely.
+pub(crate) fn stage_synthesized(
+    cache: &PersistentCache,
     identity: u64,
-    synthesized: &Synthesized,
+    protected: impl FnOnce() -> Result<Arc<Design>, Error>,
+) -> Result<Arc<Synthesized>, Error> {
+    cache.get_or_try_insert_persisted(
+        CacheKey::new("synth", identity),
+        |netlist: Netlist| {
+            if tmr_trace::enabled() {
+                tmr_trace::attr_current("cells", netlist.cell_count());
+                tmr_trace::attr_current("nets", netlist.net_count());
+            }
+            Ok(Synthesized {
+                netlist,
+                fingerprint: identity,
+            })
+        },
+        || {
+            let protected = protected()?;
+            let netlist = techmap(&optimize(&lower(&protected)?))?;
+            if tmr_trace::enabled() {
+                tmr_trace::attr_current("cells", netlist.cell_count());
+                tmr_trace::attr_current("nets", netlist.net_count());
+            }
+            let artifact = Synthesized {
+                netlist: netlist.clone(),
+                fingerprint: identity,
+            };
+            Ok::<_, Error>((artifact, netlist))
+        },
+    )
+}
+
+/// The cache-backed simulator-compilation stage. The persisted payload is
+/// the *source* netlist ([`CompiledNetlist`] does not retain it); decoding
+/// replays the (fast, deterministic) compilation, which still skips the
+/// whole synthesis pipeline on a warm disk.
+pub(crate) fn stage_compiled(
+    cache: &PersistentCache,
+    identity: u64,
+    synthesized: impl FnOnce() -> Result<Arc<Synthesized>, Error>,
 ) -> Result<Arc<Compiled>, Error> {
-    cache.get_or_try_insert(CacheKey::new("compiled", identity), || {
-        let compiled = CompiledNetlist::compile(synthesized.netlist())?;
+    let compile = |netlist: &Netlist| {
+        let compiled = CompiledNetlist::compile(netlist)?;
         if tmr_trace::enabled() {
             tmr_trace::attr_current("ops", compiled.op_count());
             tmr_trace::attr_current("levels", compiled.level_count());
@@ -190,5 +214,14 @@ pub(crate) fn stage_compiled(
             compiled: Arc::new(compiled),
             fingerprint: identity,
         })
-    })
+    };
+    cache.get_or_try_insert_persisted(
+        CacheKey::new("compiled", identity),
+        |netlist: Netlist| compile(&netlist),
+        || {
+            let synthesized = synthesized()?;
+            let artifact = compile(synthesized.netlist())?;
+            Ok((artifact, synthesized.netlist().clone()))
+        },
+    )
 }

@@ -4,6 +4,7 @@ use super::builder::{Flow, FlowBuilder};
 use super::stages::{stage_protected, stage_synthesized};
 use super::{Analyzed, Routed};
 use crate::Error;
+use std::path::PathBuf;
 use std::sync::Arc;
 use tmr_arch::{Device, DeviceParams};
 use tmr_core::pipeline::{fingerprint, ArtifactCache, CacheStats};
@@ -11,6 +12,7 @@ use tmr_core::{estimate_resources, ResourceEstimate, TmrConfig};
 use tmr_faultsim::{CampaignBuilder, CampaignResult};
 use tmr_netlist::Netlist;
 use tmr_pnr::BitReport;
+use tmr_store::{DiskStats, PersistentCache, Store};
 use tmr_synth::Design;
 
 /// Chooses an evaluation device for a set of netlists: the given
@@ -98,6 +100,8 @@ pub struct Sweep {
     campaign: Option<CampaignBuilder>,
     analyze: bool,
     cache: Arc<ArtifactCache>,
+    store: Option<Arc<Store>>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Sweep {
@@ -118,6 +122,8 @@ impl Sweep {
             campaign: None,
             analyze: false,
             cache: ArtifactCache::shared(),
+            store: None,
+            cache_dir: None,
         }
     }
 
@@ -200,6 +206,45 @@ impl Sweep {
         &self.cache
     }
 
+    /// Backs every flow of the sweep with a disk [`Store`] rooted at `dir`,
+    /// so artifacts survive the process; see [`FlowBuilder::cache_dir`]. An
+    /// explicit [`store`](Self::store) takes precedence.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Shares one already-open disk [`Store`] across every flow of the
+    /// sweep (and with other sweeps holding the same handle).
+    #[must_use]
+    pub fn store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Resolves the disk layer once per run, so all variants share one
+    /// store and its counters aggregate: explicit store → `cache_dir` →
+    /// `TMR_CACHE_DIR` → none.
+    fn resolve_store(&self) -> Option<Arc<Store>> {
+        if let Some(store) = &self.store {
+            return Some(store.clone());
+        }
+        if let Some(dir) = &self.cache_dir {
+            return match Store::open(dir) {
+                Ok(store) => Some(Arc::new(store)),
+                Err(err) => {
+                    eprintln!(
+                        "tmr-fpga: cannot open cache dir {}: {err}; continuing without disk cache",
+                        dir.display()
+                    );
+                    None
+                }
+            };
+        }
+        Store::from_env()
+    }
+
     /// Synthesizes every variant (filling the cache), resolves the device,
     /// and returns the per-variant flows without implementing them.
     ///
@@ -210,13 +255,16 @@ impl Sweep {
         // Synthesis is device-independent: run it first for every variant so
         // auto-sizing can see the netlists. The per-variant flows below then
         // hit the cache for their transformation and synthesis stages.
+        let disk = self.resolve_store();
+        let cache = PersistentCache::new(self.cache.clone(), disk.clone());
         let mut synthesized = Vec::new();
         for (name, config) in &self.variants {
             let identity = fingerprint(&[&self.base, config]);
-            let protected = stage_protected(&self.cache, identity, &self.base, config.as_ref())?;
             synthesized.push((
                 name.clone(),
-                stage_synthesized(&self.cache, identity, &protected)?,
+                stage_synthesized(&cache, identity, || {
+                    stage_protected(&cache, identity, &self.base, config.as_ref())
+                })?,
             ));
         }
 
@@ -243,6 +291,9 @@ impl Sweep {
                 if let Some(shards) = self.shards {
                     builder = builder.shards(shards);
                 }
+                if let Some(store) = &disk {
+                    builder = builder.store(store.clone());
+                }
                 (name.clone(), builder.cache(self.cache.clone()).build())
             })
             .collect();
@@ -257,6 +308,7 @@ impl Sweep {
     /// Propagates any stage error of any variant.
     pub fn run(&self) -> Result<SweepReport, Error> {
         let (device, flows) = self.flows()?;
+        let flows_store = flows.first().and_then(|(_, flow)| flow.store().cloned());
         let mut variants = Vec::with_capacity(flows.len());
         for (name, flow) in flows {
             let routed = flow.routed()?;
@@ -281,11 +333,14 @@ impl Sweep {
                 analysis,
             });
         }
+        let disk = flows_store.as_ref();
         Ok(SweepReport {
             device,
             variants,
             cache: self.cache.stats(),
             stage_cache: self.cache.stage_stats(),
+            disk: disk.map(|store| store.stats()),
+            disk_stage: disk.map(|store| store.stage_stats()).unwrap_or_default(),
         })
     }
 }
@@ -324,6 +379,13 @@ pub struct SweepReport {
     /// sorted by stage name — the table binaries log these so reuse of the
     /// compiled-simulator stage is visible in every run.
     pub stage_cache: Vec<(&'static str, CacheStats)>,
+    /// Aggregate disk-store counters, when the sweep ran over a disk cache
+    /// (`TMR_CACHE_DIR`, [`Sweep::cache_dir`] or [`Sweep::store`]); `None`
+    /// for memory-only sweeps.
+    pub disk: Option<DiskStats>,
+    /// Per-stage disk-store counters, sorted by stage name; empty for
+    /// memory-only sweeps.
+    pub disk_stage: Vec<(&'static str, DiskStats)>,
 }
 
 impl SweepReport {
@@ -342,6 +404,15 @@ impl SweepReport {
     /// The cache counters of one stage (`"compiled"`, `"synth"`, …).
     pub fn stage_stats(&self, stage: &str) -> Option<CacheStats> {
         self.stage_cache
+            .iter()
+            .find(|(name, _)| *name == stage)
+            .map(|&(_, stats)| stats)
+    }
+
+    /// The disk-store counters of one stage; `None` for memory-only sweeps
+    /// or stages the store never saw.
+    pub fn disk_stage_stats(&self, stage: &str) -> Option<DiskStats> {
+        self.disk_stage
             .iter()
             .find(|(name, _)| *name == stage)
             .map(|&(_, stats)| stats)

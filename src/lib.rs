@@ -54,6 +54,7 @@ pub use tmr_faultsim as faultsim;
 pub use tmr_netlist as netlist;
 pub use tmr_pnr as pnr;
 pub use tmr_sim as sim;
+pub use tmr_store as store;
 pub use tmr_synth as synth;
 pub use tmr_trace as trace;
 
@@ -63,3 +64,4 @@ pub mod flow;
 pub use error::Error;
 pub use flow::{Flow, FlowBuilder, Sweep, SweepReport};
 pub use tmr_core::pipeline::{ArtifactCache, CacheStats};
+pub use tmr_store::{DiskStats, PersistentCache, Store};

@@ -1,0 +1,354 @@
+//! Campaign service integration: jobs run to completion and match the
+//! library flow, interrupted jobs resume **byte-identically** under every
+//! fault model, identical re-submissions are served from the store with
+//! zero simulations, and two jobs interleave over the worker pool.
+
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tmr_fpga::faultsim::CampaignResult;
+use tmr_fpga::flow::FlowBuilder;
+use tmr_fpga::store::Persist;
+use tmr_fpga::tmr::pipeline::CacheKey;
+use tmr_fpga::Store;
+use tmr_serve::{CampaignService, Event, JobSpec, ResultSource, ServiceConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmr-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small five-batch job: counter(4) with TMR partition P2 on an 8x8
+/// device, under the given fault model.
+fn spec(model: &str) -> JobSpec {
+    let mut spec = JobSpec::new("counter:4");
+    spec.variant = "p2".to_string();
+    spec.model = model.to_string();
+    spec.faults = 160;
+    spec.cycles = 8;
+    spec.batch = 32;
+    spec.device = Some((8, 8));
+    spec
+}
+
+/// The reference result: the same campaign through the library flow, with
+/// the requested shard count (outcomes are shard-count independent).
+fn reference(spec: &JobSpec, shards: usize) -> CampaignResult {
+    let design = spec.design_instance().unwrap();
+    let device = spec.device_instance().unwrap();
+    let mut builder = FlowBuilder::new(&device, &design)
+        .seed(spec.seed)
+        .shards(shards);
+    if let Some(tmr) = spec.tmr_config().unwrap() {
+        builder = builder.tmr(tmr);
+    }
+    let flow = builder.build();
+    (*flow.campaign(&spec.campaign().unwrap()).unwrap()).clone()
+}
+
+fn recv(events: &Receiver<Event>) -> Event {
+    events
+        .recv_timeout(Duration::from_secs(120))
+        .expect("the service emits the next event")
+}
+
+/// Drains events until the given job's terminal one, returning its
+/// fingerprint (from `started`), progress count and the result event.
+fn drain_job(events: &Receiver<Event>, id: &str) -> (u64, usize, Event) {
+    let mut fingerprint = 0;
+    let mut progress = 0;
+    loop {
+        match recv(events) {
+            Event::Started {
+                id: event_id,
+                fingerprint: fp,
+                ..
+            } if event_id == id => fingerprint = fp,
+            Event::Progress { id: event_id, .. } if event_id == id => progress += 1,
+            event @ Event::Result { .. } if event.job_id() == Some(id) => {
+                return (fingerprint, progress, event)
+            }
+            Event::Error {
+                id: event_id,
+                message,
+            } if event_id.as_deref() == Some(id) => {
+                panic!("job {id} failed: {message}")
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn service_campaign_matches_the_library_flow() {
+    let spec = spec("single");
+    let (service, events) = CampaignService::new(ServiceConfig::default());
+    let id = service
+        .submit(Some("direct".to_string()), spec.clone())
+        .unwrap();
+    let (_, progress, result) = drain_job(&events, &id.0);
+    assert!(progress >= 4, "160 faults in batches of 32 report progress");
+    let expected = reference(&spec, 1);
+    match result {
+        Event::Result {
+            injected,
+            wrong_answers,
+            served_from,
+            ..
+        } => {
+            assert_eq!(injected, expected.injected());
+            assert_eq!(wrong_answers, expected.wrong_answers());
+            assert_eq!(served_from, ResultSource::Run);
+        }
+        other => panic!("expected a result event, got {other:?}"),
+    }
+    service.shutdown();
+}
+
+/// Interrupt a job mid-campaign (pause, drop the service), then finish it
+/// in a **new** service over the same store: the stored result must be
+/// byte-identical to an uninterrupted run — for every fault model, and
+/// equal to a multi-shard flow run as well.
+#[test]
+fn interrupted_jobs_resume_byte_identically_for_every_fault_model() {
+    for model in ["single", "mbu:2-in-frame", "accumulate:3"] {
+        let dir = temp_dir(&format!("resume-{}", model.replace(':', "-")));
+        let spec = spec(model);
+
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let (service, events) = CampaignService::new(ServiceConfig {
+            workers: 1,
+            store: Some(store),
+        });
+        let id = service
+            .submit(Some("victim".to_string()), spec.clone())
+            .unwrap();
+        // Interrupt after the first batch boundary.
+        loop {
+            match recv(&events) {
+                Event::Progress { .. } => break,
+                Event::Result { .. } => panic!("job finished before it could be interrupted"),
+                _ => {}
+            }
+        }
+        service.pause(&id.0).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while service.status()[0].state == "running" {
+            assert!(Instant::now() < deadline, "pause parks the job");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let interrupted_at = service.status()[0].injected;
+        assert!(interrupted_at > 0 && interrupted_at < spec.faults);
+        drop(service); // crash: workers stop, only the store survives
+
+        // A fresh process: new service, new memory cache, same store.
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let (service, events) = CampaignService::new(ServiceConfig {
+            workers: 1,
+            store: Some(store.clone()),
+        });
+        service
+            .submit(Some("victim".to_string()), spec.clone())
+            .unwrap();
+        let (fingerprint, _, _) = drain_job(&events, "victim");
+        let resumed: CampaignResult = store
+            .load_as(CacheKey::new("campaign", fingerprint))
+            .expect("the finished campaign is stored");
+        assert!(
+            store
+                .load_as::<tmr_fpga::store::CampaignPrefix>(CacheKey::new(
+                    "campaign.partial",
+                    fingerprint
+                ))
+                .is_none(),
+            "the partial prefix is removed once the job completes"
+        );
+
+        let uninterrupted = reference(&spec, 1);
+        assert_eq!(resumed, uninterrupted, "model {model}");
+        assert_eq!(
+            resumed.to_bytes(),
+            uninterrupted.to_bytes(),
+            "model {model}: byte-identical after resumption"
+        );
+        assert_eq!(resumed, reference(&spec, 3), "model {model}: shard count");
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Re-submitting an identical job performs zero simulations: in-process it
+/// is served from memory, across services from the store — with no
+/// progress events and `batches: 0`.
+#[test]
+fn identical_resubmission_is_served_without_simulation() {
+    let dir = temp_dir("dedup");
+    let spec = spec("single");
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let (service, events) = CampaignService::new(ServiceConfig {
+        workers: 1,
+        store: Some(store),
+    });
+    service
+        .submit(Some("first".to_string()), spec.clone())
+        .unwrap();
+    let (_, _, first) = drain_job(&events, "first");
+    service
+        .submit(Some("again".to_string()), spec.clone())
+        .unwrap();
+    let (_, progress, again) = drain_job(&events, "again");
+    assert_eq!(progress, 0, "a deduplicated job never reports progress");
+    match (&first, &again) {
+        (
+            Event::Result {
+                injected: a,
+                wrong_answers: b,
+                ..
+            },
+            Event::Result {
+                injected: x,
+                wrong_answers: y,
+                served_from,
+                batches,
+                ..
+            },
+        ) => {
+            assert_eq!((a, b), (x, y));
+            assert_eq!(*served_from, ResultSource::Memory);
+            assert_eq!(*batches, 0);
+        }
+        other => panic!("expected two result events, got {other:?}"),
+    }
+    service.shutdown();
+
+    // A new service over the same store: served from disk, still no work.
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let (service, events) = CampaignService::new(ServiceConfig {
+        workers: 1,
+        store: Some(store.clone()),
+    });
+    service.submit(Some("cross".to_string()), spec).unwrap();
+    let (_, progress, cross) = drain_job(&events, "cross");
+    assert_eq!(progress, 0);
+    match cross {
+        Event::Result {
+            served_from,
+            batches,
+            ..
+        } => {
+            assert_eq!(served_from, ResultSource::Store);
+            assert_eq!(batches, 0);
+        }
+        other => panic!("expected a result event, got {other:?}"),
+    }
+    assert!(store.stats().hits > 0, "the dedup probe hit the store");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two concurrent jobs over two workers make interleaved progress: each
+/// reports at least one batch before the other finishes.
+#[test]
+fn concurrent_jobs_interleave_their_progress() {
+    let mut left = spec("single");
+    left.variant = "p2".to_string();
+    let mut right = spec("single");
+    right.variant = "p3".to_string();
+
+    let (service, events) = CampaignService::new(ServiceConfig {
+        workers: 2,
+        store: None,
+    });
+    service.submit(Some("left".to_string()), left).unwrap();
+    service.submit(Some("right".to_string()), right).unwrap();
+
+    let mut order = Vec::new();
+    let mut results = 0;
+    while results < 2 {
+        match recv(&events) {
+            Event::Progress { id, .. } => order.push(id),
+            Event::Result { .. } => results += 1,
+            Event::Error { message, .. } => panic!("job failed: {message}"),
+            _ => {}
+        }
+    }
+    let first_left = order.iter().position(|id| id == "left");
+    let first_right = order.iter().position(|id| id == "right");
+    let last_left = order.iter().rposition(|id| id == "left");
+    let last_right = order.iter().rposition(|id| id == "right");
+    let (first_left, first_right, last_left, last_right) = (
+        first_left.expect("left reports progress"),
+        first_right.expect("right reports progress"),
+        last_left.unwrap(),
+        last_right.unwrap(),
+    );
+    assert!(
+        first_left < last_right && first_right < last_left,
+        "progress interleaves: {order:?}"
+    );
+    service.shutdown();
+}
+
+mod interruption_points {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Resuming is byte-identical no matter *which* batch boundary the
+        /// interruption hits.
+        #[test]
+        fn any_interruption_point_resumes_byte_identically(batches_before_pause in 0usize..4) {
+            let dir = temp_dir(&format!("point-{batches_before_pause}"));
+            let spec = spec("single");
+
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let (service, events) = CampaignService::new(ServiceConfig {
+                workers: 1,
+                store: Some(store),
+            });
+            service.submit(Some("victim".to_string()), spec.clone()).unwrap();
+            let mut seen = 0;
+            let finished = loop {
+                match recv(&events) {
+                    Event::Progress { .. } => {
+                        seen += 1;
+                        if seen > batches_before_pause {
+                            break false;
+                        }
+                    }
+                    Event::Result { .. } => break true,
+                    _ => {}
+                }
+            };
+            if !finished {
+                service.pause("victim").unwrap();
+                let deadline = Instant::now() + Duration::from_secs(120);
+                while service.status()[0].state == "running" {
+                    prop_assert!(Instant::now() < deadline, "pause parks the job");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            drop(service);
+
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let (service, events) = CampaignService::new(ServiceConfig {
+                workers: 1,
+                store: Some(store.clone()),
+            });
+            service.submit(Some("victim".to_string()), spec.clone()).unwrap();
+            let (fingerprint, _, _) = drain_job(&events, "victim");
+            let resumed: CampaignResult = store
+                .load_as(CacheKey::new("campaign", fingerprint))
+                .expect("the finished campaign is stored");
+            let uninterrupted = reference(&spec, 1);
+            prop_assert_eq!(&resumed, &uninterrupted);
+            prop_assert_eq!(resumed.to_bytes(), uninterrupted.to_bytes());
+            service.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
