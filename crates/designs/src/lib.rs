@@ -28,7 +28,11 @@
 #![forbid(unsafe_code)]
 
 mod fir;
+pub mod generate;
 mod simple;
+pub mod spec;
 
 pub use fir::FirFilter;
+pub use generate::{generate, GeneratorConfig};
 pub use simple::{accumulator, counter, moving_sum};
+pub use spec::{DesignSpec, SpecError};

@@ -1,0 +1,777 @@
+//! A self-contained, order-preserving textual representation of word-level
+//! designs — the exchange format of the fuzzing corpus — plus the
+//! delta-debugging shrinker that minimizes failing designs against an
+//! arbitrary reproduction predicate.
+//!
+//! [`DesignSpec`] captures a [`Design`] as a list of node rows in insertion
+//! order, wiring expressed by signal *names*. The round trip
+//! `DesignSpec::from_design → to_design` rebuilds a structurally identical
+//! design — same node order, operators, widths and wiring, including
+//! registered feedback loops (rows whose inputs are defined later are
+//! created against a placeholder and patched, exactly how such designs are
+//! built through the [`Design`] API in the first place). Because the text
+//! form is line-based and human-readable, a shrunken fuzzing failure checked
+//! into the regression corpus documents itself.
+//!
+//! [`shrink`] is deliberately generic over the failure predicate: the fuzz
+//! harness passes "the oracle mismatch still reproduces through the full
+//! flow", while tests can pass cheap structural predicates. Reductions only
+//! ever remove or simplify rows, so a shrunken spec is a (renamed) sub-graph
+//! of the original.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use tmr_netlist::Domain;
+use tmr_synth::{Design, DesignError, SignalId, WordOp};
+
+/// Errors produced while converting, parsing or rebuilding a [`DesignSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A line of the textual form could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Two rows produce a signal of the same name, so wiring by name would
+    /// be ambiguous.
+    DuplicateName(String),
+    /// A row references a signal name no row produces.
+    UnknownSignal {
+        /// The referencing row's name.
+        row: String,
+        /// The unresolved signal name.
+        signal: String,
+    },
+    /// A row's input is defined later (a feedback edge), but no
+    /// already-created signal can serve as a width-compatible placeholder.
+    NoPlaceholder {
+        /// The row that needs the placeholder.
+        row: String,
+    },
+    /// The design contains an operator the spec format does not model
+    /// (voters only appear in TMR-transformed designs, which the corpus
+    /// never stores — regression cases hold base designs).
+    Unsupported(String),
+    /// Rebuilding the design failed a [`Design`] API check.
+    Design(DesignError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            SpecError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+            SpecError::UnknownSignal { row, signal } => {
+                write!(f, "row `{row}` references unknown signal `{signal}`")
+            }
+            SpecError::NoPlaceholder { row } => {
+                write!(
+                    f,
+                    "row `{row}` has a feedback input but no placeholder candidate"
+                )
+            }
+            SpecError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            SpecError::Design(err) => write!(f, "design rebuild failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<DesignError> for SpecError {
+    fn from(err: DesignError) -> Self {
+        SpecError::Design(err)
+    }
+}
+
+/// One node row of a [`DesignSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Row {
+    /// A top-level input bus.
+    Input {
+        /// Signal name.
+        name: String,
+        /// Bus width.
+        width: u8,
+    },
+    /// A constant bus.
+    Const {
+        /// Signal name.
+        name: String,
+        /// Constant value (two's complement of `width`).
+        value: i64,
+        /// Bus width.
+        width: u8,
+    },
+    /// Signed addition.
+    Add {
+        /// Signal name.
+        name: String,
+        /// Left operand signal.
+        a: String,
+        /// Right operand signal.
+        b: String,
+        /// Output width.
+        width: u8,
+    },
+    /// Signed subtraction `a - b`.
+    Sub {
+        /// Signal name.
+        name: String,
+        /// Left operand signal.
+        a: String,
+        /// Right operand signal.
+        b: String,
+        /// Output width.
+        width: u8,
+    },
+    /// Multiplication by a compile-time constant.
+    Mul {
+        /// Signal name.
+        name: String,
+        /// Operand signal.
+        a: String,
+        /// The coefficient.
+        coefficient: i64,
+        /// Output width.
+        width: u8,
+    },
+    /// A register; `input` may name a row defined later (feedback).
+    Reg {
+        /// Signal name.
+        name: String,
+        /// D-input signal.
+        input: String,
+        /// Power-up value.
+        init: i64,
+        /// Bus width (equal to the input's width).
+        width: u8,
+    },
+    /// A top-level output port.
+    Output {
+        /// External port name.
+        port: String,
+        /// The exported signal.
+        signal: String,
+    },
+}
+
+impl Row {
+    /// The name of the signal this row produces (`None` for outputs).
+    pub fn signal_name(&self) -> Option<&str> {
+        match self {
+            Row::Input { name, .. }
+            | Row::Const { name, .. }
+            | Row::Add { name, .. }
+            | Row::Sub { name, .. }
+            | Row::Mul { name, .. }
+            | Row::Reg { name, .. } => Some(name),
+            Row::Output { .. } => None,
+        }
+    }
+
+    /// The signal names this row reads.
+    pub fn reads(&self) -> Vec<&str> {
+        match self {
+            Row::Input { .. } | Row::Const { .. } => Vec::new(),
+            Row::Add { a, b, .. } | Row::Sub { a, b, .. } => vec![a, b],
+            Row::Mul { a, .. } => vec![a],
+            Row::Reg { input, .. } => vec![input],
+            Row::Output { signal, .. } => vec![signal],
+        }
+    }
+
+    /// Rewires every read of `from` to `to`.
+    fn rename_reads(&mut self, from: &str, to: &str) {
+        let rename = |s: &mut String| {
+            if s == from {
+                *s = to.to_string();
+            }
+        };
+        match self {
+            Row::Input { .. } | Row::Const { .. } => {}
+            Row::Add { a, b, .. } | Row::Sub { a, b, .. } => {
+                rename(a);
+                rename(b);
+            }
+            Row::Mul { a, .. } => rename(a),
+            Row::Reg { input, .. } => rename(input),
+            Row::Output { signal, .. } => rename(signal),
+        }
+    }
+}
+
+/// An order-preserving, text-serializable description of a word-level
+/// design. See the module documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpec {
+    /// Design name.
+    pub name: String,
+    /// Node rows in design insertion order.
+    pub rows: Vec<Row>,
+}
+
+impl DesignSpec {
+    /// Captures `design` as a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::DuplicateName`] if two signals share a name and
+    /// [`SpecError::Unsupported`] for operators outside the corpus format
+    /// (voters).
+    pub fn from_design(design: &Design) -> Result<Self, SpecError> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for (_, signal) in design.signals() {
+            if !seen.insert(signal.name.as_str()) {
+                return Err(SpecError::DuplicateName(signal.name.clone()));
+            }
+        }
+        let signal_name = |id: SignalId| design.signal(id).name.clone();
+        let mut rows = Vec::with_capacity(design.node_count());
+        for (_, node) in design.nodes() {
+            let width = node.output.map(|s| design.signal(s).width);
+            let row = match &node.op {
+                WordOp::Input => Row::Input {
+                    name: node.name.clone(),
+                    width: width.expect("inputs produce a signal"),
+                },
+                WordOp::Const { value } => Row::Const {
+                    name: node.name.clone(),
+                    value: *value,
+                    width: width.expect("constants produce a signal"),
+                },
+                WordOp::Add => Row::Add {
+                    name: node.name.clone(),
+                    a: signal_name(node.inputs[0]),
+                    b: signal_name(node.inputs[1]),
+                    width: width.expect("adders produce a signal"),
+                },
+                WordOp::Sub => Row::Sub {
+                    name: node.name.clone(),
+                    a: signal_name(node.inputs[0]),
+                    b: signal_name(node.inputs[1]),
+                    width: width.expect("subtractors produce a signal"),
+                },
+                WordOp::MulConst { coefficient } => Row::Mul {
+                    name: node.name.clone(),
+                    a: signal_name(node.inputs[0]),
+                    coefficient: *coefficient,
+                    width: width.expect("multipliers produce a signal"),
+                },
+                WordOp::Register { init } => Row::Reg {
+                    name: node.name.clone(),
+                    input: signal_name(node.inputs[0]),
+                    init: *init,
+                    width: width.expect("registers produce a signal"),
+                },
+                WordOp::Output { port } => Row::Output {
+                    port: port.clone(),
+                    signal: signal_name(node.inputs[0]),
+                },
+                WordOp::Voter => {
+                    return Err(SpecError::Unsupported(format!(
+                        "voter node `{}` (specs store base designs)",
+                        node.name
+                    )))
+                }
+            };
+            rows.push(row);
+        }
+        Ok(Self {
+            name: design.name().to_string(),
+            rows,
+        })
+    }
+
+    /// Rebuilds the design: nodes are created in row order; a row input
+    /// defined by a *later* row (feedback) is created against a
+    /// width-compatible placeholder and patched afterwards — the same
+    /// construction order the [`Design`] API mandates.
+    ///
+    /// # Errors
+    ///
+    /// Returns wiring errors ([`SpecError::UnknownSignal`],
+    /// [`SpecError::NoPlaceholder`]) and propagated [`Design`] API errors.
+    pub fn to_design(&self) -> Result<Design, SpecError> {
+        let produced: HashSet<&str> = self.rows.iter().filter_map(|r| r.signal_name()).collect();
+        let mut design = Design::new(self.name.clone());
+        let mut defined: HashMap<String, SignalId> = HashMap::new();
+        // (node, pin, name) inputs to patch once every row exists.
+        let mut patches: Vec<(tmr_synth::WordNodeId, usize, String)> = Vec::new();
+
+        // Resolves an operand: the defined signal, or a placeholder of the
+        // given width (any width if `None`) recorded for patching.
+        let resolve = |design: &Design,
+                       defined: &HashMap<String, SignalId>,
+                       patches_for_row: &mut Vec<(usize, String)>,
+                       row_name: &str,
+                       pin: usize,
+                       operand: &str,
+                       width: Option<u8>|
+         -> Result<SignalId, SpecError> {
+            if let Some(&id) = defined.get(operand) {
+                return Ok(id);
+            }
+            if !produced.contains(operand) {
+                return Err(SpecError::UnknownSignal {
+                    row: row_name.to_string(),
+                    signal: operand.to_string(),
+                });
+            }
+            // Forward reference: use any already-created signal of a
+            // compatible width as the placeholder.
+            let placeholder = defined
+                .values()
+                .find(|&&id| width.is_none_or(|w| design.signal(id).width == w));
+            match placeholder {
+                Some(&id) => {
+                    patches_for_row.push((pin, operand.to_string()));
+                    Ok(id)
+                }
+                None => Err(SpecError::NoPlaceholder {
+                    row: row_name.to_string(),
+                }),
+            }
+        };
+
+        for row in &self.rows {
+            let mut row_patches: Vec<(usize, String)> = Vec::new();
+            let (node, output) = match row {
+                Row::Input { name, width } => {
+                    let id = design.add_input(name.clone(), *width);
+                    defined.insert(name.clone(), id);
+                    continue;
+                }
+                Row::Const { name, value, width } => {
+                    let id = design.add_const(name.clone(), *value, *width);
+                    defined.insert(name.clone(), id);
+                    continue;
+                }
+                Row::Add { name, a, b, width } => {
+                    let a = resolve(&design, &defined, &mut row_patches, name, 0, a, None)?;
+                    let b = resolve(&design, &defined, &mut row_patches, name, 1, b, None)?;
+                    design.add_node_in_domain(
+                        name.clone(),
+                        WordOp::Add,
+                        vec![a, b],
+                        Some(*width),
+                        Domain::None,
+                    )?
+                }
+                Row::Sub { name, a, b, width } => {
+                    let a = resolve(&design, &defined, &mut row_patches, name, 0, a, None)?;
+                    let b = resolve(&design, &defined, &mut row_patches, name, 1, b, None)?;
+                    design.add_node_in_domain(
+                        name.clone(),
+                        WordOp::Sub,
+                        vec![a, b],
+                        Some(*width),
+                        Domain::None,
+                    )?
+                }
+                Row::Mul {
+                    name,
+                    a,
+                    coefficient,
+                    width,
+                } => {
+                    let a = resolve(&design, &defined, &mut row_patches, name, 0, a, None)?;
+                    design.add_node_in_domain(
+                        name.clone(),
+                        WordOp::MulConst {
+                            coefficient: *coefficient,
+                        },
+                        vec![a],
+                        Some(*width),
+                        Domain::None,
+                    )?
+                }
+                Row::Reg {
+                    name,
+                    input,
+                    init,
+                    width,
+                } => {
+                    let d = resolve(
+                        &design,
+                        &defined,
+                        &mut row_patches,
+                        name,
+                        0,
+                        input,
+                        Some(*width),
+                    )?;
+                    design.add_node_in_domain(
+                        name.clone(),
+                        WordOp::Register { init: *init },
+                        vec![d],
+                        Some(*width),
+                        Domain::None,
+                    )?
+                }
+                Row::Output { port, signal } => {
+                    let s = resolve(&design, &defined, &mut row_patches, port, 0, signal, None)?;
+                    let node = design.add_output(port.clone(), s);
+                    for (pin, operand) in row_patches {
+                        patches.push((node, pin, operand));
+                    }
+                    continue;
+                }
+            };
+            if let Some(output) = output {
+                let name = row.signal_name().expect("producing rows have a name");
+                defined.insert(name.to_string(), output);
+            }
+            for (pin, operand) in row_patches {
+                patches.push((node, pin, operand));
+            }
+        }
+
+        for (node, pin, operand) in patches {
+            let signal = *defined.get(&operand).expect("patched names were produced");
+            design.replace_input(node, pin, signal)?;
+        }
+        Ok(design)
+    }
+
+    /// Parses the textual form (the format [`fmt::Display`] emits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] with the offending 1-based line number.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut name = String::from("design");
+        let mut rows = Vec::new();
+        for (index, raw) in text.lines().enumerate() {
+            let line = index + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let error = |message: &str| SpecError::Parse {
+                line,
+                message: message.to_string(),
+            };
+            let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["design", n] => name = (*n).to_string(),
+                ["input", n, w] => rows.push(Row::Input {
+                    name: (*n).to_string(),
+                    width: w.parse().map_err(|_| error("bad input width"))?,
+                }),
+                ["const", n, "=", v, ":", w] => rows.push(Row::Const {
+                    name: (*n).to_string(),
+                    value: v.parse().map_err(|_| error("bad constant value"))?,
+                    width: w.parse().map_err(|_| error("bad constant width"))?,
+                }),
+                ["add", n, "=", a, "+", b, ":", w] => rows.push(Row::Add {
+                    name: (*n).to_string(),
+                    a: (*a).to_string(),
+                    b: (*b).to_string(),
+                    width: w.parse().map_err(|_| error("bad add width"))?,
+                }),
+                ["sub", n, "=", a, "-", b, ":", w] => rows.push(Row::Sub {
+                    name: (*n).to_string(),
+                    a: (*a).to_string(),
+                    b: (*b).to_string(),
+                    width: w.parse().map_err(|_| error("bad sub width"))?,
+                }),
+                ["mul", n, "=", a, "*", c, ":", w] => rows.push(Row::Mul {
+                    name: (*n).to_string(),
+                    a: (*a).to_string(),
+                    coefficient: c.parse().map_err(|_| error("bad coefficient"))?,
+                    width: w.parse().map_err(|_| error("bad mul width"))?,
+                }),
+                ["reg", n, "=", d, "init", i, ":", w] => rows.push(Row::Reg {
+                    name: (*n).to_string(),
+                    input: (*d).to_string(),
+                    init: i.parse().map_err(|_| error("bad register init"))?,
+                    width: w.parse().map_err(|_| error("bad register width"))?,
+                }),
+                ["output", p, "=", s] => rows.push(Row::Output {
+                    port: (*p).to_string(),
+                    signal: (*s).to_string(),
+                }),
+                _ => return Err(error("unrecognized row")),
+            }
+        }
+        Ok(Self { name, rows })
+    }
+}
+
+impl fmt::Display for DesignSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {}", self.name)?;
+        for row in &self.rows {
+            match row {
+                Row::Input { name, width } => writeln!(f, "input {name} {width}")?,
+                Row::Const { name, value, width } => {
+                    writeln!(f, "const {name} = {value} : {width}")?
+                }
+                Row::Add { name, a, b, width } => writeln!(f, "add {name} = {a} + {b} : {width}")?,
+                Row::Sub { name, a, b, width } => writeln!(f, "sub {name} = {a} - {b} : {width}")?,
+                Row::Mul {
+                    name,
+                    a,
+                    coefficient,
+                    width,
+                } => writeln!(f, "mul {name} = {a} * {coefficient} : {width}")?,
+                Row::Reg {
+                    name,
+                    input,
+                    init,
+                    width,
+                } => writeln!(f, "reg {name} = {input} init {init} : {width}")?,
+                Row::Output { port, signal } => writeln!(f, "output {port} = {signal}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Removes rows no output (transitively) reads. Register feedback edges
+/// count as reads, so live state cones survive intact.
+fn dead_row_elimination(spec: &DesignSpec) -> DesignSpec {
+    let mut live: HashSet<String> = HashSet::new();
+    let mut work: Vec<String> = spec
+        .rows
+        .iter()
+        .filter(|r| matches!(r, Row::Output { .. }))
+        .flat_map(|r| r.reads().into_iter().map(str::to_string))
+        .collect();
+    while let Some(name) = work.pop() {
+        if !live.insert(name.clone()) {
+            continue;
+        }
+        if let Some(row) = spec
+            .rows
+            .iter()
+            .find(|r| r.signal_name() == Some(name.as_str()))
+        {
+            work.extend(row.reads().into_iter().map(str::to_string));
+        }
+    }
+    DesignSpec {
+        name: spec.name.clone(),
+        rows: spec
+            .rows
+            .iter()
+            .filter(|r| match r.signal_name() {
+                Some(name) => live.contains(name),
+                None => true,
+            })
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Delta-debugs `spec` down to a (locally) minimal design that still
+/// satisfies `reproduces`. The predicate receives candidate specs that are
+/// guaranteed to rebuild (`to_design` succeeded); it should return `true`
+/// iff the failure of interest still reproduces.
+///
+/// Reductions tried to fixpoint, cheapest-shrinkage first:
+///
+/// 1. dropping an output port (while more than one remains),
+/// 2. *bypassing* a row — rewiring its readers to one of its operands and
+///    deleting it (this is how register stages and adders disappear),
+/// 3. replacing a row by `const 0` (cutting its whole fan-in cone),
+///
+/// each followed by dead-row elimination. The input spec must itself
+/// satisfy the predicate; the result always does.
+pub fn shrink<F>(spec: &DesignSpec, mut reproduces: F) -> DesignSpec
+where
+    F: FnMut(&DesignSpec) -> bool,
+{
+    let mut current = dead_row_elimination(spec);
+    if current.rows.len() != spec.rows.len() && !accepts(&current, &mut reproduces) {
+        current = spec.clone();
+    }
+    loop {
+        let mut progressed = false;
+
+        // 1. Drop outputs.
+        loop {
+            let outputs: Vec<usize> = current
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, Row::Output { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if outputs.len() <= 1 {
+                break;
+            }
+            let mut dropped = false;
+            for &index in &outputs {
+                let mut candidate = current.clone();
+                candidate.rows.remove(index);
+                let candidate = dead_row_elimination(&candidate);
+                if accepts(&candidate, &mut reproduces) {
+                    current = candidate;
+                    progressed = true;
+                    dropped = true;
+                    break;
+                }
+            }
+            if !dropped {
+                break;
+            }
+        }
+
+        // 2. Bypass rows: readers of the row's signal read an operand
+        //    instead.
+        let mut index = 0;
+        while index < current.rows.len() {
+            let row = current.rows[index].clone();
+            let (Some(name), reads) = (row.signal_name(), row.reads()) else {
+                index += 1;
+                continue;
+            };
+            let mut bypassed = false;
+            for operand in reads {
+                if operand == name {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.rows.remove(index);
+                let operand = operand.to_string();
+                for other in &mut candidate.rows {
+                    other.rename_reads(name, &operand);
+                }
+                let candidate = dead_row_elimination(&candidate);
+                if accepts(&candidate, &mut reproduces) {
+                    current = candidate;
+                    progressed = true;
+                    bypassed = true;
+                    break;
+                }
+            }
+            if !bypassed {
+                index += 1;
+            }
+        }
+
+        // 3. Constify rows: cut the fan-in cone behind a row.
+        let mut index = 0;
+        while index < current.rows.len() {
+            let row = current.rows[index].clone();
+            let constified = match &row {
+                Row::Add { name, width, .. }
+                | Row::Sub { name, width, .. }
+                | Row::Mul { name, width, .. }
+                | Row::Reg { name, width, .. } => Some(Row::Const {
+                    name: name.clone(),
+                    value: 0,
+                    width: *width,
+                }),
+                _ => None,
+            };
+            if let Some(constified) = constified {
+                let mut candidate = current.clone();
+                candidate.rows[index] = constified;
+                let candidate = dead_row_elimination(&candidate);
+                if accepts(&candidate, &mut reproduces) {
+                    current = candidate;
+                    progressed = true;
+                    continue;
+                }
+            }
+            index += 1;
+        }
+
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// A candidate is accepted when it still rebuilds into a design and the
+/// failure predicate holds on it.
+fn accepts<F>(candidate: &DesignSpec, reproduces: &mut F) -> bool
+where
+    F: FnMut(&DesignSpec) -> bool,
+{
+    candidate.to_design().is_ok() && reproduces(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    fn nodes_of(design: &Design) -> Vec<tmr_synth::WordNode> {
+        design.nodes().map(|(_, n)| n.clone()).collect()
+    }
+
+    #[test]
+    fn round_trips_generated_designs_exactly() {
+        let config = GeneratorConfig {
+            feedback: 0.8,
+            ff_density: 0.5,
+            ..GeneratorConfig::default()
+        };
+        for seed in 0..24 {
+            let design = generate(seed, &config);
+            let spec = DesignSpec::from_design(&design).expect("generator names are unique");
+            let rebuilt = spec.to_design().expect("spec rebuilds");
+            assert_eq!(design.name(), rebuilt.name());
+            assert_eq!(nodes_of(&design), nodes_of(&rebuilt), "seed {seed}");
+            let reparsed = DesignSpec::parse(&spec.to_string()).expect("text parses");
+            assert_eq!(spec, reparsed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn round_trips_feedback_loops() {
+        let design = crate::accumulator(5);
+        let spec = DesignSpec::from_design(&design).unwrap();
+        let rebuilt = spec.to_design().unwrap();
+        assert_eq!(nodes_of(&design), nodes_of(&rebuilt));
+        // The feedback edge survives the text form too.
+        let reparsed = DesignSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(nodes_of(&reparsed.to_design().unwrap()), nodes_of(&design));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = DesignSpec::parse("design d\nbogus line here\n").unwrap_err();
+        match err {
+            SpecError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrink_reduces_to_the_marked_cone() {
+        // Predicate: the design still contains a register named "keep".
+        let mut design = Design::new("toshrink");
+        let x = design.add_input("x", 4);
+        let a = design.add_add("a1", x, x, 5);
+        let b = design.add_mul_const("m1", a, 3, 8);
+        let keep = design.add_register("keep", b);
+        let dead = design.add_sub("s1", keep, a, 6);
+        let dead2 = design.add_register("r2", dead);
+        design.add_output("y0", keep);
+        design.add_output("y1", dead2);
+
+        let spec = DesignSpec::from_design(&design).unwrap();
+        let shrunk = shrink(&spec, |candidate| {
+            candidate
+                .rows
+                .iter()
+                .any(|r| matches!(r, Row::Reg { name, .. } if name == "keep"))
+        });
+        // The keep register and one output must survive; the dead cone and
+        // the second output must not. The keep register's fan-in is
+        // constified away.
+        assert!(shrunk
+            .rows
+            .iter()
+            .any(|r| matches!(r, Row::Reg { name, .. } if name == "keep")));
+        assert!(shrunk.rows.len() <= 3, "shrunk to {shrunk}");
+        assert!(shrunk.to_design().is_ok());
+    }
+}

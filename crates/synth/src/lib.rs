@@ -50,7 +50,7 @@ mod techmap;
 mod test_util;
 
 pub use design::{
-    Design, DesignError, DesignStats, SignalId, WordNode, WordNodeId, WordOp, WordSignal,
+    Design, DesignError, DesignStats, SignalId, WordNode, WordNodeId, WordOp, WordSignal, MAX_WIDTH,
 };
 pub use lower::{lower, LowerError};
 pub use opt::optimize;

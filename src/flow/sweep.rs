@@ -20,6 +20,16 @@ use tmr_synth::Design;
 /// LUT/FF utilisation (and has enough IOBs), otherwise the same architecture
 /// scaled up, four columns and rows at a time, to the smallest grid that
 /// does.
+///
+/// Grid *capacity* alone does not make a device usable: the channel width,
+/// pin candidates and switch-box connectivity of the preset must also cover
+/// the netlists' routing demand, or place-and-route fails on a grid the
+/// utilisation check accepted. Those constants are calibrated per design
+/// family (the paper presets for the FIR case study), so this function
+/// derives floors for them from the netlists themselves — pin traffic of a
+/// utilised tile, the widest net fanout — and raises any preset value below
+/// its floor. Presets already above the floors (all named `DeviceParams`
+/// constructors) are returned bit-identical.
 pub fn device_for(mut params: DeviceParams, netlists: &[&Netlist], max_utilisation: f64) -> Device {
     let max_luts = netlists
         .iter()
@@ -39,6 +49,28 @@ pub fn device_for(mut params: DeviceParams, netlists: &[&Netlist], max_utilisati
         .map(|n| n.stats().io_buffers)
         .max()
         .unwrap_or(0);
+    let max_fanout = netlists
+        .iter()
+        .flat_map(|n| n.nets().map(|(_, net)| net.sinks.len()))
+        .max()
+        .unwrap_or(0);
+
+    // Routability floors. A tile's channel carries the pin traffic of its
+    // own sites — every LUT input/output and FF data pin enters or leaves
+    // on a track — plus through traffic, which grows with the widest net's
+    // fanout (a high-fanout net crosses many channels on its way to its
+    // sinks). Pin candidates and switch-box hops below 3 leave the
+    // PathFinder negotiation too few alternatives to resolve congestion on
+    // any grid size, so they get absolute floors.
+    let pin_traffic = params.luts_per_tile() * 6 + params.ffs_per_tile() * 2;
+    let tracks_floor = pin_traffic
+        .max(max_fanout.div_ceil(2))
+        .min(u16::MAX as usize) as u16;
+    params.tracks = params.tracks.max(tracks_floor);
+    params.out_pin_candidates = params.out_pin_candidates.max(6).min(params.tracks);
+    params.in_pin_candidates = params.in_pin_candidates.max(4).min(params.tracks);
+    params.sb_same_tile = params.sb_same_tile.max(3);
+    params.sb_neighbor = params.sb_neighbor.max(3);
 
     let fits = |params: &DeviceParams| {
         let tiles = usize::from(params.cols) * usize::from(params.rows);

@@ -60,6 +60,7 @@ pub use tmr_trace as trace;
 
 mod error;
 pub mod flow;
+pub mod fuzz;
 
 pub use error::Error;
 pub use flow::{Flow, FlowBuilder, Sweep, SweepReport};
