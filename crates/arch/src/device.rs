@@ -10,7 +10,7 @@ use std::collections::HashMap;
 /// that the proportion of configuration bits per category matches the numbers
 /// the paper reports for the Spartan-II XC2S200E (≈83 % general routing,
 /// ≈6 % CLB customization, ≈7 % LUT contents, <1 % flip-flops).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeviceParams {
     /// Number of tile columns.
     pub cols: u16,

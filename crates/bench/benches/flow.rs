@@ -80,6 +80,66 @@ fn bench_implementation(c: &mut Criterion) {
     group.finish();
 }
 
+/// PnR throughput: end-to-end place+route on the small FIR `TMR_p2` for the
+/// sequential router (`workers: 1`, the `TMR_ROUTE=seq` oracle) and the
+/// deterministic parallel negotiation at 4 workers. The two configurations
+/// are asserted to produce identical `RouteTree`s and byte-identical
+/// bitstreams *before* anything is measured — the parallel row is only a
+/// performance claim once the identity claim holds.
+fn bench_pnr_throughput(c: &mut Criterion) {
+    let netlist = small_tmr_netlist(&TmrConfig::paper_p2());
+    let device = Device::small(20, 20); // 800 LUT sites; small TMR_p2 needs 777
+    let sequential = RouterOptions {
+        workers: 1,
+        ..RouterOptions::default()
+    };
+    let parallel = RouterOptions {
+        workers: 4,
+        ..RouterOptions::default()
+    };
+
+    let placement = place(&device, &netlist, &PlacerOptions::default()).expect("placement");
+    let (seq_routes, telemetry) =
+        tmr_pnr::route_with_telemetry(&device, &netlist, &placement, &sequential);
+    let seq_routes = seq_routes.expect("routing");
+    let par_routes = route(&device, &netlist, &placement, &parallel).expect("routing");
+    assert_eq!(
+        seq_routes, par_routes,
+        "parallel negotiation must produce the sequential oracle's RouteTrees"
+    );
+    let seq_design =
+        RoutedDesign::assemble(&device, &netlist, placement.clone(), seq_routes.clone());
+    let par_design = RoutedDesign::assemble(&device, &netlist, placement.clone(), par_routes);
+    assert_eq!(
+        seq_design.bitstream(),
+        par_design.bitstream(),
+        "parallel negotiation must produce a byte-identical bitstream"
+    );
+    eprintln!(
+        "pnr_throughput: {} nets routed in {} iterations, {} nodes expanded, {:.1} ms (seq)",
+        seq_routes.len(),
+        telemetry.iteration_count(),
+        telemetry.total_nodes_expanded(),
+        telemetry.total_elapsed().as_secs_f64() * 1e3,
+    );
+
+    let mut group = c.benchmark_group("pnr_throughput");
+    group.sample_size(10);
+    group.bench_function("place_route_seq", |b| {
+        b.iter(|| {
+            let placement = place(&device, &netlist, &PlacerOptions::default()).expect("placement");
+            route(&device, &netlist, &placement, &sequential).expect("routing")
+        })
+    });
+    group.bench_function("place_route_parallel_4", |b| {
+        b.iter(|| {
+            let placement = place(&device, &netlist, &PlacerOptions::default()).expect("placement");
+            route(&device, &netlist, &placement, &parallel).expect("routing")
+        })
+    });
+    group.finish();
+}
+
 /// Table 3 / Table 4 family: fault-list construction, classification and
 /// simulation building blocks.
 fn bench_fault_injection(c: &mut Criterion) {
@@ -383,6 +443,7 @@ criterion_group!(
     benches,
     bench_transform,
     bench_implementation,
+    bench_pnr_throughput,
     bench_fault_injection,
     bench_campaign_throughput,
     bench_sim_throughput,

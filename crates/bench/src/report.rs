@@ -197,8 +197,20 @@ pub fn perf_summary(report: &SweepReport) -> String {
     } else {
         String::new()
     };
+    let route = report.route_stats();
+    let route_line = if route.routed > 0 {
+        format!(
+            "\nroute: {} variant(s), {} iterations, {} nodes expanded, {:.1} ms",
+            route.routed,
+            route.iterations,
+            route.nodes_expanded,
+            route.elapsed.as_secs_f64() * 1e3
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "sweep artifact cache: {}{compiled}{disk}{sim_line}",
+        "sweep artifact cache: {}{compiled}{disk}{route_line}{sim_line}",
         report.cache
     )
 }

@@ -54,11 +54,15 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod lookahead;
 mod place;
 mod route;
 mod routed;
 
 pub use error::PnrError;
-pub use place::{place, Placement, PlacerOptions};
-pub use route::{route, route_with_telemetry, RouteIteration, RouteTelemetry, RouterOptions};
+pub use lookahead::Lookahead;
+pub use place::{place, placement_wirelength, Placement, PlacerOptions};
+pub use route::{
+    resolved_workers, route, route_with_telemetry, RouteIteration, RouteTelemetry, RouterOptions,
+};
 pub use routed::{place_and_route, site_usage, BitReport, RouteTree, RoutedDesign};

@@ -1,10 +1,22 @@
 //! Wirelength-driven simulated-annealing placement.
+//!
+//! The annealer's cost function is the classic half-perimeter wirelength
+//! (HPWL), maintained *incrementally*: every routable net carries a
+//! [`NetBox`] — its bounding box plus the number of member pins sitting on
+//! each of the four boundaries — so a move only touches the boxes of the
+//! nets incident to the swapped cells. A boundary whose pin count drops to
+//! zero forces a rescan of that net's members; everything else is O(1) per
+//! incident net. All deltas are exact integers, so the accept/reject
+//! decisions (and therefore the RNG stream and the final placement) are
+//! identical to a from-scratch cost evaluation — pinned per move by a
+//! `debug_assertions` cross-check against [`placement_wirelength`]'s full
+//! recompute.
 
 use crate::PnrError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use tmr_arch::{Device, SiteId, SiteKind};
+use tmr_arch::{Device, SiteId, SiteKind, TileCoord};
 use tmr_netlist::{CellId, CellKind, NetDriver, NetId, NetSink, Netlist};
 
 /// Placement options.
@@ -91,6 +103,166 @@ pub(crate) fn required_site_kind(kind: CellKind) -> Option<SiteKind> {
     }
 }
 
+/// Nets that contribute to the wirelength cost: driven by a cell, read by at
+/// least one cell (I/O pad nets contribute nothing the placer can optimise).
+fn routable_nets(netlist: &Netlist) -> Vec<NetId> {
+    netlist
+        .nets()
+        .filter(|(_, net)| {
+            matches!(net.driver, Some(NetDriver::Cell(_)))
+                && net
+                    .sinks
+                    .iter()
+                    .any(|s| matches!(s, NetSink::CellPin { .. }))
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Full-recompute half-perimeter wirelength of a placement — the reference
+/// the incremental annealer cost is asserted against, and the oracle the
+/// differential test suite uses.
+pub fn placement_wirelength(device: &Device, netlist: &Netlist, placement: &Placement) -> u64 {
+    routable_nets(netlist)
+        .iter()
+        .map(|&net_id| net_hpwl(device, netlist, net_id, |cell| placement.site(cell)))
+        .sum()
+}
+
+/// From-scratch HPWL of one net under an arbitrary cell → site assignment.
+fn net_hpwl(
+    device: &Device,
+    netlist: &Netlist,
+    net_id: NetId,
+    site_of: impl Fn(CellId) -> SiteId,
+) -> u64 {
+    let net = netlist.net(net_id);
+    let mut min_x = u16::MAX;
+    let mut max_x = 0u16;
+    let mut min_y = u16::MAX;
+    let mut max_y = 0u16;
+    let mut update = |cell: CellId| {
+        let tile = device.site(site_of(cell)).tile;
+        min_x = min_x.min(tile.x);
+        max_x = max_x.max(tile.x);
+        min_y = min_y.min(tile.y);
+        max_y = max_y.max(tile.y);
+    };
+    if let Some(NetDriver::Cell(c)) = net.driver {
+        update(c);
+    }
+    for sink in &net.sinks {
+        if let NetSink::CellPin { cell, .. } = sink {
+            update(*cell);
+        }
+    }
+    if min_x == u16::MAX {
+        return 0;
+    }
+    u64::from(max_x - min_x) + u64::from(max_y - min_y)
+}
+
+/// One net's incrementally maintained bounding box: the box itself plus how
+/// many member pins sit on each boundary, so boundary-preserving moves never
+/// rescan the net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NetBox {
+    min_x: u16,
+    max_x: u16,
+    min_y: u16,
+    max_y: u16,
+    on_min_x: u32,
+    on_max_x: u32,
+    on_min_y: u32,
+    on_max_y: u32,
+}
+
+impl NetBox {
+    fn empty() -> Self {
+        Self {
+            min_x: u16::MAX,
+            max_x: 0,
+            min_y: u16::MAX,
+            max_y: 0,
+            on_min_x: 0,
+            on_max_x: 0,
+            on_min_y: 0,
+            on_max_y: 0,
+        }
+    }
+
+    fn hpwl(&self) -> u64 {
+        u64::from(self.max_x - self.min_x) + u64::from(self.max_y - self.min_y)
+    }
+
+    /// Adds one member pin at `tile`, extending the box if needed.
+    fn add(&mut self, tile: TileCoord) {
+        if tile.x < self.min_x {
+            self.min_x = tile.x;
+            self.on_min_x = 1;
+        } else if tile.x == self.min_x {
+            self.on_min_x += 1;
+        }
+        if tile.x > self.max_x {
+            self.max_x = tile.x;
+            self.on_max_x = 1;
+        } else if tile.x == self.max_x {
+            self.on_max_x += 1;
+        }
+        if tile.y < self.min_y {
+            self.min_y = tile.y;
+            self.on_min_y = 1;
+        } else if tile.y == self.min_y {
+            self.on_min_y += 1;
+        }
+        if tile.y > self.max_y {
+            self.max_y = tile.y;
+            self.on_max_y = 1;
+        } else if tile.y == self.max_y {
+            self.on_max_y += 1;
+        }
+    }
+
+    /// Removes one member pin at `tile`. Returns `true` when a boundary lost
+    /// its last pin — the box may shrink and the caller must rescan.
+    fn remove(&mut self, tile: TileCoord) -> bool {
+        if tile.x == self.min_x {
+            if self.on_min_x == 1 {
+                return true;
+            }
+            self.on_min_x -= 1;
+        }
+        if tile.x == self.max_x {
+            if self.on_max_x == 1 {
+                return true;
+            }
+            self.on_max_x -= 1;
+        }
+        if tile.y == self.min_y {
+            if self.on_min_y == 1 {
+                return true;
+            }
+            self.on_min_y -= 1;
+        }
+        if tile.y == self.max_y {
+            if self.on_max_y == 1 {
+                return true;
+            }
+            self.on_max_y -= 1;
+        }
+        false
+    }
+}
+
+/// Rescans a net's members and rebuilds its [`NetBox`] from scratch.
+fn compute_box(device: &Device, members: &[CellId], site_of_cell: &[SiteId]) -> NetBox {
+    let mut net_box = NetBox::empty();
+    for &cell in members {
+        net_box.add(device.site(site_of_cell[cell.index()]).tile);
+    }
+    net_box
+}
+
 /// Places a technology-mapped netlist onto a device.
 ///
 /// # Errors
@@ -136,73 +308,49 @@ pub fn place(
         }
     }
 
-    // Nets considered for wirelength: driven by a cell, read by at least one
-    // cell (I/O pad nets contribute nothing the placer can optimise).
-    let routable_nets: Vec<NetId> = netlist
-        .nets()
-        .filter(|(_, net)| {
-            matches!(net.driver, Some(NetDriver::Cell(_)))
-                && net
-                    .sinks
-                    .iter()
-                    .any(|s| matches!(s, NetSink::CellPin { .. }))
-        })
-        .map(|(id, _)| id)
-        .collect();
+    let cost_nets = routable_nets(netlist);
 
-    // Per-cell list of incident routable nets.
-    let mut nets_of_cell: Vec<Vec<NetId>> = vec![Vec::new(); netlist.cell_count()];
-    for &net_id in &routable_nets {
+    // Per-net member pins (driver plus every cell-pin sink occurrence — the
+    // exact multiset the HPWL definition scans) and the per-cell incidence
+    // lists, both indexed by position in `cost_nets`.
+    let mut members: Vec<Vec<CellId>> = Vec::with_capacity(cost_nets.len());
+    let mut nets_of_cell: Vec<Vec<u32>> = vec![Vec::new(); netlist.cell_count()];
+    for (index, &net_id) in cost_nets.iter().enumerate() {
         let net = netlist.net(net_id);
+        let mut pins = Vec::new();
         if let Some(NetDriver::Cell(c)) = net.driver {
-            nets_of_cell[c.index()].push(net_id);
+            pins.push(c);
+            nets_of_cell[c.index()].push(index as u32);
         }
         for sink in &net.sinks {
             if let NetSink::CellPin { cell, .. } = sink {
-                if nets_of_cell[cell.index()].last() != Some(&net_id) {
-                    nets_of_cell[cell.index()].push(net_id);
+                pins.push(*cell);
+                if nets_of_cell[cell.index()].last() != Some(&(index as u32)) {
+                    nets_of_cell[cell.index()].push(index as u32);
                 }
             }
         }
+        members.push(pins);
     }
 
-    let hpwl = |net_id: NetId, site_of_cell: &[SiteId]| -> u64 {
-        let net = netlist.net(net_id);
-        let mut min_x = u16::MAX;
-        let mut max_x = 0u16;
-        let mut min_y = u16::MAX;
-        let mut max_y = 0u16;
-        let mut update = |cell: CellId| {
-            let tile = device.site(site_of_cell[cell.index()]).tile;
-            min_x = min_x.min(tile.x);
-            max_x = max_x.max(tile.x);
-            min_y = min_y.min(tile.y);
-            max_y = max_y.max(tile.y);
-        };
-        if let Some(NetDriver::Cell(c)) = net.driver {
-            update(c);
-        }
-        for sink in &net.sinks {
-            if let NetSink::CellPin { cell, .. } = sink {
-                update(*cell);
-            }
-        }
-        if min_x == u16::MAX {
-            return 0;
-        }
-        u64::from(max_x - min_x) + u64::from(max_y - min_y)
-    };
-
-    let mut total_cost: u64 = routable_nets.iter().map(|&n| hpwl(n, &site_of_cell)).sum();
+    let mut boxes: Vec<NetBox> = members
+        .iter()
+        .map(|pins| compute_box(device, pins, &site_of_cell))
+        .collect();
+    let mut total_cost: u64 = boxes.iter().map(NetBox::hpwl).sum();
 
     // Simulated annealing.
     let movable: Vec<CellId> = netlist.cells().map(|(id, _)| id).collect();
     let mut rng = StdRng::seed_from_u64(options.seed);
     let total_moves = options.moves_per_cell * movable.len().max(1);
-    let mut temperature = (total_cost as f64 / routable_nets.len().max(1) as f64).max(1.0);
+    let mut temperature = (total_cost as f64 / cost_nets.len().max(1) as f64).max(1.0);
     let temperature_steps = 64usize;
     let moves_per_step = (total_moves / temperature_steps).max(1);
     let alpha = 0.92f64;
+
+    // Reused per-move buffers: no allocation on the annealing hot path.
+    let mut affected: Vec<u32> = Vec::new();
+    let mut saved: Vec<(u32, NetBox)> = Vec::new();
 
     for _step in 0..temperature_steps {
         for _ in 0..moves_per_step {
@@ -215,24 +363,74 @@ pub fn place(
                 continue;
             }
             let occupant = cell_at_site.get(&target).copied();
+            let current_tile = device.site(current).tile;
+            let target_tile = device.site(target).tile;
+
+            if current_tile == target_tile {
+                // Swapping within one tile never changes any bounding box:
+                // delta is zero, the move is always accepted, and no RNG is
+                // consumed — exactly as a full cost evaluation would decide.
+                site_of_cell[cell.index()] = target;
+                cell_at_site.insert(target, cell);
+                if let Some(other) = occupant {
+                    site_of_cell[other.index()] = current;
+                    cell_at_site.insert(current, other);
+                } else {
+                    cell_at_site.remove(&current);
+                }
+                continue;
+            }
 
             // Affected nets: union of both cells' incident nets.
-            let mut affected: Vec<NetId> = nets_of_cell[cell.index()].clone();
+            affected.clear();
+            affected.extend_from_slice(&nets_of_cell[cell.index()]);
             if let Some(other) = occupant {
-                affected.extend(nets_of_cell[other.index()].iter().copied());
+                affected.extend_from_slice(&nets_of_cell[other.index()]);
             }
             affected.sort_unstable();
             affected.dedup();
 
-            let before: u64 = affected.iter().map(|&n| hpwl(n, &site_of_cell)).sum();
-
-            // Apply tentatively.
+            // Apply tentatively, then update each affected box
+            // incrementally: remove the moved pin occurrences' old tiles,
+            // add the new ones, rescan only when a boundary empties.
             site_of_cell[cell.index()] = target;
             if let Some(other) = occupant {
                 site_of_cell[other.index()] = current;
             }
-            let after: u64 = affected.iter().map(|&n| hpwl(n, &site_of_cell)).sum();
-            let delta = after as i64 - before as i64;
+
+            saved.clear();
+            let mut delta = 0i64;
+            for &net in &affected {
+                let index = net as usize;
+                let old_box = boxes[index];
+                saved.push((net, old_box));
+                let mut net_box = old_box;
+                let mut rescan = false;
+                for &pin in &members[index] {
+                    let (from, to) = if pin == cell {
+                        (current_tile, target_tile)
+                    } else if occupant == Some(pin) {
+                        (target_tile, current_tile)
+                    } else {
+                        continue;
+                    };
+                    if net_box.remove(from) {
+                        rescan = true;
+                        break;
+                    }
+                    net_box.add(to);
+                }
+                if rescan {
+                    net_box = compute_box(device, &members[index], &site_of_cell);
+                }
+                debug_assert_eq!(
+                    net_box,
+                    compute_box(device, &members[index], &site_of_cell),
+                    "incremental NetBox diverged from full recompute"
+                );
+                delta += net_box.hpwl() as i64 - old_box.hpwl() as i64;
+                boxes[index] = net_box;
+            }
 
             let accept = delta <= 0 || {
                 let p = (-(delta as f64) / temperature).exp();
@@ -247,15 +445,24 @@ pub fn place(
                 }
                 total_cost = (total_cost as i64 + delta) as u64;
             } else {
-                // Revert.
+                // Revert the assignment and the touched boxes.
                 site_of_cell[cell.index()] = current;
                 if let Some(other) = occupant {
                     site_of_cell[other.index()] = target;
+                }
+                for &(net, net_box) in &saved {
+                    boxes[net as usize] = net_box;
                 }
             }
         }
         temperature *= alpha;
     }
+
+    debug_assert_eq!(
+        total_cost,
+        boxes.iter().map(NetBox::hpwl).sum::<u64>(),
+        "incremental total cost diverged from the maintained boxes"
+    );
 
     Ok(Placement {
         site_of_cell,
@@ -302,6 +509,28 @@ mod tests {
         let b = place(&device, &netlist, &PlacerOptions::default()).unwrap();
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
         assert_eq!(a.wirelength(), b.wirelength());
+    }
+
+    #[test]
+    fn incremental_cost_matches_full_recompute() {
+        for (cols, rows, seed) in [(5, 5, 1), (6, 6, 7), (8, 8, 42)] {
+            let device = Device::small(cols, rows);
+            let netlist = mapped_counter();
+            let placement = place(
+                &device,
+                &netlist,
+                &PlacerOptions {
+                    seed,
+                    ..PlacerOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                placement.wirelength(),
+                placement_wirelength(&device, &netlist, &placement),
+                "incremental wirelength diverged (seed {seed})"
+            );
+        }
     }
 
     #[test]

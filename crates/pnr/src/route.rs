@@ -1,9 +1,38 @@
 //! Negotiated-congestion A* maze routing (PathFinder style).
+//!
+//! The router combines three mechanisms, each pinned by differential tests:
+//!
+//! * **Directed search.** Every sink is found with A* over the device's
+//!   routing graph, guided by the admissible per-device
+//!   [`Lookahead`](crate::Lookahead) table and confined to the net's
+//!   bounding box (plus [`RouterOptions::bbox_margin`] tiles of slack); a
+//!   sink that cannot be reached inside the box deterministically retries
+//!   unconfined. All search state lives in per-worker
+//!   generation-stamped scratch arrays indexed by node id, so routing a net
+//!   allocates nothing.
+//! * **Snapshot-commit negotiation.** Within each PathFinder iteration the
+//!   to-be-rerouted nets are swept in net order and greedily packed into
+//!   *spatially disjoint* chunks: a net joins the current chunk only if its
+//!   search rectangle intersects none already admitted. At each flush the
+//!   chunk's nets are ripped up, routed against the *frozen* occupancy and
+//!   history costs (in parallel across `std::thread::scope` workers), and
+//!   committed in net order at the barrier. Disjoint rectangles mean
+//!   disjoint node sets, so the chunked result is identical to a pure
+//!   net-by-net (Gauss–Seidel) sweep for *every* chunk size — and
+//!   [`RouterOptions::chunk_size`] and the worker count are pure
+//!   performance knobs that never change the answer. The sequential router
+//!   (`TMR_ROUTE=seq`) is kept as the differential oracle and must produce
+//!   byte-identical [`RouteTree`]s.
+//! * **Congestion pricing.** Node costs follow the classic PathFinder
+//!   schedule: a present-congestion factor that grows gently each iteration
+//!   plus an accumulated history cost on every overused node.
 
+use crate::lookahead::Lookahead;
 use crate::routed::RouteTree;
 use crate::{Placement, PnrError};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 use tmr_arch::{Device, NodeId, PipId, RouteNode};
 use tmr_netlist::{NetDriver, NetId, NetSink, Netlist};
 
@@ -16,10 +45,27 @@ pub struct RouterOptions {
     pub present_factor: f64,
     /// Multiplier applied to the present-congestion factor each iteration.
     pub present_factor_growth: f64,
+    /// Ceiling on the present-congestion factor. Beyond it the accumulated
+    /// history cost does the arbitration; an uncapped factor makes every
+    /// must-displace search explore a cost ball as wide as the penalty.
+    pub present_factor_max: f64,
     /// Historical congestion cost added to every overused node per iteration.
     pub history_increment: f64,
     /// A* heuristic weight (1.0 = admissible, larger = faster but greedier).
     pub astar_weight: f64,
+    /// Search-confinement slack: tiles added around each net's terminal
+    /// bounding box before the A* expansion is clipped to it.
+    pub bbox_margin: u16,
+    /// Worker threads for the parallel negotiation. `0` resolves the
+    /// `TMR_ROUTE` environment variable at each [`route`] call: `seq` → 1
+    /// (the sequential differential oracle), a number → that many workers,
+    /// unset → the machine's available parallelism. Any other value falls
+    /// back to 1.
+    pub workers: usize,
+    /// Nets per snapshot-commit chunk. The chunk size — not the worker
+    /// count — defines the negotiation schedule, so results are identical
+    /// for any `workers` value.
+    pub chunk_size: usize,
 }
 
 impl Default for RouterOptions {
@@ -33,9 +79,31 @@ impl Default for RouterOptions {
             max_iterations: 250,
             present_factor: 0.6,
             present_factor_growth: 1.2,
-            history_increment: 1.0,
-            astar_weight: 1.25,
+            present_factor_max: 32.0,
+            history_increment: 1.5,
+            astar_weight: 2.25,
+            bbox_margin: 3,
+            workers: 0,
+            chunk_size: 16,
         }
+    }
+}
+
+/// Resolves the effective worker count for `options` (see
+/// [`RouterOptions::workers`]).
+pub fn resolved_workers(options: &RouterOptions) -> usize {
+    if options.workers > 0 {
+        return options.workers;
+    }
+    match std::env::var("TMR_ROUTE") {
+        Ok(value) if value.trim() == "seq" => 1,
+        Ok(value) => value
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
     }
 }
 
@@ -67,11 +135,76 @@ impl Ord for QueueEntry {
     }
 }
 
-/// The terminals of one routable net.
+/// Inclusive tile-coordinate bounds confining one net's search.
+#[derive(Debug, Clone, Copy)]
+struct TileBounds {
+    min_x: u16,
+    min_y: u16,
+    max_x: u16,
+    max_y: u16,
+}
+
+impl TileBounds {
+    #[inline]
+    fn contains(&self, x: u16, y: u16) -> bool {
+        x >= self.min_x && x <= self.max_x && y >= self.min_y && y <= self.max_y
+    }
+
+    /// Whether the bounds cover the whole grid (confinement is a no-op).
+    fn covers_grid(&self, cols: u16, rows: u16) -> bool {
+        self.min_x == 0 && self.min_y == 0 && self.max_x + 1 >= cols && self.max_y + 1 >= rows
+    }
+
+    /// Whether two rectangles share at least one tile.
+    fn intersects(&self, other: &TileBounds) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+}
+
+/// The clipped search rectangle for one net attempt: the terminal bounding
+/// box, widened by the base margin plus one tile per rip-up the net has
+/// suffered (so congestion-locked nets progressively escape their
+/// neighbourhood). Used both to confine the A* expansion and to decide which
+/// nets may share a snapshot-commit chunk.
+fn search_rect(
+    terminals: &NetTerminals,
+    rip_count: u16,
+    bbox_margin: u16,
+    cols: u16,
+    rows: u16,
+) -> TileBounds {
+    let margin = bbox_margin.saturating_add(rip_count);
+    TileBounds {
+        min_x: terminals.bbox.min_x.saturating_sub(margin),
+        min_y: terminals.bbox.min_y.saturating_sub(margin),
+        max_x: terminals
+            .bbox
+            .max_x
+            .saturating_add(margin)
+            .min(cols.saturating_sub(1)),
+        max_y: terminals
+            .bbox
+            .max_y
+            .saturating_add(margin)
+            .min(rows.saturating_sub(1)),
+    }
+}
+
+/// The terminals of one routable net, with its pre-sorted sinks and raw
+/// (margin-free) terminal bounding box.
 struct NetTerminals {
     net: NetId,
     source: NodeId,
+    /// Sinks sorted by Manhattan distance from the source tile, so the
+    /// closest sinks are routed first and later sinks reuse the growing tree.
     sinks: Vec<(NodeId, tmr_netlist::CellId, usize)>,
+    /// Tight bounds over the terminals; the search margin is added per
+    /// attempt (and grows with the net's rip-up count, so congestion-locked
+    /// nets can escape their neighbourhood).
+    bbox: TileBounds,
 }
 
 /// One negotiation iteration's congestion signals.
@@ -93,6 +226,11 @@ pub struct RouteIteration {
     pub overused_nodes: usize,
     /// Present-congestion penalty factor used during this iteration.
     pub present_factor: f64,
+    /// A* queue pops across every net routed this iteration. Deterministic:
+    /// independent of the worker count.
+    pub nodes_expanded: u64,
+    /// Wall-clock time of this iteration in nanoseconds.
+    pub elapsed_ns: u64,
 }
 
 /// Per-iteration telemetry of one [`route_with_telemetry`] run.
@@ -100,6 +238,9 @@ pub struct RouteIteration {
 pub struct RouteTelemetry {
     /// One entry per negotiation iteration, in order.
     pub iterations: Vec<RouteIteration>,
+    /// Worker threads the negotiation ran with (after `TMR_ROUTE`
+    /// resolution).
+    pub workers: usize,
 }
 
 impl RouteTelemetry {
@@ -118,6 +259,16 @@ impl RouteTelemetry {
     /// Total nets ripped up across all iterations.
     pub fn total_rip_ups(&self) -> usize {
         self.iterations.iter().map(|it| it.ripped_up).sum()
+    }
+
+    /// Total A* queue pops across all iterations.
+    pub fn total_nodes_expanded(&self) -> u64 {
+        self.iterations.iter().map(|it| it.nodes_expanded).sum()
+    }
+
+    /// Total wall-clock routing time across all iterations.
+    pub fn total_elapsed(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.iterations.iter().map(|it| it.elapsed_ns).sum())
     }
 }
 
@@ -152,6 +303,89 @@ pub fn route_with_telemetry(
     (result, telemetry)
 }
 
+/// Read-only per-call routing context shared by all workers.
+struct RouteContext<'a> {
+    device: &'a Device,
+    netlist: &'a Netlist,
+    lookahead: &'a Lookahead,
+    /// CSR-flattened routing graph: node `i`'s outgoing PIPs live at
+    /// `adj_start[i]..adj_start[i + 1]` in `edges`. One contiguous scan per
+    /// expansion instead of two indirect struct loads per neighbour.
+    adj_start: Vec<u32>,
+    edges: Vec<Edge>,
+    cols: u16,
+    rows: u16,
+    bbox_margin: u16,
+}
+
+/// One CSR adjacency entry: destination node and the PIP that reaches it,
+/// interleaved so a neighbour scan touches one cache line stream.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    dst: u32,
+    pip: u32,
+}
+
+/// Everything the expansion loop needs to price and locate one node, packed
+/// into a single 12-byte record so each neighbour touch costs one cache line
+/// instead of five (`cost_static`, `occupancy`, `is_in_pin`, `tile_x`,
+/// `tile_y` used to live in separate arrays). `cost_static` (base + history)
+/// is refreshed once per iteration and `occupancy` at chunk barriers — both
+/// on the main thread, so workers always read a frozen snapshot.
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    /// Congestion-free cost of the node this iteration: base + history.
+    cost_static: f32,
+    /// Current committed occupant count.
+    occupancy: u16,
+    /// 1 if the node is a cell input pin (enterable only as the target sink).
+    is_in_pin: u16,
+    tile_x: u16,
+    tile_y: u16,
+}
+
+/// Per-node A* search record (cost, visit stamp, arriving PIP), packed for
+/// the same reason as [`NodeState`].
+#[derive(Debug, Clone, Copy)]
+struct SearchRec {
+    best_cost: f32,
+    generation: u32,
+    prev_pip: u32,
+}
+
+/// Per-worker reusable search state, all indexed by node id and invalidated
+/// in O(1) with generation stamps.
+struct RouterScratch {
+    search: Vec<SearchRec>,
+    /// Tree-membership stamps: `in_tree[i] == tree_generation` iff node `i`
+    /// is part of the net currently being routed.
+    in_tree: Vec<u32>,
+    queue: BinaryHeap<QueueEntry>,
+    current_generation: u32,
+    tree_generation: u32,
+    nodes_expanded: u64,
+}
+
+impl RouterScratch {
+    fn new(node_count: usize) -> Self {
+        Self {
+            search: vec![
+                SearchRec {
+                    best_cost: f32::INFINITY,
+                    generation: 0,
+                    prev_pip: u32::MAX,
+                };
+                node_count
+            ],
+            in_tree: vec![0; node_count],
+            queue: BinaryHeap::new(),
+            current_generation: 0,
+            tree_generation: 0,
+            nodes_expanded: 0,
+        }
+    }
+}
+
 fn route_inner(
     device: &Device,
     netlist: &Netlist,
@@ -159,66 +393,183 @@ fn route_inner(
     options: &RouterOptions,
     telemetry: &mut RouteTelemetry,
 ) -> Result<HashMap<NetId, RouteTree>, PnrError> {
-    let nets = collect_terminals(device, netlist, placement);
+    let workers = resolved_workers(options);
+    let chunk_size = options.chunk_size.max(1);
+    telemetry.workers = workers;
 
     let node_count = device.node_count();
-    let mut occupancy = vec![0u16; node_count];
-    let mut history = vec![0f32; node_count];
-    // A* bookkeeping with generation stamps so the arrays are reused.
-    let mut best_cost = vec![f32::INFINITY; node_count];
-    let mut generation = vec![0u32; node_count];
-    let mut prev_pip: Vec<u32> = vec![u32::MAX; node_count];
-    let mut current_generation = 0u32;
+    let lookahead = Lookahead::for_device(device);
+    let mut base = vec![0f32; node_count];
+    let mut states = Vec::with_capacity(node_count);
+    let mut adj_start = Vec::with_capacity(node_count + 1);
+    let mut edges = Vec::with_capacity(device.pip_count());
+    for (index, base_slot) in base.iter_mut().enumerate() {
+        let id = NodeId::from_index(index);
+        let tile = device.node_tile(id);
+        let node = device.node(id);
+        *base_slot = base_cost(&node);
+        states.push(NodeState {
+            cost_static: *base_slot,
+            occupancy: 0,
+            is_in_pin: u16::from(node.is_in_pin()),
+            tile_x: tile.x,
+            tile_y: tile.y,
+        });
+        adj_start.push(edges.len() as u32);
+        for &pip_id in device.pips_from(id) {
+            edges.push(Edge {
+                dst: device.pip(pip_id).dst.index() as u32,
+                pip: pip_id.index() as u32,
+            });
+        }
+    }
+    adj_start.push(edges.len() as u32);
+    let ctx = RouteContext {
+        device,
+        netlist,
+        lookahead: &lookahead,
+        adj_start,
+        edges,
+        cols: device.cols(),
+        rows: device.rows(),
+        bbox_margin: options.bbox_margin,
+    };
 
-    let mut trees: HashMap<NetId, RouteTree> = HashMap::new();
+    let nets = collect_terminals(device, netlist, placement);
+
+    if tmr_trace::enabled() {
+        tmr_trace::event("route.astar")
+            .attr("lookahead_entries", lookahead.entries())
+            .attr("astar_weight", options.astar_weight)
+            .attr("bbox_margin", u32::from(options.bbox_margin));
+        tmr_trace::event("route.parallel")
+            .attr("workers", workers)
+            .attr("chunk_size", chunk_size)
+            .attr("nets", nets.len());
+    }
+
+    let mut history = vec![0f32; node_count];
+    let mut scratches: Vec<RouterScratch> = (0..workers.max(1))
+        .map(|_| RouterScratch::new(node_count))
+        .collect();
+
+    let mut trees: Vec<Option<RouteTree>> = (0..nets.len()).map(|_| None).collect();
+    // Per-net rip-up counts: each rip-up widens that net's search margin, so
+    // nets locked in a congestion fight progressively escape their bounding
+    // boxes. Part of the negotiation schedule — worker-independent.
+    let mut rip_counts: Vec<u16> = vec![0; nets.len()];
     let mut present_factor = options.present_factor;
 
     for iteration in 1..=options.max_iterations {
-        let mut ripped_up = 0usize;
+        let iter_start = Instant::now();
+        let present_f32 = present_factor as f32;
+        // Late-negotiation safety net: past `WEIGHT_DECAY_START` iterations
+        // the per-iteration base weight decays geometrically toward the
+        // admissible 1.0, so a run that has not converged degenerates into
+        // the slower but robust best-first search instead of oscillating
+        // forever on beeline paths. Converging runs finish well before the
+        // decay starts and never see it.
+        const WEIGHT_DECAY_START: i32 = 60;
+        const WEIGHT_DECAY: f64 = 0.9;
+        let weight = (options.astar_weight
+            * WEIGHT_DECAY.powi((iteration as i32 - WEIGHT_DECAY_START).max(0)))
+        .max(1.0) as f32;
         let mut rerouted = 0usize;
-        for terminals in &nets {
-            let needs_reroute = match trees.get(&terminals.net) {
+        let mut ripped_up = 0usize;
+
+        // Every iteration sweeps all nets in net order, greedily packing the
+        // ones that need rerouting into *spatially disjoint* chunks: a net
+        // joins the open chunk only if its search rectangle overlaps none of
+        // the chunk's. Disjoint rectangles touch disjoint routing nodes, so
+        // the chunk's nets cannot contend — routing them against the frozen
+        // snapshot behaves like routing them one at a time, which keeps the
+        // convergence of sequential negotiation while exposing the chunk to
+        // the worker pool. A conflicting net flushes the chunk first, so
+        // contending nets always see each other's committed routes. The
+        // schedule depends only on committed state and `chunk_size` — never
+        // on the worker count.
+        let mut chunk: Vec<u32> = Vec::with_capacity(chunk_size);
+        let mut rects: Vec<TileBounds> = Vec::with_capacity(chunk_size);
+        let mut index = 0u32;
+        while (index as usize) < nets.len() {
+            // The live congestion check: a net displaced by an earlier flush
+            // in this same sweep is picked up here — the same-iteration
+            // cascade sequential negotiation relies on to converge. It runs
+            // against fully committed state: a conflicting net flushes the
+            // open chunk *without advancing*, so it is re-examined afterwards
+            // (the flush may have resolved its congestion).
+            let needs_reroute = match &trees[index as usize] {
                 None => true,
-                Some(tree) => tree.nodes.iter().any(|n| occupancy[n.index()] > 1),
+                Some(tree) => tree.nodes.iter().any(|n| states[n.index()].occupancy > 1),
             };
             if !needs_reroute {
+                index += 1;
                 continue;
             }
-            // Rip up.
-            if let Some(old) = trees.remove(&terminals.net) {
-                ripped_up += 1;
-                for node in &old.nodes {
-                    occupancy[node.index()] -= 1;
-                }
+            // The rect a flush would actually search: ripping an existing
+            // tree bumps the net's rip count (and so its margin) first.
+            let margin_rips = rip_counts[index as usize]
+                .saturating_add(u16::from(trees[index as usize].is_some()));
+            let rect = search_rect(
+                &nets[index as usize],
+                margin_rips,
+                ctx.bbox_margin,
+                ctx.cols,
+                ctx.rows,
+            );
+            if chunk.len() >= chunk_size || rects.iter().any(|r| r.intersects(&rect)) {
+                flush_chunk(
+                    &ctx,
+                    &nets,
+                    &chunk,
+                    &mut rip_counts,
+                    &mut states,
+                    &mut trees,
+                    present_f32,
+                    weight,
+                    workers,
+                    &mut scratches,
+                    &mut rerouted,
+                    &mut ripped_up,
+                )?;
+                chunk.clear();
+                rects.clear();
+                continue;
             }
-
-            let tree = route_net(
-                device,
-                netlist,
-                terminals,
-                &occupancy,
-                &history,
-                present_factor,
-                options.astar_weight,
-                &mut best_cost,
-                &mut generation,
-                &mut prev_pip,
-                &mut current_generation,
+            chunk.push(index);
+            rects.push(rect);
+            index += 1;
+        }
+        if !chunk.is_empty() {
+            flush_chunk(
+                &ctx,
+                &nets,
+                &chunk,
+                &mut rip_counts,
+                &mut states,
+                &mut trees,
+                present_f32,
+                weight,
+                workers,
+                &mut scratches,
+                &mut rerouted,
+                &mut ripped_up,
             )?;
-            for node in &tree.nodes {
-                occupancy[node.index()] += 1;
-            }
-            trees.insert(terminals.net, tree);
-            rerouted += 1;
         }
 
-        let overused: usize = occupancy.iter().filter(|&&o| o > 1).count();
+        let overused: usize = states.iter().filter(|s| s.occupancy > 1).count();
+        let nodes_expanded: u64 = scratches
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.nodes_expanded))
+            .sum();
         telemetry.iterations.push(RouteIteration {
             iteration,
             ripped_up,
             rerouted,
             overused_nodes: overused,
             present_factor,
+            nodes_expanded,
+            elapsed_ns: iter_start.elapsed().as_nanos() as u64,
         });
         if tmr_trace::enabled() {
             tmr_trace::event("route.iteration")
@@ -226,10 +577,20 @@ fn route_inner(
                 .attr("overused", overused)
                 .attr("ripped_up", ripped_up)
                 .attr("rerouted", rerouted)
-                .attr("present_factor", present_factor);
+                .attr("present_factor", present_factor)
+                .attr("nodes_expanded", nodes_expanded);
         }
         if overused == 0 {
-            return Ok(trees);
+            return Ok(nets
+                .iter()
+                .zip(trees)
+                .map(|(terminals, tree)| {
+                    (
+                        terminals.net,
+                        tree.expect("every net routed at convergence"),
+                    )
+                })
+                .collect());
         }
         if iteration == options.max_iterations {
             return Err(PnrError::Unroutable {
@@ -237,16 +598,246 @@ fn route_inner(
                 iterations: iteration,
             });
         }
-        for (node, &occ) in occupancy.iter().enumerate() {
+        for node in 0..node_count {
+            let occ = states[node].occupancy;
             if occ > 1 {
                 history[node] += (options.history_increment * f64::from(occ - 1)) as f32;
             }
+            states[node].cost_static = base[node] + history[node];
         }
-        // Cap the penalty so costs stay well inside f32 range; beyond this
-        // point only the accumulated history can (and should) break ties.
-        present_factor = (present_factor * options.present_factor_growth).min(1e6);
+        present_factor =
+            (present_factor * options.present_factor_growth).min(options.present_factor_max);
     }
     unreachable!("the loop either returns success or exhausts its iterations");
+}
+
+/// Rips up, routes, and commits one spatially disjoint chunk of nets.
+/// Occupancy is frozen for the duration of the chunk: every net — on any
+/// worker — routes against the same congestion snapshot, and the results are
+/// committed in net order at the barrier (the first failure in net order
+/// wins, keeping errors deterministic too).
+#[allow(clippy::too_many_arguments)]
+fn flush_chunk(
+    ctx: &RouteContext<'_>,
+    nets: &[NetTerminals],
+    chunk: &[u32],
+    rip_counts: &mut [u16],
+    states: &mut [NodeState],
+    trees: &mut [Option<RouteTree>],
+    present_factor: f32,
+    weight: f32,
+    workers: usize,
+    scratches: &mut [RouterScratch],
+    rerouted: &mut usize,
+    ripped_up: &mut usize,
+) -> Result<(), PnrError> {
+    if chunk.is_empty() {
+        return Ok(());
+    }
+    *rerouted += chunk.len();
+
+    let mut starts: Vec<RouteTree> = Vec::with_capacity(chunk.len());
+    for &index in chunk {
+        let terminals = &nets[index as usize];
+        if let Some(old) = trees[index as usize].take() {
+            *ripped_up += 1;
+            rip_counts[index as usize] = rip_counts[index as usize].saturating_add(1);
+            // Partial rip-up: keep the subtree serving sinks whose paths
+            // avoid every overused node, so a high-fanout net with one
+            // congested branch re-searches one branch, not all of them.
+            // Occupancy is still released for the whole old tree and
+            // re-acquired at commit — the kept subtree is a search seed, not
+            // a committed claim.
+            let start = prune_tree(ctx.device, &old, states);
+            for node in &old.nodes {
+                states[node.index()].occupancy -= 1;
+            }
+            starts.push(start);
+        } else {
+            starts.push(RouteTree {
+                source: terminals.source,
+                nodes: vec![terminals.source],
+                pips: Vec::new(),
+                sinks: Vec::new(),
+            });
+        }
+    }
+
+    let results = route_chunk(
+        ctx,
+        nets,
+        chunk,
+        starts,
+        rip_counts,
+        states,
+        present_factor,
+        weight,
+        workers,
+        scratches,
+    );
+
+    for (&index, result) in chunk.iter().zip(results) {
+        let tree = result?;
+        for node in &tree.nodes {
+            states[node.index()].occupancy += 1;
+        }
+        trees[index as usize] = Some(tree);
+    }
+    Ok(())
+}
+
+/// Splits a committed tree into the subtree serving sinks whose paths avoid
+/// every overused node. The pruned tree (sinks cleared — [`route_net`]
+/// re-collects them) becomes the search seed for the net's reroute, so only
+/// the congested branches are searched again. Depends only on committed
+/// negotiation state, so it is worker-independent.
+fn prune_tree(device: &Device, old: &RouteTree, states: &[NodeState]) -> RouteTree {
+    // Each non-source tree node is entered by exactly one tree PIP; index
+    // them by destination for the backwalks below.
+    let mut parent: Vec<(u32, PipId)> = old
+        .pips
+        .iter()
+        .map(|&pip| (device.pip(pip).dst.index() as u32, pip))
+        .collect();
+    parent.sort_unstable_by_key(|&(dst, _)| dst);
+
+    let mut keep_nodes: Vec<u32> = vec![old.source.index() as u32];
+    let mut keep_pips: Vec<u32> = Vec::new();
+    let mut path_nodes: Vec<u32> = Vec::new();
+    let mut path_pips: Vec<u32> = Vec::new();
+    for &(sink, _, _) in &old.sinks {
+        path_nodes.clear();
+        path_pips.clear();
+        let mut node = sink;
+        let clean = loop {
+            if states[node.index()].occupancy > 1 {
+                break false;
+            }
+            path_nodes.push(node.index() as u32);
+            let entry = parent
+                .binary_search_by_key(&(node.index() as u32), |&(dst, _)| dst)
+                .ok()
+                .map(|found| parent[found].1);
+            match entry {
+                Some(pip) => {
+                    path_pips.push(pip.index() as u32);
+                    node = device.pip(pip).src;
+                }
+                None => break true,
+            }
+        };
+        if clean {
+            keep_nodes.extend_from_slice(&path_nodes);
+            keep_pips.extend_from_slice(&path_pips);
+        }
+    }
+    keep_nodes.sort_unstable();
+    keep_nodes.dedup();
+    keep_pips.sort_unstable();
+    keep_pips.dedup();
+
+    RouteTree {
+        source: old.source,
+        nodes: old
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| keep_nodes.binary_search(&(n.index() as u32)).is_ok())
+            .collect(),
+        pips: old
+            .pips
+            .iter()
+            .copied()
+            .filter(|p| keep_pips.binary_search(&(p.index() as u32)).is_ok())
+            .collect(),
+        sinks: Vec::new(),
+    }
+}
+
+/// Routes one chunk of ripped-up nets against the frozen congestion
+/// snapshot, inline when `workers == 1` and on scoped threads otherwise.
+/// Results come back in chunk order either way.
+#[allow(clippy::too_many_arguments)]
+fn route_chunk(
+    ctx: &RouteContext<'_>,
+    nets: &[NetTerminals],
+    chunk: &[u32],
+    starts: Vec<RouteTree>,
+    rip_counts: &[u16],
+    states: &[NodeState],
+    present_factor: f32,
+    weight: f32,
+    workers: usize,
+    scratches: &mut [RouterScratch],
+) -> Vec<Result<RouteTree, PnrError>> {
+    if workers <= 1 || chunk.len() <= 1 {
+        let scratch = &mut scratches[0];
+        return chunk
+            .iter()
+            .zip(starts)
+            .map(|(&index, start)| {
+                route_net(
+                    ctx,
+                    &nets[index as usize],
+                    start,
+                    rip_counts[index as usize],
+                    states,
+                    present_factor,
+                    weight,
+                    scratch,
+                )
+            })
+            .collect();
+    }
+
+    let threads = workers.min(chunk.len());
+    // Strided assignment, partitioned up front so each worker owns its
+    // starting trees: worker `w` gets chunk positions `w, w + threads, …`.
+    let mut assignments: Vec<Vec<(usize, u32, RouteTree)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (position, (&index, start)) in chunk.iter().zip(starts).enumerate() {
+        assignments[position % threads].push((position, index, start));
+    }
+    let mut slots: Vec<Option<Result<RouteTree, PnrError>>> =
+        (0..chunk.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scratches
+            .iter_mut()
+            .take(threads)
+            .zip(assignments)
+            .map(|(scratch, assignment)| {
+                scope.spawn(move || {
+                    assignment
+                        .into_iter()
+                        .map(|(position, index, start)| {
+                            (
+                                position,
+                                route_net(
+                                    ctx,
+                                    &nets[index as usize],
+                                    start,
+                                    rip_counts[index as usize],
+                                    states,
+                                    present_factor,
+                                    weight,
+                                    scratch,
+                                ),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (position, result) in handle.join().expect("router worker panicked") {
+                slots[position] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk slot routed"))
+        .collect()
 }
 
 /// Gathers source and sink routing nodes for every net that must be routed:
@@ -262,7 +853,7 @@ fn collect_terminals(
             Some(NetDriver::Cell(c)) => c,
             _ => continue,
         };
-        let sinks: Vec<(NodeId, tmr_netlist::CellId, usize)> = net
+        let mut sinks: Vec<(NodeId, tmr_netlist::CellId, usize)> = net
             .sinks
             .iter()
             .filter_map(|sink| match sink {
@@ -277,10 +868,29 @@ fn collect_terminals(
             continue;
         }
         let source = device.out_pin(placement.site(driver));
+        let source_tile = device.node_tile(source);
+        // Route the closest sinks first so later sinks reuse the growing
+        // tree (stable sort: equal distances keep netlist pin order).
+        sinks.sort_by_key(|(node, _, _)| device.node_tile(*node).manhattan(source_tile));
+
+        let mut bbox = TileBounds {
+            min_x: source_tile.x,
+            min_y: source_tile.y,
+            max_x: source_tile.x,
+            max_y: source_tile.y,
+        };
+        for (node, _, _) in &sinks {
+            let tile = device.node_tile(*node);
+            bbox.min_x = bbox.min_x.min(tile.x);
+            bbox.min_y = bbox.min_y.min(tile.y);
+            bbox.max_x = bbox.max_x.max(tile.x);
+            bbox.max_y = bbox.max_y.max(tile.y);
+        }
         nets.push(NetTerminals {
             net: net_id,
             source,
             sinks,
+            bbox,
         });
     }
     // Route high-fanout nets first: they are the hardest to place well.
@@ -288,114 +898,172 @@ fn collect_terminals(
     nets
 }
 
-/// Cost of occupying `node` given the current congestion state, assuming the
-/// current net would add one more occupant.
-fn node_cost(
-    device: &Device,
-    node: NodeId,
-    occupancy: &[u16],
-    history: &[f32],
-    present_factor: f64,
-) -> f32 {
-    let base = match device.node(node) {
+/// Congestion-free base cost of occupying `node` (shared with the lookahead
+/// table, which needs the same floors).
+pub(crate) fn base_cost(node: &RouteNode) -> f32 {
+    match node {
         RouteNode::Wire { .. } => 1.0f32,
         RouteNode::InPin { .. } | RouteNode::OutPin { .. } => 0.95,
-    };
-    let over = f64::from(occupancy[node.index()]); // capacity is 1: any existing occupant is overuse
-    let present = 1.0 + present_factor * over;
-    (base + history[node.index()]) * present as f32
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn route_net(
-    device: &Device,
-    netlist: &Netlist,
+    ctx: &RouteContext<'_>,
     terminals: &NetTerminals,
-    occupancy: &[u16],
-    history: &[f32],
-    present_factor: f64,
-    astar_weight: f64,
-    best_cost: &mut [f32],
-    generation: &mut [u32],
-    prev_pip: &mut [u32],
-    current_generation: &mut u32,
+    start: RouteTree,
+    rip_count: u16,
+    states: &[NodeState],
+    present_factor: f32,
+    weight: f32,
+    scratch: &mut RouterScratch,
 ) -> Result<RouteTree, PnrError> {
-    let mut tree = RouteTree {
-        source: terminals.source,
-        nodes: vec![terminals.source],
-        pips: Vec::new(),
-        sinks: Vec::new(),
-    };
+    let device = ctx.device;
+    // Contention-adaptive heuristic weight: fresh nets search with the full
+    // (inadmissible) weight — fast, and slightly sloppy paths are fine while
+    // congestion is still being discovered. After `WEIGHT_GRACE` rip-ups the
+    // weight walks back by `WEIGHT_SLOPE` per additional rip toward the
+    // near-admissible floor, because a net locked in a congestion fight needs
+    // the true cheapest detour, not a beeline — sloppy paths there feed the
+    // very oscillation PathFinder is trying to price away. Deterministic:
+    // rip counts are committed negotiation state, independent of workers.
+    const WEIGHT_GRACE: f32 = 4.0;
+    const WEIGHT_SLOPE: f32 = 0.25;
+    const WEIGHT_FLOOR: f32 = 1.25;
+    // The per-net floor never rises above the iteration's base weight, so
+    // the late-negotiation global decay (see `route_inner`) can take every
+    // net all the way down to the admissible weight.
+    let floor = WEIGHT_FLOOR.min(weight);
+    let weight =
+        (weight - WEIGHT_SLOPE * (f32::from(rip_count) - WEIGHT_GRACE).max(0.0)).max(floor);
+    // The same rectangle the scheduler used to admit this net into its
+    // chunk, so confined searches provably stay inside the net's reserved
+    // region (the per-sink unconfined retry below is the one escape hatch).
+    let bounds = search_rect(terminals, rip_count, ctx.bbox_margin, ctx.cols, ctx.rows);
+    let net_confined = !bounds.covers_grid(ctx.cols, ctx.rows);
+    // `start` is either a fresh source-only tree or the clean subtree a
+    // partial rip-up preserved; either way its sinks are re-collected below.
+    let mut tree = start;
+    scratch.tree_generation += 1;
+    let tree_generation = scratch.tree_generation;
+    for node in &tree.nodes {
+        scratch.in_tree[node.index()] = tree_generation;
+    }
 
-    // Route the closest sinks first so later sinks can reuse the growing tree.
-    let mut sinks = terminals.sinks.clone();
-    let source_tile = device.node_tile(terminals.source);
-    sinks.sort_by_key(|(node, _, _)| device.node_tile(*node).manhattan(source_tile));
-
-    for (sink_node, sink_cell, sink_pin) in sinks {
-        if tree.nodes.contains(&sink_node) {
+    for &(sink_node, sink_cell, sink_pin) in &terminals.sinks {
+        if scratch.in_tree[sink_node.index()] == tree_generation {
             tree.sinks.push((sink_node, sink_cell, sink_pin));
             continue;
         }
-        *current_generation += 1;
-        let generation_id = *current_generation;
-        let target_tile = device.node_tile(sink_node);
-        let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        let target_x = states[sink_node.index()].tile_x;
+        let target_y = states[sink_node.index()].tile_y;
+        let mut confined = net_confined;
 
-        for &node in &tree.nodes {
-            best_cost[node.index()] = 0.0;
-            generation[node.index()] = generation_id;
-            prev_pip[node.index()] = u32::MAX;
-            let h = device.node_tile(node).manhattan(target_tile) as f32;
-            queue.push(QueueEntry {
-                estimate: h * astar_weight as f32,
-                cost: 0.0,
-                node,
-            });
-        }
+        let reached = loop {
+            scratch.current_generation += 1;
+            let generation_id = scratch.current_generation;
+            scratch.queue.clear();
 
-        let mut reached = false;
-        while let Some(entry) = queue.pop() {
-            let node = entry.node;
-            if generation[node.index()] == generation_id
-                && entry.cost > best_cost[node.index()] + f32::EPSILON
-            {
-                continue;
-            }
-            if node == sink_node {
-                reached = true;
-                break;
-            }
-            for &pip_id in device.pips_from(node) {
-                let pip = device.pip(pip_id);
-                let next = pip.dst;
-                // Never route through another cell's input pin; only the
-                // target sink pin is enterable.
-                if device.node(next).is_in_pin() && next != sink_node {
+            for &node in &tree.nodes {
+                let index = node.index();
+                let state = states[index];
+                if confined && !bounds.contains(state.tile_x, state.tile_y) {
                     continue;
                 }
-                let step = node_cost(device, next, occupancy, history, present_factor);
-                let next_cost = entry.cost + step;
-                let index = next.index();
-                if generation[index] != generation_id || next_cost + f32::EPSILON < best_cost[index]
-                {
-                    generation[index] = generation_id;
-                    best_cost[index] = next_cost;
-                    prev_pip[index] = pip_id.index() as u32;
-                    let h = device.node_tile(next).manhattan(target_tile) as f32;
-                    queue.push(QueueEntry {
-                        estimate: next_cost + h * astar_weight as f32,
-                        cost: next_cost,
-                        node: next,
-                    });
+                scratch.search[index] = SearchRec {
+                    best_cost: 0.0,
+                    generation: generation_id,
+                    prev_pip: u32::MAX,
+                };
+                let distance = u32::from(state.tile_x.abs_diff(target_x))
+                    + u32::from(state.tile_y.abs_diff(target_y));
+                scratch.queue.push(QueueEntry {
+                    estimate: ctx.lookahead.cost_floor(distance) * weight,
+                    cost: 0.0,
+                    node,
+                });
+            }
+
+            let sink_index = sink_node.index();
+            // Incumbent bound: once the sink has been relaxed to cost `b`,
+            // its queue entry has estimate `b` (the heuristic is zero there),
+            // so any entry with a larger estimate would pop only after the
+            // sink ends the search. Skipping those pushes is therefore
+            // result-preserving — it only spares the heap traffic.
+            let mut sink_bound = f32::INFINITY;
+            let mut reached = false;
+            while let Some(entry) = scratch.queue.pop() {
+                scratch.nodes_expanded += 1;
+                let node = entry.node;
+                let rec = scratch.search[node.index()];
+                if rec.generation == generation_id && entry.cost > rec.best_cost + f32::EPSILON {
+                    continue;
+                }
+                if node == sink_node {
+                    reached = true;
+                    break;
+                }
+                let first = ctx.adj_start[node.index()] as usize;
+                let last = ctx.adj_start[node.index() + 1] as usize;
+                for edge in &ctx.edges[first..last] {
+                    let index = edge.dst as usize;
+                    let state = states[index];
+                    // Never route through another cell's input pin; only the
+                    // target sink pin is enterable.
+                    if state.is_in_pin != 0 && index != sink_index {
+                        continue;
+                    }
+                    if confined && !bounds.contains(state.tile_x, state.tile_y) {
+                        continue;
+                    }
+                    let step =
+                        state.cost_static * (1.0 + present_factor * f32::from(state.occupancy));
+                    let next_cost = entry.cost + step;
+                    let rec = &mut scratch.search[index];
+                    if rec.generation != generation_id || next_cost + f32::EPSILON < rec.best_cost {
+                        let distance = u32::from(state.tile_x.abs_diff(target_x))
+                            + u32::from(state.tile_y.abs_diff(target_y));
+                        let estimate = next_cost + ctx.lookahead.cost_floor(distance) * weight;
+                        if estimate > sink_bound {
+                            continue;
+                        }
+                        *rec = SearchRec {
+                            best_cost: next_cost,
+                            generation: generation_id,
+                            prev_pip: edge.pip,
+                        };
+                        if index == sink_index {
+                            sink_bound = next_cost;
+                        }
+                        scratch.queue.push(QueueEntry {
+                            estimate,
+                            cost: next_cost,
+                            node: NodeId::from_index(index),
+                        });
+                    }
                 }
             }
-        }
+
+            if reached {
+                break true;
+            }
+            if confined {
+                // The bounding box was too tight for the congestion at hand;
+                // retry this sink over the whole grid. Deterministic: depends
+                // only on the same frozen snapshot.
+                confined = false;
+                continue;
+            }
+            break false;
+        };
 
         if !reached {
             return Err(PnrError::NoPath {
-                net: netlist.net(terminals.net).name.clone(),
-                sink: format!("pin {sink_pin} of cell `{}`", netlist.cell(sink_cell).name),
+                net: ctx.netlist.net(terminals.net).name.clone(),
+                sink: format!(
+                    "pin {sink_pin} of cell `{}`",
+                    ctx.netlist.cell(sink_cell).name
+                ),
             });
         }
 
@@ -405,7 +1073,7 @@ fn route_net(
         let mut new_pips = Vec::new();
         loop {
             new_nodes.push(node);
-            let pip_raw = prev_pip[node.index()];
+            let pip_raw = scratch.search[node.index()].prev_pip;
             if pip_raw == u32::MAX {
                 // Reached a node that was seeded from the existing tree.
                 new_nodes.pop();
@@ -414,9 +1082,12 @@ fn route_net(
             let pip_id = PipId::from_index(pip_raw as usize);
             new_pips.push(pip_id);
             node = device.pip(pip_id).src;
-            if tree.nodes.contains(&node) {
+            if scratch.in_tree[node.index()] == tree_generation {
                 break;
             }
+        }
+        for &new_node in &new_nodes {
+            scratch.in_tree[new_node.index()] = tree_generation;
         }
         tree.nodes.extend(new_nodes);
         tree.pips.extend(new_pips);
@@ -507,9 +1178,11 @@ mod tests {
         assert!(result.is_ok());
         assert!(telemetry.converged());
         assert!(telemetry.iteration_count() >= 1);
+        assert!(telemetry.workers >= 1);
         let first = &telemetry.iterations[0];
         assert_eq!((first.iteration, first.ripped_up), (1, 0));
         assert!(first.rerouted > 0, "every net is routed in iteration 1");
+        assert!(first.nodes_expanded > 0, "A* expands nodes in iteration 1");
         assert_eq!(telemetry.iterations.last().unwrap().overused_nodes, 0);
         // route() must agree with the telemetry variant it delegates to.
         let direct = route(&device, &netlist, &placement, &RouterOptions::default()).unwrap();
@@ -523,6 +1196,36 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (net, tree) in &a {
             assert_eq!(tree.pips, b[net].pips);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_routes() {
+        let device = Device::small(6, 6);
+        let netlist = techmap(&optimize(&lower(&counter(5)).unwrap())).unwrap();
+        let placement = place(&device, &netlist, &PlacerOptions::default()).unwrap();
+        let reference = route(
+            &device,
+            &netlist,
+            &placement,
+            &RouterOptions {
+                workers: 1,
+                ..RouterOptions::default()
+            },
+        )
+        .unwrap();
+        for workers in [2, 3, 8] {
+            let parallel = route(
+                &device,
+                &netlist,
+                &placement,
+                &RouterOptions {
+                    workers,
+                    ..RouterOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(reference, parallel, "workers={workers} diverged");
         }
     }
 }

@@ -10,7 +10,7 @@ use tmr_arch::Device;
 use tmr_core::pipeline::{fingerprint, ArtifactCache, CacheKey, Fingerprint};
 use tmr_core::TmrConfig;
 use tmr_faultsim::{CampaignBuilder, CampaignResult, CampaignSession, SimBackend};
-use tmr_pnr::{place, route, PlacerOptions, RoutedDesign, RouterOptions};
+use tmr_pnr::{place, route_with_telemetry, PlacerOptions, RoutedDesign, RouterOptions};
 use tmr_sim::GoldenRun;
 use tmr_store::{PersistentCache, Store};
 use tmr_synth::Design;
@@ -284,17 +284,26 @@ impl Flow {
                 Ok(Routed {
                     design,
                     fingerprint: fp,
+                    telemetry: None,
                 })
             },
             || {
                 let synthesized = self.synthesized()?;
                 let placed = self.placed()?;
-                let routes = route(
+                let (routes, telemetry) = route_with_telemetry(
                     &self.device,
                     synthesized.netlist(),
                     placed.placement(),
                     &RouterOptions::default(),
-                )?;
+                );
+                let routes = routes?;
+                if tmr_trace::enabled() {
+                    tmr_trace::attr_current("route_iterations", telemetry.iteration_count());
+                    tmr_trace::attr_current(
+                        "route_nodes_expanded",
+                        telemetry.total_nodes_expanded() as usize,
+                    );
+                }
                 let design = RoutedDesign::assemble(
                     &self.device,
                     synthesized.netlist(),
@@ -308,6 +317,7 @@ impl Flow {
                 let artifact = Routed {
                     design: design.clone(),
                     fingerprint: fp,
+                    telemetry: Some(telemetry),
                 };
                 Ok::<_, Error>((artifact, design))
             },

@@ -9,7 +9,7 @@ use tmr_arch::Bitstream;
 use tmr_core::pipeline::CacheKey;
 use tmr_core::{apply_tmr, TmrConfig};
 use tmr_netlist::Netlist;
-use tmr_pnr::{Placement, RoutedDesign};
+use tmr_pnr::{Placement, RouteTelemetry, RoutedDesign};
 use tmr_sim::CompiledNetlist;
 use tmr_store::PersistentCache;
 use tmr_synth::{lower, optimize, techmap, Design};
@@ -58,6 +58,10 @@ impl Placed {
 pub struct Routed {
     pub(crate) design: RoutedDesign,
     pub(crate) fingerprint: u64,
+    /// Negotiation telemetry of the routing run that produced the design;
+    /// `None` when the artifact was decoded from the disk store (the design
+    /// was not routed by this process).
+    pub(crate) telemetry: Option<RouteTelemetry>,
 }
 
 impl Routed {
@@ -79,6 +83,13 @@ impl Routed {
     /// Content fingerprint of the stage inputs (stable across processes).
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Per-iteration telemetry of the routing run that produced this
+    /// artifact (iteration count, rip-ups, expanded nodes, wall time).
+    /// `None` when the routed design was served from the disk store.
+    pub fn route_telemetry(&self) -> Option<&RouteTelemetry> {
+        self.telemetry.as_ref()
     }
 }
 

@@ -335,35 +335,41 @@ impl Sweep {
     /// Runs the sweep: implements every variant, runs the configured
     /// campaign and analysis on each, and reports.
     ///
+    /// The variants are implemented on parallel `std::thread::scope` flow
+    /// threads — each variant's place-and-route is independent of the
+    /// others' — and the results are merged back in variant order, so the
+    /// report (and any error) is identical to a sequential run.
+    ///
     /// # Errors
     ///
-    /// Propagates any stage error of any variant.
+    /// Propagates any stage error of any variant; when several variants
+    /// fail, the error of the earliest one in sweep order is returned.
     pub fn run(&self) -> Result<SweepReport, Error> {
         let (device, flows) = self.flows()?;
         let flows_store = flows.first().and_then(|(_, flow)| flow.store().cloned());
-        let mut variants = Vec::with_capacity(flows.len());
-        for (name, flow) in flows {
-            let routed = flow.routed()?;
-            let resources = estimate_resources(routed.netlist());
-            let bits = routed.design().bit_report(&device);
-            let campaign = match &self.campaign {
-                Some(campaign) => Some(flow.campaign(campaign)?),
-                None => None,
-            };
-            let analysis = if self.analyze {
-                Some(flow.analyzed()?)
-            } else {
-                None
-            };
-            variants.push(VariantReport {
-                name,
-                config: flow.tmr_config().cloned(),
-                routed,
-                resources,
-                bits,
-                campaign,
-                analysis,
-            });
+        let trace_parent = tmr_trace::current_span();
+        let results: Vec<Result<VariantReport, Error>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = flows
+                .into_iter()
+                .map(|(name, flow)| {
+                    let device = &device;
+                    let campaign = self.campaign.as_ref();
+                    let analyze = self.analyze;
+                    scope.spawn(move || {
+                        let _task = tmr_trace::enabled()
+                            .then(|| tmr_trace::task(format!("variant-{name}"), trace_parent));
+                        implement_variant(name, &flow, device, campaign, analyze)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("variant flow thread panicked"))
+                .collect()
+        });
+        let mut variants = Vec::with_capacity(results.len());
+        for result in results {
+            variants.push(result?);
         }
         let disk = flows_store.as_ref();
         Ok(SweepReport {
@@ -375,6 +381,55 @@ impl Sweep {
             disk_stage: disk.map(|store| store.stage_stats()).unwrap_or_default(),
         })
     }
+}
+
+/// Implements one sweep variant end to end: route, resource estimate, bit
+/// report, plus the optional campaign and static analysis. Runs on its own
+/// flow thread in [`Sweep::run`]; every stage memoizes into the sweep's
+/// shared (thread-safe) caches.
+fn implement_variant(
+    name: String,
+    flow: &Flow,
+    device: &Device,
+    campaign: Option<&CampaignBuilder>,
+    analyze: bool,
+) -> Result<VariantReport, Error> {
+    let routed = flow.routed()?;
+    let resources = estimate_resources(routed.netlist());
+    let bits = routed.design().bit_report(device);
+    let campaign = match campaign {
+        Some(campaign) => Some(flow.campaign(campaign)?),
+        None => None,
+    };
+    let analysis = if analyze {
+        Some(flow.analyzed()?)
+    } else {
+        None
+    };
+    Ok(VariantReport {
+        name,
+        config: flow.tmr_config().cloned(),
+        routed,
+        resources,
+        bits,
+        campaign,
+        analysis,
+    })
+}
+
+/// Aggregate routing-negotiation statistics of one sweep run (see
+/// [`SweepReport::route_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Variants whose routing ran in this process (and thus carry
+    /// telemetry).
+    pub routed: usize,
+    /// PathFinder negotiation iterations summed over those variants.
+    pub iterations: usize,
+    /// A* queue pops summed over those variants.
+    pub nodes_expanded: u64,
+    /// Routing wall time summed over those variants.
+    pub elapsed: std::time::Duration,
 }
 
 /// One fully implemented sweep variant plus its reports.
@@ -448,6 +503,23 @@ impl SweepReport {
             .iter()
             .find(|(name, _)| *name == stage)
             .map(|&(_, stats)| stats)
+    }
+
+    /// The routing-negotiation counters summed over every variant this
+    /// process actually routed (variants served from the disk store carry no
+    /// telemetry and contribute nothing — their `routed` count stays 0).
+    pub fn route_stats(&self) -> RouteStats {
+        let mut stats = RouteStats::default();
+        for variant in &self.variants {
+            let Some(telemetry) = variant.routed.route_telemetry() else {
+                continue;
+            };
+            stats.routed += 1;
+            stats.iterations += telemetry.iteration_count();
+            stats.nodes_expanded += telemetry.total_nodes_expanded();
+            stats.elapsed += telemetry.total_elapsed();
+        }
+        stats
     }
 
     /// The simulator observability counters merged over every campaign of

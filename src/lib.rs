@@ -63,6 +63,6 @@ pub mod flow;
 pub mod fuzz;
 
 pub use error::Error;
-pub use flow::{Flow, FlowBuilder, Sweep, SweepReport};
+pub use flow::{Flow, FlowBuilder, RouteStats, Sweep, SweepReport};
 pub use tmr_core::pipeline::{ArtifactCache, CacheStats};
 pub use tmr_store::{DiskStats, PersistentCache, Store};

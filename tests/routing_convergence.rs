@@ -10,11 +10,13 @@ use tmr_fpga::designs::FirFilter;
 use tmr_fpga::flow::Sweep;
 use tmr_fpga::pnr::{route_with_telemetry, RouterOptions};
 
-/// Measured convergence today: standard 5, tmr_p3_nv 18, tmr_p3 22,
-/// tmr_p2 30 and tmr_p1 (the most congested variant on the deliberately
-/// tight 24x24 device) 97 iterations. The budget leaves ~50 % headroom for
-/// cost-schedule tweaks without letting convergence quietly decay toward
-/// the router's hard limit of 250, where `tmr_p1` would start failing.
+/// Measured convergence today (A* lookahead router with the
+/// contention-adaptive heuristic weight): standard 9, tmr_p3_nv 12,
+/// tmr_p2 22, tmr_p3 28 and tmr_p1 (the most congested variant on the
+/// deliberately tight 24x24 device) 114 iterations. The budget leaves
+/// headroom for cost-schedule tweaks without letting convergence quietly
+/// decay toward the router's hard limit of 250, where `tmr_p1` would start
+/// failing.
 const ITERATION_BUDGET: usize = 150;
 
 #[test]
